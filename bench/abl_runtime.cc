@@ -1,0 +1,152 @@
+// Ablation (paper conclusion: O(1) thinking "up to language runtimes"):
+//
+// Part 1 -- freeing N objects: per-object free through a size-class heap vs
+// one O(1) arena reset (trading reserved space for time).
+// Part 2 -- restart latency: reopening a persistent heap (O(1)) vs the
+// conventional restart path of reading a snapshot file and rebuilding the
+// objects (O(data)).
+#include "bench/common.h"
+
+#include "src/runtime/arena.h"
+#include "src/runtime/persistent_heap.h"
+
+namespace o1mem {
+namespace {
+
+struct FreeCosts {
+  double malloc_free_us;
+  double arena_reset_us;
+};
+
+FreeCosts MeasureFree(int objects) {
+  SystemConfig config = BenchConfig();
+  config.fom.precreate_page_tables = false;
+  config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
+  System sys(config);
+  auto proc = sys.Launch(Backend::kFom);
+  O1_CHECK(proc.ok());
+
+  SizeClassAllocator heap(&sys, *proc);
+  std::vector<Vaddr> ptrs;
+  ptrs.reserve(static_cast<size_t>(objects));
+  for (int i = 0; i < objects; ++i) {
+    auto p = heap.Malloc(96);
+    O1_CHECK(p.ok());
+    ptrs.push_back(*p);
+  }
+  SimTimer timer(sys);
+  for (Vaddr p : ptrs) {
+    O1_CHECK(heap.Free(p).ok());
+  }
+  FreeCosts costs;
+  costs.malloc_free_us = timer.ElapsedUs();
+
+  auto arena = ObjectArena::Create(&sys, *proc, "/arena/bench",
+                                   AlignUp(static_cast<uint64_t>(objects) * 96 + kMiB,
+                                           kPageSize));
+  O1_CHECK(arena.ok());
+  for (int i = 0; i < objects; ++i) {
+    O1_CHECK(arena->Allocate(96).ok());
+  }
+  timer.Restart();
+  O1_CHECK(arena->Reset().ok());
+  costs.arena_reset_us = timer.ElapsedUs();
+  return costs;
+}
+
+struct RestartCosts {
+  double heap_reopen_us;
+  double snapshot_reload_us;
+};
+
+RestartCosts MeasureRestart(uint64_t object_bytes) {
+  SystemConfig config = BenchConfig();
+  System sys(config);
+  // Persistent-heap path: build, crash, reopen.
+  {
+    auto proc = sys.Launch(Backend::kFom);
+    O1_CHECK(proc.ok());
+    auto heap = PersistentHeap::OpenOrCreate(&sys, *proc, "/heap/state",
+                                             object_bytes + kMiB);
+    O1_CHECK(heap.ok());
+    auto off = heap->Allocate(object_bytes);
+    O1_CHECK(off.ok());
+    std::vector<uint8_t> chunk(kMiB, 0x11);
+    for (uint64_t done = 0; done < object_bytes; done += chunk.size()) {
+      O1_CHECK(heap->WriteObject(*off + done, chunk).ok());
+    }
+    O1_CHECK(heap->SetRoot("state", *off).ok());
+  }
+  O1_CHECK(sys.Crash().ok());
+  RestartCosts costs;
+  {
+    auto proc = sys.Launch(Backend::kFom);
+    O1_CHECK(proc.ok());
+    SimTimer timer(sys);
+    auto heap = PersistentHeap::OpenOrCreate(&sys, *proc, "/heap/state",
+                                             object_bytes + kMiB);
+    O1_CHECK(heap.ok());
+    O1_CHECK(heap->GetRoot("state").ok());
+    costs.heap_reopen_us = timer.ElapsedUs();
+  }
+  // Conventional path: state lives in a snapshot file; restart = read it
+  // all back into fresh anonymous memory.
+  {
+    auto proc = sys.Launch(Backend::kBaseline);
+    O1_CHECK(proc.ok());
+    auto fd = sys.Creat(**proc, sys.pmfs(), "/snap/state",
+                        FileFlags{.persistent = true});
+    O1_CHECK(fd.ok());
+    std::vector<uint8_t> chunk(kMiB, 0x22);
+    for (uint64_t done = 0; done < object_bytes; done += chunk.size()) {
+      O1_CHECK(sys.Pwrite(**proc, *fd, done, chunk).ok());
+    }
+    SimTimer timer(sys);
+    auto vaddr = sys.Mmap(**proc, MmapArgs{.length = object_bytes});
+    O1_CHECK(vaddr.ok());
+    for (uint64_t done = 0; done < object_bytes; done += chunk.size()) {
+      O1_CHECK(sys.Pread(**proc, *fd, done, chunk).ok());
+      O1_CHECK(sys.UserWrite(**proc, *vaddr + done, chunk).ok());
+    }
+    costs.snapshot_reload_us = timer.ElapsedUs();
+  }
+  return costs;
+}
+
+}  // namespace
+}  // namespace o1mem
+
+int main(int argc, char** argv) {
+  using namespace o1mem;
+  Table frees("Ablation: free N 96-byte objects -- per-object free vs O(1) arena reset");
+  frees.AddRow({"objects", "per-object free us", "arena reset us", "ratio"});
+  for (int objects : {1000, 10000, 100000}) {
+    const FreeCosts costs = MeasureFree(objects);
+    frees.AddRow({Table::Int(static_cast<uint64_t>(objects)),
+                  Table::Num(costs.malloc_free_us), Table::Num(costs.arena_reset_us),
+                  Table::Num(costs.arena_reset_us > 0
+                                 ? costs.malloc_free_us / costs.arena_reset_us
+                                 : 0)});
+  }
+  frees.Print();
+  MaybePrintCsv(frees);
+
+  Table restart(
+      "Ablation: restart latency -- reopen persistent heap vs reload a snapshot file");
+  restart.AddRow({"state size", "heap reopen us", "snapshot reload us", "ratio"});
+  for (uint64_t bytes : {16 * kMiB, 64 * kMiB, 256 * kMiB}) {
+    const RestartCosts costs = MeasureRestart(bytes);
+    restart.AddRow({SizeLabel(bytes), Table::Num(costs.heap_reopen_us),
+                    Table::Num(costs.snapshot_reload_us),
+                    Table::Num(costs.heap_reopen_us > 0
+                                   ? costs.snapshot_reload_us / costs.heap_reopen_us
+                                   : 0)});
+  }
+  restart.Print();
+  MaybePrintCsv(restart);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

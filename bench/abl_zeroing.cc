@@ -1,0 +1,105 @@
+// Ablation (Sec. 3.1 persistence management): "for security purposes memory
+// must be zeroed out before being reused ... currently a linear-time
+// operation and suggests the need for new techniques to efficiently erase
+// memory in constant time."
+//
+// Compares PMFS allocation under the two zeroing policies:
+//   * kEagerZero: zero whole extents at allocation -- O(bytes) up front;
+//   * kZeroEpoch: mark extents, zero each page lazily at first touch --
+//     O(extents) at allocation, the linear cost amortized into use.
+// Reported: allocation (Resize) cost, then allocation + touch-everything
+// total (the lazy policy should approach, not exceed, eager's total).
+#include "bench/common.h"
+
+namespace o1mem {
+namespace {
+
+struct Costs {
+  double alloc_us;
+  double alloc_plus_touch_us;
+  double background_us;  // deferred zero-on-free work (kZeroEpoch only)
+};
+
+Costs Measure(uint64_t bytes, ZeroPolicy policy) {
+  SystemConfig config = BenchConfig();
+  config.pmfs_zero_policy = policy;
+  // Isolate zeroing: skip pre-created page-table builds (they are priced in
+  // fig3/fig9) and map via range entries.
+  config.fom.precreate_page_tables = false;
+  config.fom.default_mechanism = MapMechanism::kRangeTable;
+  System sys(config);
+  auto proc = sys.Launch(Backend::kFom);
+  O1_CHECK(proc.ok());
+  // Dirty then free a region so recycled blocks genuinely need zeroing.
+  auto dirty = sys.fom().CreateSegment("/dirty", bytes);
+  O1_CHECK(dirty.ok());
+  auto dirty_map = sys.fom().Map((*proc)->fom(), *dirty, Prot::kReadWrite);
+  O1_CHECK(dirty_map.ok());
+  O1_CHECK(sys.UserTouch(**proc, *dirty_map, bytes, AccessType::kWrite).ok());
+  O1_CHECK(sys.fom().Unmap((*proc)->fom(), *dirty_map).ok());
+  O1_CHECK(sys.fom().DeleteSegment("/dirty").ok());
+
+  SimTimer timer(sys);
+  auto seg = sys.fom().CreateSegment("/seg", bytes);
+  O1_CHECK(seg.ok());
+  Costs costs;
+  costs.alloc_us = timer.ElapsedUs();
+  auto vaddr = sys.fom().Map((*proc)->fom(), *seg, Prot::kReadWrite);
+  O1_CHECK(vaddr.ok());
+  for (uint64_t off = 0; off < bytes; off += kPageSize) {
+    O1_CHECK(sys.UserTouch(**proc, *vaddr + off, 1, AccessType::kRead).ok());
+  }
+  costs.alloc_plus_touch_us = timer.ElapsedUs();
+  costs.background_us = sys.ctx().clock().CyclesToUs(sys.pmfs().background_zero_cycles());
+  return costs;
+}
+
+}  // namespace
+}  // namespace o1mem
+
+int main(int argc, char** argv) {
+  using namespace o1mem;
+  Table table(
+      "Ablation: eager zeroing vs zero-epoch (O(1) erase) on recycled NVM blocks "
+      "(simulated us)");
+  table.AddRow({"size", "eager alloc", "epoch alloc", "alloc speedup", "eager total",
+                "epoch total", "epoch background"});
+  struct Row {
+    uint64_t size;
+    Costs eager, epoch;
+  };
+  std::vector<Row> rows;
+  for (uint64_t size : {4 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB}) {
+    Row row{.size = size,
+            .eager = Measure(size, ZeroPolicy::kEagerZero),
+            .epoch = Measure(size, ZeroPolicy::kZeroEpoch)};
+    rows.push_back(row);
+    table.AddRow({SizeLabel(size), Table::Num(row.eager.alloc_us),
+                  Table::Num(row.epoch.alloc_us),
+                  Table::Num(row.epoch.alloc_us > 0 ? row.eager.alloc_us / row.epoch.alloc_us
+                                                    : 0),
+                  Table::Num(row.eager.alloc_plus_touch_us),
+                  Table::Num(row.epoch.alloc_plus_touch_us),
+                  Table::Num(row.epoch.background_us)});
+  }
+  table.Print();
+  MaybePrintCsv(table);
+
+  for (const Row& row : rows) {
+    const std::string label = SizeLabel(row.size);
+    benchmark::RegisterBenchmark(("abl_zeroing/eager_alloc/" + label).c_str(),
+                                 [us = row.eager.alloc_us](benchmark::State& s) {
+                                   ReportManualTime(s, us);
+                                 })
+        ->UseManualTime();
+    benchmark::RegisterBenchmark(("abl_zeroing/epoch_alloc/" + label).c_str(),
+                                 [us = row.epoch.alloc_us](benchmark::State& s) {
+                                   ReportManualTime(s, us);
+                                 })
+        ->UseManualTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Application benchmark: a KV service's end-to-end day, both backends.
+//
+// Not a paper figure -- an application-level composition of everything the
+// paper argues: a service with S MiB of state handles a Zipfian mix of gets
+// and puts, restarts (crash) periodically, and occasionally sheds caches
+// under memory pressure. Reported: startup latency, steady-state op cost,
+// restart recovery, and pressure handling, baseline vs. file-only memory.
+//
+//   * baseline: state lives in anonymous memory, persisted by writing a
+//     snapshot file to PMFS at checkpoint time and reloading it at startup;
+//     pressure is clock reclaim.
+//   * FOM: state lives directly in a persistent segment (no snapshots);
+//     caches are discardable files; restart is an O(1) remap.
+#include "bench/common.h"
+
+#include "src/support/zipf.h"
+
+namespace o1mem {
+namespace {
+
+constexpr uint64_t kStateBytes = 128 * kMiB;
+constexpr uint64_t kRecordBytes = 1024;
+constexpr int kOps = 20000;
+constexpr uint64_t kRecords = kStateBytes / kRecordBytes;
+
+struct Phase {
+  double startup_us;
+  double ops_us;
+  double checkpoint_us;  // persistence cost (snapshot write / none)
+  double restart_us;     // crash + come back to serving
+  double pressure_us;
+};
+
+Phase RunBaseline() {
+  System sys(BenchConfig());
+  Phase phase;
+  // --- startup: load the (pre-existing) snapshot into anon memory.
+  {
+    auto boot = sys.Launch(Backend::kBaseline);
+    O1_CHECK(boot.ok());
+    auto fd = sys.Creat(**boot, sys.pmfs(), "/srv/snapshot", FileFlags{.persistent = true});
+    O1_CHECK(fd.ok());
+    O1_CHECK(sys.Ftruncate(**boot, *fd, kStateBytes).ok());
+  }
+  auto proc = sys.Launch(Backend::kBaseline);
+  O1_CHECK(proc.ok());
+  SimTimer timer(sys);
+  auto fd = sys.Open(**proc, "/srv/snapshot");
+  O1_CHECK(fd.ok());
+  auto state = sys.Mmap(**proc, MmapArgs{.length = kStateBytes});
+  O1_CHECK(state.ok());
+  std::vector<uint8_t> buf(kMiB);
+  for (uint64_t off = 0; off < kStateBytes; off += buf.size()) {
+    O1_CHECK(sys.Pread(**proc, *fd, off, buf).ok());
+    O1_CHECK(sys.UserWrite(**proc, *state + off, buf).ok());
+  }
+  phase.startup_us = timer.ElapsedUs();
+
+  // --- steady state: zipfian get/put mix.
+  ZipfGenerator zipf(kRecords, 0.99);
+  Rng rng(7);
+  std::vector<uint8_t> record(kRecordBytes, 1);
+  timer.Restart();
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t off = zipf.Next(rng) * kRecordBytes;
+    if (rng.NextBool(0.3)) {
+      O1_CHECK(sys.UserWrite(**proc, *state + off, record).ok());
+    } else {
+      O1_CHECK(sys.UserRead(**proc, *state + off,
+                            std::span<uint8_t>(record.data(), record.size()))
+                   .ok());
+    }
+  }
+  phase.ops_us = timer.ElapsedUs();
+
+  // --- checkpoint: write the whole state back to the snapshot file.
+  timer.Restart();
+  for (uint64_t off = 0; off < kStateBytes; off += buf.size()) {
+    O1_CHECK(sys.UserRead(**proc, *state + off, buf).ok());
+    O1_CHECK(sys.Pwrite(**proc, *fd, off, buf).ok());
+  }
+  phase.checkpoint_us = timer.ElapsedUs();
+
+  // --- restart: crash, reload the snapshot.
+  O1_CHECK(sys.Crash().ok());
+  timer.Restart();
+  auto proc2 = sys.Launch(Backend::kBaseline);
+  O1_CHECK(proc2.ok());
+  auto fd2 = sys.Open(**proc2, "/srv/snapshot");
+  O1_CHECK(fd2.ok());
+  auto state2 = sys.Mmap(**proc2, MmapArgs{.length = kStateBytes});
+  O1_CHECK(state2.ok());
+  for (uint64_t off = 0; off < kStateBytes; off += buf.size()) {
+    O1_CHECK(sys.Pread(**proc2, *fd2, off, buf).ok());
+    O1_CHECK(sys.UserWrite(**proc2, *state2 + off, buf).ok());
+  }
+  phase.restart_us = timer.ElapsedUs();
+
+  // --- pressure: free a quarter of the resident pages via clock scan.
+  for (uint64_t off = 0; off < kStateBytes; off += kPageSize) {
+    (*proc2)->pager().TestAndClearReferenced(*state2 + off);
+  }
+  timer.Restart();
+  O1_CHECK(sys.ReclaimBaseline(**proc2, kStateBytes / kPageSize / 4,
+                               System::ReclaimPolicy::kClock)
+               .ok());
+  phase.pressure_us = timer.ElapsedUs();
+  return phase;
+}
+
+Phase RunFom() {
+  SystemConfig config = BenchConfig();
+  config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
+  System sys(config);
+  Phase phase;
+  // State segment exists from a previous life.
+  auto init = sys.fom().CreateSegment(
+      "/srv/state", kStateBytes, SegmentOptions{.flags = FileFlags{.persistent = true}});
+  O1_CHECK(init.ok());
+
+  auto proc = sys.Launch(Backend::kFom);
+  O1_CHECK(proc.ok());
+  SimTimer timer(sys);
+  auto seg = sys.fom().OpenSegment("/srv/state");
+  O1_CHECK(seg.ok());
+  auto state = sys.fom().Map((*proc)->fom(), *seg, Prot::kReadWrite);
+  O1_CHECK(state.ok());
+  phase.startup_us = timer.ElapsedUs();
+
+  ZipfGenerator zipf(kRecords, 0.99);
+  Rng rng(7);
+  std::vector<uint8_t> record(kRecordBytes, 1);
+  timer.Restart();
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t off = zipf.Next(rng) * kRecordBytes;
+    if (rng.NextBool(0.3)) {
+      O1_CHECK(sys.UserWrite(**proc, *state + off, record).ok());
+    } else {
+      O1_CHECK(sys.UserRead(**proc, *state + off,
+                            std::span<uint8_t>(record.data(), record.size()))
+                   .ok());
+    }
+  }
+  phase.ops_us = timer.ElapsedUs();
+
+  // --- checkpoint: nothing to do; stores were persistent as issued.
+  timer.Restart();
+  phase.checkpoint_us = timer.ElapsedUs();
+
+  // --- restart.
+  O1_CHECK(sys.Crash().ok());
+  timer.Restart();
+  auto proc2 = sys.Launch(Backend::kFom);
+  O1_CHECK(proc2.ok());
+  auto seg2 = sys.fom().OpenSegment("/srv/state");
+  O1_CHECK(seg2.ok());
+  auto state2 = sys.fom().Map((*proc2)->fom(), *seg2, Prot::kReadWrite);
+  O1_CHECK(state2.ok());
+  phase.restart_us = timer.ElapsedUs();
+  (void)state2;
+
+  // --- pressure: shed discardable cache files.
+  for (int i = 0; i < 16; ++i) {
+    O1_CHECK(sys.fom()
+                 .CreateSegment("/srv/cache" + std::to_string(i), 2 * kMiB,
+                                SegmentOptions{.flags = FileFlags{.discardable = true}})
+                 .ok());
+  }
+  timer.Restart();
+  O1_CHECK(sys.ReclaimFom(kStateBytes / 4).ok());
+  phase.pressure_us = timer.ElapsedUs();
+  return phase;
+}
+
+}  // namespace
+}  // namespace o1mem
+
+int main(int argc, char** argv) {
+  using namespace o1mem;
+  const Phase baseline = RunBaseline();
+  const Phase fom = RunFom();
+  Table table(
+      "Application: 128 MiB KV service, zipfian ops, checkpoint, crash-restart, pressure "
+      "(simulated us)");
+  table.AddRow({"phase", "baseline (anon + snapshots)", "fom (persistent segment)", "ratio"});
+  auto row = [&](const char* name, double b, double f) {
+    table.AddRow({name, Table::Num(b), Table::Num(f), Table::Num(f > 0 ? b / f : 0)});
+  };
+  row("startup", baseline.startup_us, fom.startup_us);
+  row("20k zipfian ops", baseline.ops_us, fom.ops_us);
+  row("checkpoint/persist", baseline.checkpoint_us, fom.checkpoint_us);
+  row("crash restart", baseline.restart_us, fom.restart_us);
+  row("pressure response", baseline.pressure_us, fom.pressure_us);
+  table.Print();
+  MaybePrintCsv(table);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

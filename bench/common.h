@@ -1,0 +1,83 @@
+// Shared helpers for the paper-figure benchmarks.
+//
+// Every bench binary follows the same pattern:
+//   * measurement functions return *simulated* microseconds (the Machine's
+//     cycle clock converted at the configured frequency) -- deterministic,
+//     host-independent;
+//   * main() prints the paper's series as an aligned table (plus CSV when
+//     O1MEM_BENCH_CSV is set), then hands remaining flags to
+//     google-benchmark, whose registered counterparts report the same
+//     measurements via manual timing.
+#ifndef O1MEM_BENCH_COMMON_H_
+#define O1MEM_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "src/os/malloc.h"
+#include "src/os/system.h"
+#include "src/support/table.h"
+
+namespace o1mem {
+
+// Default bench machine: 4 GiB DRAM + 16 GiB NVM at 2 GHz.
+inline SystemConfig BenchConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 4 * kGiB;
+  config.machine.nvm_bytes = 16 * kGiB;
+  config.tmpfs_quota_bytes = 3 * kGiB;
+  return config;
+}
+
+// The paper's file-size sweep (Figures 1/6 use 4 KB - 1 MB; we extend to
+// 1 GiB to show where the trends go at "big memory" scale).
+inline std::vector<uint64_t> FileSizeSweep() {
+  return {4 * kKiB,   16 * kKiB,  64 * kKiB,  256 * kKiB, 1 * kMiB,
+          4 * kMiB,   16 * kMiB,  64 * kMiB,  256 * kMiB, 1 * kGiB};
+}
+
+inline std::string SizeLabel(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%lluG", static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%lluM", static_cast<unsigned long long>(bytes / kMiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluK", static_cast<unsigned long long>(bytes / kKiB));
+  }
+  return buf;
+}
+
+// RAII stopwatch over the simulated clock.
+class SimTimer {
+ public:
+  explicit SimTimer(System& sys) : sys_(sys), start_(sys.ctx().now()) {}
+  double ElapsedUs() const { return sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - start_); }
+  void Restart() { start_ = sys_.ctx().now(); }
+
+ private:
+  System& sys_;
+  uint64_t start_;
+};
+
+// Registers a google-benchmark that reports `us` (already measured,
+// deterministic) as manual time. Keeps the gbench output consistent with
+// the printed tables without re-simulating inside the timing loop.
+inline void ReportManualTime(benchmark::State& state, double us) {
+  for (auto _ : state) {
+    state.SetIterationTime(us * 1e-6);
+  }
+}
+
+inline void MaybePrintCsv(const Table& table) {
+  if (std::getenv("O1MEM_BENCH_CSV") != nullptr) {
+    table.PrintCsv();
+  }
+}
+
+}  // namespace o1mem
+
+#endif  // O1MEM_BENCH_COMMON_H_

@@ -1,0 +1,125 @@
+// discardable_cache: reclamation at file granularity under memory pressure.
+//
+// A rendering service keeps decoded "images" in discardable FOM files (one
+// file per image -- the cache pattern of Sec. 3.1/4.1: "applications cache
+// objects in files and only open the file when using it"). When the
+// persistent-memory pool runs low, the OS frees space by DELETING the
+// least-recently-used cache files -- no page scans, no swap, and pinned
+// (mapped) or non-discardable data is never touched. The same pressure on
+// the baseline backend is resolved by clock-scanning and swapping pages;
+// this example prices both.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/os/system.h"
+
+using namespace o1mem;
+
+namespace {
+
+constexpr uint64_t kImageBytes = 8 * kMiB;
+
+// Decodes image `id` into a discardable cache file and returns its name.
+std::string DecodeToCache(System& sys, Process* proc, int id) {
+  const std::string path = "/cache/image-" + std::to_string(id);
+  InodeId seg = sys.fom()
+                    .CreateSegment(path, kImageBytes,
+                                   SegmentOptions{.flags = FileFlags{.discardable = true}})
+                    .value();
+  // "Decode": map briefly, write the decoded tiles, unmap (the cache file
+  // stays resident). Only the leading tile is written here to keep the
+  // example quick; the file still reserves the full image.
+  Vaddr base = sys.fom().Map(proc->fom(), seg, Prot::kReadWrite).value();
+  std::vector<uint8_t> pixels(64 * kKiB, static_cast<uint8_t>(id));
+  O1_CHECK(sys.UserWrite(*proc, base, pixels).ok());
+  O1_CHECK(sys.fom().Unmap(proc->fom(), base).ok());
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  SystemConfig config;
+  config.machine.dram_bytes = 2 * kGiB;
+  config.machine.nvm_bytes = 1 * kGiB;  // deliberately small PM pool
+  System sys(config);
+  Process* proc = sys.Launch(Backend::kFom).value();
+
+  // Non-negotiable application state: a persistent, non-discardable segment.
+  InodeId vital = sys.fom()
+                      .CreateSegment("/db/catalog", 64 * kMiB,
+                                     SegmentOptions{.flags = FileFlags{.persistent = true}})
+                      .value();
+  Vaddr vital_base = sys.fom().Map(proc->fom(), vital, Prot::kReadWrite).value();
+  const char tag[] = "catalog-v1";
+  O1_CHECK(sys.UserWrite(*proc, vital_base,
+                         std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(tag),
+                                                  sizeof(tag)))
+               .ok());
+
+  // Fill the cache until the pool is nearly exhausted.
+  std::printf("PM pool: %llu MiB free before caching\n",
+              static_cast<unsigned long long>(sys.pmfs().free_bytes() / kMiB));
+  int decoded = 0;
+  while (sys.pmfs().free_bytes() > 4 * kImageBytes) {
+    DecodeToCache(sys, proc, decoded++);
+    sys.ctx().Charge(50000);  // time passes between requests (ages the LRU)
+  }
+  std::printf("decoded %d images of %llu MiB; %llu MiB free\n", decoded,
+              static_cast<unsigned long long>(kImageBytes / kMiB),
+              static_cast<unsigned long long>(sys.pmfs().free_bytes() / kMiB));
+
+  // Pin one recent image open (a client is using it): it must survive.
+  const std::string pinned_path = "/cache/image-" + std::to_string(decoded - 1);
+  InodeId pinned = sys.fom().OpenSegment(pinned_path).value();
+  Vaddr pinned_base = sys.fom().Map(proc->fom(), pinned, Prot::kRead).value();
+
+  // Pressure: a new 256 MiB working segment needs room.
+  const uint64_t need = 256 * kMiB;
+  const uint64_t before_files = sys.ctx().counters().files_reclaimed;
+  const uint64_t before_scans = sys.ctx().counters().pages_scanned;
+  const uint64_t deficit = need > sys.pmfs().free_bytes() ? need - sys.pmfs().free_bytes() : 0;
+  const uint64_t t0 = sys.ctx().now();
+  uint64_t released = sys.ReclaimFom(deficit).value();
+  const double reclaim_us = sys.ctx().clock().CyclesToUs(sys.ctx().now() - t0);
+  std::printf("\npressure: released %llu MiB by deleting %llu cache files in %.1f us "
+              "(%llu pages scanned)\n",
+              static_cast<unsigned long long>(released / kMiB),
+              static_cast<unsigned long long>(sys.ctx().counters().files_reclaimed -
+                                              before_files),
+              reclaim_us,
+              static_cast<unsigned long long>(sys.ctx().counters().pages_scanned -
+                                              before_scans));
+
+  InodeId working = sys.fom().CreateSegment("/work/frame", need).value();
+  std::printf("new %llu MiB working segment allocated fine\n",
+              static_cast<unsigned long long>(need / kMiB));
+  (void)working;
+
+  // The pinned image and the vital catalog were untouched.
+  std::vector<uint8_t> probe(16);
+  O1_CHECK(sys.UserRead(*proc, pinned_base, probe).ok());
+  O1_CHECK_MSG(probe[0] == static_cast<uint8_t>(decoded - 1), "pinned image corrupted");
+  char tag_out[sizeof(tag)] = {};
+  O1_CHECK(sys.UserRead(*proc, vital_base,
+                        std::span<uint8_t>(reinterpret_cast<uint8_t*>(tag_out),
+                                           sizeof(tag_out)))
+               .ok());
+  std::printf("pinned image intact (pixel=%u), catalog intact (\"%s\")\n", probe[0], tag_out);
+
+  // LRU order: the oldest images are the ones that disappeared.
+  int survivors = 0;
+  int oldest_survivor = decoded;
+  for (int i = 0; i < decoded; ++i) {
+    if (sys.fom().OpenSegment("/cache/image-" + std::to_string(i)).ok()) {
+      ++survivors;
+      oldest_survivor = std::min(oldest_survivor, i);
+    }
+  }
+  std::printf("%d cache files survive; oldest survivor is image-%d (older ones were "
+              "evicted first)\n",
+              survivors, oldest_survivor);
+  return 0;
+}

@@ -1,0 +1,296 @@
+// o1sh: a scriptable mini-shell over the whole o1mem system -- processes,
+// segments, mappings, the namespace, crashes, pressure, and the simulated
+// clock. Feed commands on stdin (one per line, '#' comments) or run with no
+// input for a built-in guided demo.
+//
+//   launch baseline|fom                 -> pid
+//   seg <path> <bytes> [persistent] [discardable] [single]
+//   map <pid> <path> [range|splice|perpage|pbm]   -> vaddr
+//   unmap <pid> <vaddr-hex>
+//   write <pid> <vaddr-hex> <text>
+//   read <pid> <vaddr-hex> <len>
+//   mkdir <path> | ls <path> | rm <path> | mv <from> <to> | ln <old> <new>
+//   pressure <bytes>
+//   crash
+//   exit <pid>
+//   time | stats | help
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/os/system.h"
+#include "src/support/table.h"
+
+using namespace o1mem;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() {
+    SystemConfig config;
+    config.machine.dram_bytes = 2 * kGiB;
+    config.machine.nvm_bytes = 8 * kGiB;
+    sys_ = std::make_unique<System>(config);
+  }
+
+  // Executes one command line; returns false on "quit".
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') {
+      return true;
+    }
+    std::printf("o1sh> %s\n", line.c_str());
+    Status status = Dispatch(cmd, in);
+    if (!status.ok()) {
+      std::printf("  error: %s\n", status.ToString().c_str());
+    }
+    return cmd != "quit";
+  }
+
+ private:
+  Status Dispatch(const std::string& cmd, std::istringstream& in) {
+    if (cmd == "help") {
+      std::printf("  commands: launch seg map unmap write read mkdir ls rm mv ln "
+                  "pressure crash exit time stats quit\n");
+      return OkStatus();
+    }
+    if (cmd == "launch") {
+      std::string backend;
+      in >> backend;
+      auto proc = sys_->Launch(backend == "fom" ? Backend::kFom : Backend::kBaseline);
+      if (!proc.ok()) {
+        return proc.status();
+      }
+      procs_[(*proc)->pid()] = *proc;
+      std::printf("  pid %u (%s)\n", (*proc)->pid(), backend.c_str());
+      return OkStatus();
+    }
+    if (cmd == "seg") {
+      std::string path, flag;
+      uint64_t bytes = 0;
+      in >> path >> bytes;
+      SegmentOptions options;
+      while (in >> flag) {
+        options.flags.persistent |= flag == "persistent";
+        options.flags.discardable |= flag == "discardable";
+        options.require_single_extent |= flag == "single";
+      }
+      auto inode = sys_->fom().CreateSegment(path, bytes, options);
+      if (!inode.ok()) {
+        return inode.status();
+      }
+      std::printf("  segment %s: inode %llu, %llu KiB\n", path.c_str(),
+                  static_cast<unsigned long long>(*inode),
+                  static_cast<unsigned long long>(bytes / kKiB));
+      return OkStatus();
+    }
+    if (cmd == "map") {
+      uint32_t pid = 0;
+      std::string path, mech_name;
+      in >> pid >> path >> mech_name;
+      O1_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+      auto inode = sys_->fom().OpenSegment(path);
+      if (!inode.ok()) {
+        return inode.status();
+      }
+      MapOptions options;
+      if (mech_name == "splice") {
+        options.mechanism = MapMechanism::kPtSplice;
+      } else if (mech_name == "perpage") {
+        options.mechanism = MapMechanism::kPerPage;
+      } else if (mech_name == "pbm") {
+        options.mechanism = MapMechanism::kPbm;
+      } else {
+        options.mechanism = MapMechanism::kRangeTable;
+      }
+      const uint64_t t0 = sys_->ctx().now();
+      auto vaddr = sys_->fom().Map(proc->fom(), *inode, Prot::kReadWrite, options);
+      if (!vaddr.ok()) {
+        return vaddr.status();
+      }
+      std::printf("  mapped at %#llx in %.2f us\n", static_cast<unsigned long long>(*vaddr),
+                  sys_->ctx().clock().CyclesToUs(sys_->ctx().now() - t0));
+      return OkStatus();
+    }
+    if (cmd == "unmap") {
+      uint32_t pid = 0;
+      Vaddr vaddr = 0;
+      in >> pid >> std::hex >> vaddr >> std::dec;
+      O1_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+      return sys_->fom().Unmap(proc->fom(), vaddr);
+    }
+    if (cmd == "write") {
+      uint32_t pid = 0;
+      Vaddr vaddr = 0;
+      std::string text;
+      in >> pid >> std::hex >> vaddr >> std::dec;
+      std::getline(in, text);
+      if (!text.empty() && text.front() == ' ') {
+        text.erase(0, 1);
+      }
+      O1_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+      return sys_->UserWrite(*proc, vaddr,
+                             std::span<const uint8_t>(
+                                 reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+    }
+    if (cmd == "read") {
+      uint32_t pid = 0;
+      Vaddr vaddr = 0;
+      size_t len = 0;
+      in >> pid >> std::hex >> vaddr >> std::dec >> len;
+      O1_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+      std::string out(len, '\0');
+      O1_RETURN_IF_ERROR(sys_->UserRead(
+          *proc, vaddr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()), len)));
+      std::printf("  \"%s\"\n", out.c_str());
+      return OkStatus();
+    }
+    if (cmd == "mkdir") {
+      std::string path;
+      in >> path;
+      return sys_->Mkdir(sys_->pmfs(), path);
+    }
+    if (cmd == "ls") {
+      std::string path;
+      in >> path;
+      auto entries = sys_->List(sys_->pmfs(), path.empty() ? "/" : path);
+      if (!entries.ok()) {
+        return entries.status();
+      }
+      for (const DirEntry& e : *entries) {
+        if (e.is_dir) {
+          std::printf("  %s/\n", e.name.c_str());
+        } else {
+          auto st = sys_->pmfs().Stat(e.inode);
+          std::printf("  %-20s %8llu KiB%s\n", e.name.c_str(),
+                      st.ok() ? static_cast<unsigned long long>(st->size / kKiB) : 0ULL,
+                      st.ok() && st->persistent ? "  [persistent]" : "");
+        }
+      }
+      return OkStatus();
+    }
+    if (cmd == "rm") {
+      std::string path;
+      in >> path;
+      return sys_->Unlink(path);
+    }
+    if (cmd == "mv") {
+      std::string from, to;
+      in >> from >> to;
+      return sys_->Rename(from, to);
+    }
+    if (cmd == "ln") {
+      std::string old_path, new_path;
+      in >> old_path >> new_path;
+      return sys_->Link(sys_->pmfs(), old_path, new_path);
+    }
+    if (cmd == "pressure") {
+      uint64_t bytes = 0;
+      in >> bytes;
+      auto released = sys_->ReclaimFom(bytes);
+      if (!released.ok()) {
+        return released.status();
+      }
+      std::printf("  released %llu KiB by deleting discardable files\n",
+                  static_cast<unsigned long long>(*released / kKiB));
+      return OkStatus();
+    }
+    if (cmd == "crash") {
+      procs_.clear();
+      O1_RETURN_IF_ERROR(sys_->Crash());
+      std::printf("  *** power failure; persistent state recovered ***\n");
+      return OkStatus();
+    }
+    if (cmd == "exit") {
+      uint32_t pid = 0;
+      in >> pid;
+      O1_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+      O1_RETURN_IF_ERROR(sys_->Exit(proc));
+      procs_.erase(pid);
+      return OkStatus();
+    }
+    if (cmd == "time") {
+      std::printf("  simulated time: %.1f us\n", sys_->ctx().clock().CyclesToUs(sys_->ctx().now()));
+      return OkStatus();
+    }
+    if (cmd == "stats") {
+      const EventCounters& c = sys_->ctx().counters();
+      Table table("event counters");
+      table.AddRow({"counter", "value"});
+      table.AddRow({"minor faults", Table::Int(c.minor_faults)});
+      table.AddRow({"major faults", Table::Int(c.major_faults)});
+      table.AddRow({"page walks", Table::Int(c.page_walks)});
+      table.AddRow({"TLB misses", Table::Int(c.tlb_misses)});
+      table.AddRow({"range TLB hits", Table::Int(c.range_tlb_hits)});
+      table.AddRow({"PTEs written", Table::Int(c.ptes_written)});
+      table.AddRow({"subtree splices", Table::Int(c.subtree_splices)});
+      table.AddRow({"range entries installed", Table::Int(c.range_entries_installed)});
+      table.AddRow({"frames allocated", Table::Int(c.frames_allocated)});
+      table.AddRow({"bytes zeroed", Table::Int(c.bytes_zeroed)});
+      table.AddRow({"pages scanned (reclaim)", Table::Int(c.pages_scanned)});
+      table.AddRow({"files reclaimed", Table::Int(c.files_reclaimed)});
+      table.AddRow({"syscalls", Table::Int(c.syscalls)});
+      table.Print();
+      return OkStatus();
+    }
+    if (cmd == "quit") {
+      return OkStatus();
+    }
+    return InvalidArgument("unknown command (try: help)");
+  }
+
+  Result<Process*> Find(uint32_t pid) {
+    auto it = procs_.find(pid);
+    if (it == procs_.end()) {
+      return NotFound("no such pid (processes die at crash)");
+    }
+    return it->second;
+  }
+
+  std::unique_ptr<System> sys_;
+  std::map<uint32_t, Process*> procs_;
+};
+
+constexpr const char* kDemoScript = R"(# o1sh guided demo: file-only memory end to end
+launch fom
+seg /db/accounts 4194304 persistent
+map 1 /db/accounts splice
+write 1 0x202000c00000 hello persistent world
+read 1 0x202000c00000 22
+mkdir /cache
+seg /cache/thumb1 2097152 discardable
+seg /cache/thumb2 2097152 discardable
+ls /
+ls /cache
+pressure 3145728
+ls /cache
+crash
+launch fom
+map 2 /db/accounts range
+read 2 0x204000c00000 22
+mv /db/accounts /db/accounts-v2
+ls /db
+time
+stats
+quit
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  std::istringstream demo(kDemoScript);
+  const bool interactive = argc > 1 && std::string(argv[1]) == "-i";
+  std::istream& in = interactive ? std::cin : demo;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!shell.Execute(line)) {
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,384 @@
+#include "src/fom/fom_manager.h"
+
+#include <algorithm>
+
+namespace o1mem {
+
+FomManager::FomManager(Machine* machine, Pmfs* pmfs, const FomConfig& config)
+    : machine_(machine), pmfs_(pmfs), config_(config) {
+  O1_CHECK(machine != nullptr && pmfs != nullptr);
+  O1_CHECK(IsAligned(config.map_region_base, kLargePageSize));
+}
+
+std::unique_ptr<FomProcess> FomManager::CreateProcess() {
+  auto proc = std::unique_ptr<FomProcess>(new FomProcess(machine_->CreateAddressSpace()));
+  // ASLR-like per-process stagger: without PBM, nothing guarantees two
+  // processes map a file at the same address (the premise of Sec. 4.2).
+  const uint64_t slot = proc->address_space().asid() % 512;
+  proc->bump_ = config_.map_region_base + slot * (config_.map_region_bytes / 512);
+  return proc;
+}
+
+Status FomManager::ExitProcess(FomProcess& proc) {
+  // Reclamation in units of files: drop every mapping; no page scans.
+  while (!proc.mappings_.empty()) {
+    O1_RETURN_IF_ERROR(Unmap(proc, proc.mappings_.begin()->first));
+  }
+  return OkStatus();
+}
+
+Result<InodeId> FomManager::CreateSegment(std::string_view path, uint64_t bytes,
+                                          const SegmentOptions& options) {
+  if (bytes == 0) {
+    return InvalidArgument("zero-byte segment");
+  }
+  auto inode = pmfs_->Create(path, options.flags);
+  if (!inode.ok()) {
+    return inode;
+  }
+  Status grow = options.require_single_extent ? pmfs_->ResizeSingleExtent(*inode, bytes)
+                                              : pmfs_->Resize(*inode, bytes);
+  if (!grow.ok()) {
+    (void)pmfs_->Unlink(path);
+    return grow;
+  }
+  if (config_.precreate_page_tables) {
+    auto tables = TablesFor(*inode);
+    if (!tables.ok()) {
+      (void)pmfs_->Unlink(path);
+      return tables.status();
+    }
+  }
+  return inode;
+}
+
+Result<InodeId> FomManager::OpenSegment(std::string_view path) {
+  return pmfs_->LookupPath(path);
+}
+
+Status FomManager::DeleteSegment(std::string_view path) {
+  auto inode = pmfs_->LookupPath(path);
+  if (inode.ok()) {
+    tables_.erase(*inode);
+  }
+  return pmfs_->Unlink(path);
+}
+
+Result<const PrecreatedTables*> FomManager::TablesFor(InodeId inode) {
+  auto it = tables_.find(inode);
+  if (it != tables_.end()) {
+    return const_cast<const PrecreatedTables*>(&it->second);
+  }
+  auto extents = pmfs_->Extents(inode);
+  if (!extents.ok()) {
+    return extents.status();
+  }
+  auto stat = pmfs_->Stat(inode);
+  if (!stat.ok()) {
+    return stat.status();
+  }
+  auto tables = BuildPrecreatedTables(&machine_->ctx(), &machine_->phys(), *extents,
+                                      AlignUp(stat->size, kPageSize), stat->persistent);
+  if (!tables.ok()) {
+    return tables.status();
+  }
+  auto [inserted, ok] = tables_.emplace(inode, std::move(tables).value());
+  O1_CHECK(ok);
+  return const_cast<const PrecreatedTables*>(&inserted->second);
+}
+
+Result<Vaddr> FomManager::PickVaddr(FomProcess& proc, uint64_t bytes, const MapOptions& options,
+                                    MapMechanism mech, InodeId inode) {
+  if (mech == MapMechanism::kPbm) {
+    // Physically based mapping: the VA is derived from the extent's physical
+    // address, identical in every process (Sec. 4.2).
+    auto extents = pmfs_->Extents(inode);
+    if (!extents.ok()) {
+      return extents.status();
+    }
+    if (extents->size() != 1) {
+      return Unsupported("PBM requires a single-extent file");
+    }
+    return config_.pbm_base + extents->front().paddr;
+  }
+  if (options.fixed_vaddr.has_value()) {
+    const Vaddr fixed = *options.fixed_vaddr;
+    if (mech == MapMechanism::kPtSplice && !IsAligned(fixed, kLargePageSize)) {
+      return InvalidArgument("kPtSplice requires a 2 MiB aligned vaddr");
+    }
+    // Reject overlap with an existing mapping.
+    auto next = proc.mappings_.upper_bound(fixed);
+    if (next != proc.mappings_.end() && next->first < fixed + bytes) {
+      return AlreadyExists("fixed vaddr overlaps a mapping");
+    }
+    if (next != proc.mappings_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second.bytes > fixed) {
+        return AlreadyExists("fixed vaddr overlaps a mapping");
+      }
+    }
+    return fixed;
+  }
+  // Aligned bump allocation; mappings are dense enough for the benches and
+  // address-space size makes reuse optional. Gigabyte-class splice mappings
+  // take 1 GiB alignment so the level-2 fast path applies.
+  const uint64_t align =
+      mech == MapMechanism::kPtSplice && bytes >= BytesPerNode(2) ? BytesPerNode(2)
+                                                                  : kLargePageSize;
+  const Vaddr vaddr = AlignUp(proc.bump_, align);
+  const uint64_t reserve = AlignUp(bytes, kLargePageSize);
+  if (vaddr + reserve > config_.map_region_base + config_.map_region_bytes) {
+    return OutOfMemory("FOM map region exhausted");
+  }
+  proc.bump_ = vaddr + reserve;
+  return vaddr;
+}
+
+Status FomManager::InstallRange(FomProcess& proc, Vaddr vaddr, InodeId inode, Prot prot,
+                                FomProcess::Mapping* record) {
+  auto extents = pmfs_->Extents(inode);
+  if (!extents.ok()) {
+    return extents.status();
+  }
+  SimContext& ctx = machine_->ctx();
+  for (const FileExtentView& e : *extents) {
+    const RangeEntry entry{.vbase = vaddr + e.file_offset,
+                           .bytes = e.bytes,
+                           .pbase = e.paddr,
+                           .prot = prot};
+    Status s = proc.as_->range_table().Insert(entry);
+    if (!s.ok()) {
+      return s;
+    }
+    ctx.Charge(ctx.cost().range_entry_install_cycles);
+    ctx.counters().range_entries_installed++;
+    record->range_bases.push_back(entry.vbase);
+  }
+  return OkStatus();
+}
+
+Status FomManager::InstallSplice(FomProcess& proc, Vaddr vaddr, InodeId inode, Prot prot,
+                                 FomProcess::Mapping* record) {
+  auto tables = TablesFor(inode);
+  if (!tables.ok()) {
+    return tables.status();
+  }
+  const std::vector<NodeRef>& l1 = (*tables)->ForProt(prot);
+  const std::vector<NodeRef>& l2 = (*tables)->ForProtL2(prot);
+  size_t window = 0;
+  // Level-2 splices (one store per GiB) when the target address is 1 GiB
+  // aligned -- the "1GB" natural granularity of Sec. 3.1.
+  if (IsAligned(vaddr, BytesPerNode(2))) {
+    for (size_t g = 0; g < l2.size(); ++g) {
+      const Vaddr at = vaddr + g * BytesPerNode(2);
+      O1_RETURN_IF_ERROR(proc.as_->page_table().SpliceSubtree(at, /*level=*/2, l2[g]));
+      record->splices.emplace_back(at, 2);
+      window += kPtEntriesPerNode;
+    }
+  }
+  for (; window < l1.size(); ++window) {
+    const Vaddr at = vaddr + window * BytesPerNode(1);
+    O1_RETURN_IF_ERROR(proc.as_->page_table().SpliceSubtree(at, /*level=*/1, l1[window]));
+    record->splices.emplace_back(at, 1);
+  }
+  return OkStatus();
+}
+
+Status FomManager::InstallPerPage(FomProcess& proc, Vaddr vaddr, InodeId inode, Prot prot,
+                                  FomProcess::Mapping* record) {
+  auto extents = pmfs_->Extents(inode);
+  if (!extents.ok()) {
+    return extents.status();
+  }
+  for (const FileExtentView& e : *extents) {
+    for (uint64_t off = 0; off < e.bytes; off += kPageSize) {
+      O1_RETURN_IF_ERROR(proc.as_->page_table().MapPage(vaddr + e.file_offset + off,
+                                                        e.paddr + off, kPageSize, prot));
+    }
+  }
+  (void)record;
+  return OkStatus();
+}
+
+Result<Vaddr> FomManager::Map(FomProcess& proc, InodeId inode, Prot prot,
+                              const MapOptions& options) {
+  if (options.guard_page) {
+    return Unsupported("guard pages depend on page-level mappings (Sec. 3.1)");
+  }
+  if (options.copy_on_write) {
+    return Unsupported("copy-on-write depends on page-level mappings (Sec. 3.1)");
+  }
+  auto stat = pmfs_->Stat(inode);
+  if (!stat.ok()) {
+    return stat.status();
+  }
+  if (stat->size == 0) {
+    return InvalidArgument("cannot map an empty file");
+  }
+  SimContext& ctx = machine_->ctx();
+  ctx.Charge(ctx.cost().fom_map_base_cycles);
+  const MapMechanism mech = options.mechanism.value_or(config_.default_mechanism);
+  const uint64_t bytes = AlignUp(stat->size, kPageSize);
+  auto vaddr = PickVaddr(proc, bytes, options, mech, inode);
+  if (!vaddr.ok()) {
+    return vaddr;
+  }
+  FomProcess::Mapping record;
+  record.inode = inode;
+  record.bytes = bytes;
+  record.mech = mech;
+  record.prot = prot;
+  Status installed = OkStatus();
+  switch (mech) {
+    case MapMechanism::kRangeTable:
+    case MapMechanism::kPbm:
+      installed = InstallRange(proc, *vaddr, inode, prot, &record);
+      break;
+    case MapMechanism::kPtSplice:
+      installed = InstallSplice(proc, *vaddr, inode, prot, &record);
+      break;
+    case MapMechanism::kPerPage:
+      installed = InstallPerPage(proc, *vaddr, inode, prot, &record);
+      break;
+  }
+  if (!installed.ok()) {
+    // Roll back partial installation.
+    for (Vaddr base : record.range_bases) {
+      (void)proc.as_->range_table().Remove(base);
+    }
+    for (const auto& [at, level] : record.splices) {
+      (void)proc.as_->page_table().UnspliceSubtree(at, level);
+    }
+    return installed;
+  }
+  O1_RETURN_IF_ERROR(pmfs_->AddMapRef(inode));
+  proc.mappings_.emplace(*vaddr, std::move(record));
+  return *vaddr;
+}
+
+Status FomManager::Unmap(FomProcess& proc, Vaddr vaddr) {
+  auto it = proc.mappings_.find(vaddr);
+  if (it == proc.mappings_.end()) {
+    return NotFound("no FOM mapping at vaddr");
+  }
+  SimContext& ctx = machine_->ctx();
+  ctx.Charge(ctx.cost().fom_map_base_cycles);
+  FomProcess::Mapping& m = it->second;
+  switch (m.mech) {
+    case MapMechanism::kRangeTable:
+    case MapMechanism::kPbm:
+      for (Vaddr base : m.range_bases) {
+        O1_RETURN_IF_ERROR(proc.as_->range_table().Remove(base));
+      }
+      break;
+    case MapMechanism::kPtSplice:
+      for (const auto& [at, level] : m.splices) {
+        O1_RETURN_IF_ERROR(proc.as_->page_table().UnspliceSubtree(at, level));
+      }
+      break;
+    case MapMechanism::kPerPage:
+      for (uint64_t off = 0; off < m.bytes; off += kPageSize) {
+        O1_RETURN_IF_ERROR(proc.as_->page_table().UnmapPage(vaddr + off, kPageSize));
+      }
+      break;
+  }
+  // One shootdown for the whole mapping ("unmapping a file can be a single
+  // operation to update the range table and shoot down the entry").
+  machine_->mmu().ShootdownRange(proc.as_->asid(), vaddr, m.bytes);
+  const InodeId inode = m.inode;
+  proc.mappings_.erase(it);
+  return pmfs_->DropMapRef(inode);
+}
+
+Status FomManager::Protect(FomProcess& proc, Vaddr vaddr, Prot prot) {
+  auto it = proc.mappings_.find(vaddr);
+  if (it == proc.mappings_.end()) {
+    return NotFound("no FOM mapping at vaddr");
+  }
+  SimContext& ctx = machine_->ctx();
+  ctx.Charge(ctx.cost().fom_map_base_cycles);
+  FomProcess::Mapping& m = it->second;
+  switch (m.mech) {
+    case MapMechanism::kRangeTable:
+    case MapMechanism::kPbm:
+      for (Vaddr base : m.range_bases) {
+        O1_RETURN_IF_ERROR(proc.as_->range_table().Protect(base, prot));
+        ctx.Charge(ctx.cost().range_entry_install_cycles);
+      }
+      break;
+    case MapMechanism::kPtSplice: {
+      // Swap table sets: unsplice, resplice the other variant. O(splices).
+      auto tables = TablesFor(m.inode);
+      if (!tables.ok()) {
+        return tables.status();
+      }
+      const std::vector<NodeRef>& l1 = (*tables)->ForProt(prot);
+      const std::vector<NodeRef>& l2 = (*tables)->ForProtL2(prot);
+      for (const auto& [at, level] : m.splices) {
+        // A splice at `at` serves file offset (at - vaddr); the node index
+        // within its level's vector follows directly from that offset.
+        const uint64_t index = (at - vaddr) / BytesPerNode(level);
+        const NodeRef& node = level == 2 ? l2.at(index) : l1.at(index);
+        O1_RETURN_IF_ERROR(proc.as_->page_table().UnspliceSubtree(at, level));
+        O1_RETURN_IF_ERROR(proc.as_->page_table().SpliceSubtree(at, level, node));
+      }
+      break;
+    }
+    case MapMechanism::kPerPage:
+      O1_RETURN_IF_ERROR(proc.as_->page_table().ProtectRange(vaddr, m.bytes, prot));
+      break;
+  }
+  machine_->mmu().ShootdownRange(proc.as_->asid(), vaddr, m.bytes);
+  m.prot = prot;
+  return OkStatus();
+}
+
+Result<std::vector<FileExtentView>> FomManager::PinnedExtents(FomProcess& proc, Vaddr vaddr) {
+  auto it = proc.mappings_.find(vaddr);
+  if (it == proc.mappings_.end()) {
+    return NotFound("no FOM mapping at vaddr");
+  }
+  // Data is implicitly pinned: frames never move while mapped, so this is a
+  // metadata read, not a per-page pin loop.
+  return pmfs_->Extents(it->second.inode);
+}
+
+Result<uint64_t> FomManager::HandlePressure(uint64_t bytes_needed) {
+  auto released = pmfs_->ReclaimDiscardable(bytes_needed);
+  if (released.ok()) {
+    // Drop cached tables for files that no longer exist.
+    for (auto it = tables_.begin(); it != tables_.end();) {
+      if (!pmfs_->Stat(it->first).ok()) {
+        it = tables_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return released;
+}
+
+Status FomManager::OnCrash() {
+  // Processes are gone; volatile files were dropped by Pmfs::OnCrash. Keep
+  // pre-created tables only for files that still exist (persistent ones) --
+  // those were stored in NVM and are what makes the first map after reboot
+  // O(1).
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (!pmfs_->Stat(it->first).ok()) {
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return OkStatus();
+}
+
+uint64_t FomManager::precreated_node_count() const {
+  uint64_t n = 0;
+  for (const auto& [inode, tables] : tables_) {
+    n += tables.node_count();
+  }
+  return n;
+}
+
+}  // namespace o1mem

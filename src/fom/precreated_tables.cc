@@ -1,0 +1,92 @@
+#include "src/fom/precreated_tables.h"
+
+#include <algorithm>
+
+namespace o1mem {
+
+namespace {
+
+// Builds one table set (a level-1 node per 2 MiB window) with leaves of
+// `prot`. `extents` must cover [0, file_bytes) in order.
+Result<std::vector<NodeRef>> BuildSet(SimContext* ctx, std::span<const FileExtentView> extents,
+                                      uint64_t file_bytes, Prot prot) {
+  std::vector<NodeRef> nodes;
+  size_t cursor = 0;  // index into extents, advanced monotonically
+  for (uint64_t window = 0; window < file_bytes; window += BytesPerNode(1)) {
+    auto node = std::make_shared<PageTableNode>();
+    ctx->Charge(ctx->cost().pt_node_alloc_cycles);
+    ctx->counters().pt_nodes_allocated++;
+    const uint64_t window_end = std::min(window + BytesPerNode(1), file_bytes);
+    for (uint64_t off = window; off < window_end; off += kPageSize) {
+      while (cursor < extents.size() &&
+             extents[cursor].file_offset + extents[cursor].bytes <= off) {
+        ++cursor;
+      }
+      if (cursor >= extents.size() || extents[cursor].file_offset > off) {
+        return Corruption("file extents do not cover its size");
+      }
+      const FileExtentView& e = extents[cursor];
+      PtEntry& entry = node->at(static_cast<int>((off - window) >> kPageShift));
+      entry.kind = PtEntry::Kind::kLeaf;
+      entry.paddr = e.paddr + (off - e.file_offset);
+      entry.prot = prot;
+      node->live_entries++;
+      ctx->Charge(ctx->cost().pte_write_cycles);
+      ctx->counters().ptes_written++;
+    }
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Result<PrecreatedTables> BuildPrecreatedTables(SimContext* ctx, PhysicalMemory* phys,
+                                               std::span<const FileExtentView> extents,
+                                               uint64_t file_bytes, bool persist_in_nvm) {
+  O1_CHECK(ctx != nullptr && phys != nullptr);
+  if (file_bytes == 0) {
+    return InvalidArgument("cannot pre-create tables for an empty file");
+  }
+  PrecreatedTables tables;
+  tables.file_bytes = file_bytes;
+  auto ro = BuildSet(ctx, extents, file_bytes, Prot::kRead);
+  if (!ro.ok()) {
+    return ro.status();
+  }
+  auto rw = BuildSet(ctx, extents, file_bytes, Prot::kReadWrite);
+  if (!rw.ok()) {
+    return rw.status();
+  }
+  tables.read_only = std::move(ro).value();
+  tables.read_write = std::move(rw).value();
+  // Wrap full groups of 512 windows into level-2 (PD) nodes: one pointer
+  // store per GiB at map time.
+  const size_t groups = tables.read_write.size() / kPtEntriesPerNode;
+  for (size_t g = 0; g < groups; ++g) {
+    auto ro_l2 = std::make_shared<PageTableNode>();
+    auto rw_l2 = std::make_shared<PageTableNode>();
+    ctx->Charge(2 * ctx->cost().pt_node_alloc_cycles);
+    ctx->counters().pt_nodes_allocated += 2;
+    for (int i = 0; i < kPtEntriesPerNode; ++i) {
+      const size_t child = g * kPtEntriesPerNode + static_cast<size_t>(i);
+      ro_l2->at(i) = PtEntry{.kind = PtEntry::Kind::kTable,
+                             .child = tables.read_only[child]};
+      rw_l2->at(i) = PtEntry{.kind = PtEntry::Kind::kTable,
+                             .child = tables.read_write[child]};
+      ctx->Charge(2 * ctx->cost().pte_write_cycles);
+    }
+    ro_l2->live_entries = kPtEntriesPerNode;
+    rw_l2->live_entries = kPtEntriesPerNode;
+    tables.read_only_l2.push_back(std::move(ro_l2));
+    tables.read_write_l2.push_back(std::move(rw_l2));
+  }
+  if (persist_in_nvm) {
+    // Each node is one 4 KiB page written to NVM alongside the file.
+    const CostModel& c = ctx->cost();
+    ctx->Charge(tables.node_count() * c.NvmWriteBulkCycles(kPageSize));
+  }
+  return tables;
+}
+
+}  // namespace o1mem

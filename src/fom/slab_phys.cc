@@ -1,0 +1,100 @@
+#include "src/fom/slab_phys.h"
+
+namespace o1mem {
+
+SlabPhysAllocator::SlabPhysAllocator(SimContext* ctx, BlockBitmap* bitmap, Paddr region_base)
+    : ctx_(ctx), bitmap_(bitmap), region_base_(region_base) {
+  O1_CHECK(ctx != nullptr && bitmap != nullptr);
+  O1_CHECK(IsAligned(region_base, kPageSize));
+}
+
+int SlabPhysAllocator::ClassFor(uint64_t bytes) {
+  for (int cls = 0; cls < kClassCount; ++cls) {
+    if (ClassBytes(cls) >= bytes) {
+      return cls;
+    }
+  }
+  return kClassCount;  // too big for a slab class
+}
+
+Result<Paddr> SlabPhysAllocator::Alloc(uint64_t bytes) {
+  if (bytes == 0) {
+    return InvalidArgument("zero-byte slab alloc");
+  }
+  const int cls = ClassFor(bytes);
+  if (cls >= kClassCount) {
+    // Large object: straight extent allocation.
+    auto extent = bitmap_->AllocExtent(PagesFor(bytes));
+    if (!extent.ok()) {
+      return extent.status();
+    }
+    const Paddr paddr = region_base_ + (extent->start << kPageShift);
+    big_allocs_.emplace(paddr, extent->count << kPageShift);
+    return paddr;
+  }
+  auto& free_list = free_lists_[static_cast<size_t>(cls)];
+  if (free_list.empty()) {
+    // Refill: carve one slab from the bitmap and shard it into objects.
+    auto extent = bitmap_->AllocExtent(kSlabBytes >> kPageShift);
+    if (!extent.ok()) {
+      return extent.status();
+    }
+    const Paddr slab_base = region_base_ + (extent->start << kPageShift);
+    slab_of_.emplace(slab_base, Slab{.base = slab_base, .cls = cls, .live = 0});
+    for (uint64_t off = 0; off < kSlabBytes; off += ClassBytes(cls)) {
+      free_list.push_back(slab_base + off);
+      object_slab_.emplace(slab_base + off, slab_base);
+    }
+  }
+  ctx_->Charge(ctx_->cost().slab_alloc_cycles);
+  const Paddr paddr = free_list.back();
+  free_list.pop_back();
+  object_class_.emplace(paddr, cls);
+  slab_of_.at(object_slab_.at(paddr)).live++;
+  return paddr;
+}
+
+Status SlabPhysAllocator::Free(Paddr paddr) {
+  if (auto big = big_allocs_.find(paddr); big != big_allocs_.end()) {
+    O1_RETURN_IF_ERROR(bitmap_->FreeExtent(BlockExtent{
+        .start = (paddr - region_base_) >> kPageShift, .count = big->second >> kPageShift}));
+    big_allocs_.erase(big);
+    return OkStatus();
+  }
+  auto it = object_class_.find(paddr);
+  if (it == object_class_.end()) {
+    return InvalidArgument("free of unknown slab object");
+  }
+  ctx_->Charge(ctx_->cost().slab_free_cycles);
+  const int cls = it->second;
+  object_class_.erase(it);
+  free_lists_[static_cast<size_t>(cls)].push_back(paddr);
+  slab_of_.at(object_slab_.at(paddr)).live--;
+  return OkStatus();
+}
+
+Status SlabPhysAllocator::ReleaseEmptySlabs() {
+  for (auto it = slab_of_.begin(); it != slab_of_.end();) {
+    if (it->second.live > 0) {
+      ++it;
+      continue;
+    }
+    const Paddr slab_base = it->second.base;
+    const int cls = it->second.cls;
+    // Remove the slab's objects from the class free list.
+    auto& free_list = free_lists_[static_cast<size_t>(cls)];
+    std::erase_if(free_list, [&](Paddr p) {
+      return p >= slab_base && p < slab_base + kSlabBytes;
+    });
+    for (uint64_t off = 0; off < kSlabBytes; off += ClassBytes(cls)) {
+      object_slab_.erase(slab_base + off);
+    }
+    O1_RETURN_IF_ERROR(bitmap_->FreeExtent(BlockExtent{
+        .start = (slab_base - region_base_) >> kPageShift,
+        .count = kSlabBytes >> kPageShift}));
+    it = slab_of_.erase(it);
+  }
+  return OkStatus();
+}
+
+}  // namespace o1mem

@@ -1,0 +1,73 @@
+// SlabPhysAllocator: slab-style physical extent allocation.
+//
+// Section 3.1: "We observe that heap allocators address the same problem:
+// how to allocate contiguous memory with very little overhead. We propose
+// using techniques from heaps, such as slab allocators, to manage physical
+// memory."
+//
+// The allocator carves 2 MiB slabs out of a BlockBitmap and serves
+// fixed-size objects (4 KiB .. 2 MiB, power-of-two classes) from per-class
+// free lists. Alloc/free of a cached object is O(1) with a small constant --
+// no bitmap scan, no buddy split/merge chain -- which is what makes
+// file-only memory's small-segment churn (thread stacks, small heaps) cheap.
+#ifndef O1MEM_SRC_FOM_SLAB_PHYS_H_
+#define O1MEM_SRC_FOM_SLAB_PHYS_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/block_bitmap.h"
+#include "src/sim/context.h"
+
+namespace o1mem {
+
+class SlabPhysAllocator {
+ public:
+  // Serves objects from `bitmap`; block index 0 of the bitmap corresponds to
+  // physical address `region_base`.
+  SlabPhysAllocator(SimContext* ctx, BlockBitmap* bitmap, Paddr region_base);
+
+  SlabPhysAllocator(const SlabPhysAllocator&) = delete;
+  SlabPhysAllocator& operator=(const SlabPhysAllocator&) = delete;
+
+  // Allocates a physically contiguous run of at least `bytes` (rounded up to
+  // the object class). Objects larger than a slab fall through to the
+  // bitmap directly.
+  Result<Paddr> Alloc(uint64_t bytes);
+  Status Free(Paddr paddr);
+
+  // Returns all full slabs with no live objects to the bitmap.
+  Status ReleaseEmptySlabs();
+
+  uint64_t live_objects() const { return object_class_.size(); }
+  uint64_t slab_count() const { return slab_of_.size(); }
+
+  static constexpr uint64_t kSlabBytes = 2 * kMiB;
+  static constexpr int kClassCount = 10;  // 4K, 8K, ... 2M
+
+  // Smallest class index whose object size fits `bytes` (0..kClassCount-1).
+  static int ClassFor(uint64_t bytes);
+  static uint64_t ClassBytes(int cls) { return kPageSize << cls; }
+
+ private:
+  struct Slab {
+    Paddr base = 0;
+    int cls = 0;
+    uint64_t live = 0;
+  };
+
+  SimContext* ctx_;
+  BlockBitmap* bitmap_;
+  Paddr region_base_;
+  std::array<std::vector<Paddr>, kClassCount> free_lists_;
+  std::unordered_map<Paddr, int> object_class_;       // live object -> class
+  std::unordered_map<Paddr, Paddr> object_slab_;      // any carved object -> slab base
+  std::unordered_map<Paddr, Slab> slab_of_;           // slab base -> slab
+  std::unordered_map<Paddr, uint64_t> big_allocs_;    // direct bitmap allocs -> bytes
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_FOM_SLAB_PHYS_H_

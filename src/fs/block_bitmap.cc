@@ -1,0 +1,150 @@
+#include "src/fs/block_bitmap.h"
+
+#include <algorithm>
+
+namespace o1mem {
+
+BlockBitmap::BlockBitmap(SimContext* ctx, uint64_t block_count)
+    : ctx_(ctx), bits_(block_count, false), free_blocks_(block_count) {
+  O1_CHECK(ctx != nullptr);
+  O1_CHECK(block_count > 0);
+}
+
+std::optional<uint64_t> BlockBitmap::FindRun(uint64_t from, uint64_t limit,
+                                             uint64_t count) const {
+  uint64_t run = 0;
+  for (uint64_t i = from; i < limit; ++i) {
+    if (bits_[i]) {
+      run = 0;
+    } else if (++run == count) {
+      return i + 1 - count;
+    }
+  }
+  return std::nullopt;
+}
+
+BlockExtent BlockBitmap::BestRun(uint64_t from, uint64_t limit, uint64_t cap) const {
+  BlockExtent best;
+  uint64_t run = 0;
+  for (uint64_t i = from; i < limit; ++i) {
+    if (bits_[i]) {
+      run = 0;
+      continue;
+    }
+    ++run;
+    if (run > best.count) {
+      best.start = i + 1 - run;
+      best.count = run;
+      if (best.count >= cap) {
+        best.count = cap;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+void BlockBitmap::Mark(BlockExtent extent, bool allocated) {
+  for (uint64_t i = extent.start; i < extent.start + extent.count; ++i) {
+    O1_CHECK_MSG(bits_[i] != allocated, "bitmap double alloc/free");
+    bits_[i] = allocated;
+  }
+  if (allocated) {
+    free_blocks_ -= extent.count;
+  } else {
+    free_blocks_ += extent.count;
+  }
+}
+
+Result<BlockExtent> BlockBitmap::AllocExtent(uint64_t count) {
+  if (count == 0) {
+    return InvalidArgument("bad extent size");
+  }
+  ctx_->Charge(ctx_->cost().extent_alloc_cycles);
+  if (count > bits_.size()) {
+    return OutOfMemory("request exceeds device size");
+  }
+  if (count > free_blocks_) {
+    return OutOfMemory("not enough free blocks");
+  }
+  auto start = FindRun(hint_, bits_.size(), count);
+  if (!start.has_value()) {
+    start = FindRun(0, std::min(hint_ + count, static_cast<uint64_t>(bits_.size())), count);
+  }
+  if (!start.has_value()) {
+    return OutOfMemory("no contiguous run of requested size (fragmented)");
+  }
+  const BlockExtent extent{.start = *start, .count = count};
+  Mark(extent, true);
+  hint_ = (*start + count) % bits_.size();
+  return extent;
+}
+
+Result<BlockExtent> BlockBitmap::AllocExtentAtMost(uint64_t count, uint64_t min_count) {
+  if (count == 0 || min_count == 0 || min_count > count) {
+    return InvalidArgument("bad extent bounds");
+  }
+  auto exact = AllocExtent(count);
+  if (exact.ok()) {
+    return exact;
+  }
+  if (exact.status().code() != StatusCode::kOutOfMemory) {
+    return exact.status();
+  }
+  // Fall back to the longest run available anywhere.
+  ctx_->Charge(ctx_->cost().extent_alloc_cycles);
+  BlockExtent best = BestRun(0, bits_.size(), count);
+  if (best.count < min_count) {
+    return OutOfMemory("no run of at least min_count blocks");
+  }
+  Mark(best, true);
+  hint_ = (best.start + best.count) % bits_.size();
+  return best;
+}
+
+Status BlockBitmap::FreeExtent(BlockExtent extent) {
+  if (extent.count == 0 || extent.start + extent.count > bits_.size()) {
+    return InvalidArgument("extent out of range");
+  }
+  for (uint64_t i = extent.start; i < extent.start + extent.count; ++i) {
+    if (!bits_[i]) {
+      return InvalidArgument("double free in bitmap");
+    }
+  }
+  ctx_->Charge(ctx_->cost().extent_free_cycles);
+  Mark(extent, false);
+  return OkStatus();
+}
+
+Status BlockBitmap::Reset(const std::vector<bool>& allocated) {
+  if (allocated.size() != bits_.size()) {
+    return InvalidArgument("bitmap reset size mismatch");
+  }
+  // One pass over the bitmap words, charged at DRAM streaming rate for the
+  // bit array (1 bit per block).
+  ctx_->Charge(ctx_->cost().DramBulkCycles(bits_.size() / 8 + 1));
+  bits_ = allocated;
+  free_blocks_ = 0;
+  for (bool bit : bits_) {
+    free_blocks_ += bit ? 0 : 1;
+  }
+  hint_ = 0;
+  return OkStatus();
+}
+
+bool BlockBitmap::IsAllocated(uint64_t block) const {
+  O1_CHECK(block < bits_.size());
+  return bits_[block];
+}
+
+uint64_t BlockBitmap::LargestFreeRun() const {
+  uint64_t best = 0;
+  uint64_t run = 0;
+  for (bool bit : bits_) {
+    run = bit ? 0 : run + 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace o1mem

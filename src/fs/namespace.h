@@ -1,0 +1,80 @@
+// Namespace: the hierarchical directory layer shared by tmpfs and PMFS.
+//
+// Paths are absolute ("/a/b/c"), components separated by '/'. Creating a
+// file auto-creates missing parent directories (mkdir -p semantics), which
+// keeps the segments-as-files convention ("/proc/42/heap") ergonomic; the
+// explicit directory operations (Mkdir/Rmdir/Rename/List) give the file
+// systems a real POSIX-flavored namespace on top. Hard links are supported
+// by letting multiple paths name one inode.
+//
+// The namespace stores only name -> inode bindings; inode lifetimes remain
+// the owning file system's business (it is told how many links remain).
+#ifndef O1MEM_SRC_FS_NAMESPACE_H_
+#define O1MEM_SRC_FS_NAMESPACE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fs/types.h"
+#include "src/support/status.h"
+
+namespace o1mem {
+
+struct DirEntry {
+  std::string name;  // final component
+  bool is_dir = false;
+  InodeId inode = kInvalidInode;  // files only
+};
+
+class Namespace {
+ public:
+  Namespace() = default;
+
+  // Normalizes a path: must start with '/', no empty components, no '.' or
+  // '..', no trailing slash (except the root itself).
+  static Result<std::string> Normalize(std::string_view path);
+
+  // Explicit directory management.
+  Status Mkdir(std::string_view path);          // parent must exist
+  Status Rmdir(std::string_view path);          // must exist and be empty
+  bool DirExists(std::string_view path) const;  // "/" always exists
+
+  // File bindings. AddFile auto-creates parent directories.
+  Status AddFile(std::string_view path, InodeId inode);
+  Result<InodeId> LookupFile(std::string_view path) const;
+  // Removes the binding; returns the inode it named.
+  Result<InodeId> RemoveFile(std::string_view path);
+
+  // Renames a file or directory (directories move their whole subtree).
+  // The destination must not exist; the destination's parent must.
+  Status Rename(std::string_view from, std::string_view to);
+
+  // Entries directly inside `path` (a directory), sorted by name.
+  Result<std::vector<DirEntry>> List(std::string_view path) const;
+
+  // Every file path, in sorted order (reclaim scans, ListPaths).
+  std::vector<std::pair<std::string, InodeId>> AllFiles() const;
+
+  size_t file_count() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    bool is_dir = false;
+    InodeId inode = kInvalidInode;
+  };
+
+  static std::string ParentOf(const std::string& path);
+  // True if `path` has any children in the map.
+  bool HasChildren(const std::string& path) const;
+  // Creates missing ancestor directories of `path`.
+  void EnsureParents(const std::string& path);
+
+  std::map<std::string, Entry> entries_;  // normalized path -> entry
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_FS_NAMESPACE_H_

@@ -1,0 +1,475 @@
+#include "src/fs/pmfs.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace o1mem {
+
+Pmfs::Pmfs(Machine* machine, Paddr region_base, uint64_t region_bytes, ZeroPolicy zero_policy)
+    : machine_(machine),
+      region_base_(region_base),
+      region_bytes_(region_bytes),
+      zero_policy_(zero_policy),
+      bitmap_(&machine->ctx(), region_bytes >> kPageShift) {
+  O1_CHECK(machine != nullptr);
+  O1_CHECK(IsAligned(region_base, kPageSize));
+  O1_CHECK(IsAligned(region_bytes, kPageSize));
+  O1_CHECK_MSG(machine->phys().TierOf(region_base) == MemTier::kNvm,
+               "PMFS region must live in NVM");
+  O1_CHECK(machine->phys().Contains(region_base, region_bytes));
+}
+
+Pmfs::~Pmfs() = default;
+
+Result<Pmfs::Inode*> Pmfs::Get(InodeId id) {
+  auto it = inodes_.find(id);
+  if (it == inodes_.end()) {
+    return NotFound("no such pmfs inode");
+  }
+  return &it->second;
+}
+
+void Pmfs::Journal(JournalRecord::Op op, InodeId id, uint64_t arg) {
+  machine_->ctx().Charge(machine_->ctx().cost().journal_record_cycles);
+  journal_.push_back(JournalRecord{.op = op, .inode = id, .arg = arg});
+}
+
+void Pmfs::TouchAtime(Inode& inode) { inode.atime = machine_->ctx().now(); }
+
+Result<InodeId> Pmfs::Create(std::string_view path, const FileFlags& flags) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  Inode inode(&machine_->ctx());
+  inode.id = next_inode_++;
+  inode.flags = flags;
+  inode.links = 1;
+  inode.provider = std::make_unique<DaxProvider>(this, inode.id);
+  TouchAtime(inode);
+  const InodeId id = inode.id;
+  O1_RETURN_IF_ERROR(ns_.AddFile(path, id));
+  inodes_.emplace(id, std::move(inode));
+  Journal(JournalRecord::Op::kCreate, id, 0);
+  return id;
+}
+
+Result<InodeId> Pmfs::LookupPath(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().file_lookup_cycles);
+  return ns_.LookupFile(path);
+}
+
+Status Pmfs::Unlink(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().file_delete_cycles);
+  O1_ASSIGN_OR_RETURN(const InodeId id, ns_.RemoveFile(path));
+  Journal(JournalRecord::Op::kUnlink, id, 0);
+  auto inode = Get(id);
+  O1_CHECK(inode.ok());
+  inode.value()->links--;
+  return MaybeFree(id);
+}
+
+std::vector<std::string> Pmfs::ListPaths() const {
+  std::vector<std::string> out;
+  for (const auto& [path, id] : ns_.AllFiles()) {
+    out.push_back(path);
+  }
+  return out;
+}
+
+Status Pmfs::Mkdir(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  O1_RETURN_IF_ERROR(ns_.Mkdir(path));
+  Journal(JournalRecord::Op::kMkdir, kInvalidInode, 0);
+  return OkStatus();
+}
+
+Status Pmfs::Rmdir(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  O1_RETURN_IF_ERROR(ns_.Rmdir(path));
+  Journal(JournalRecord::Op::kRmdir, kInvalidInode, 0);
+  return OkStatus();
+}
+
+Result<std::vector<DirEntry>> Pmfs::List(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().file_lookup_cycles);
+  return ns_.List(path);
+}
+
+Status Pmfs::Rename(std::string_view from, std::string_view to) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  O1_RETURN_IF_ERROR(ns_.Rename(from, to));
+  Journal(JournalRecord::Op::kRename, kInvalidInode, 0);
+  return OkStatus();
+}
+
+Status Pmfs::Link(std::string_view existing, std::string_view new_path) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  O1_ASSIGN_OR_RETURN(const InodeId id, ns_.LookupFile(existing));
+  O1_RETURN_IF_ERROR(ns_.AddFile(new_path, id));
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  inode->links++;
+  Journal(JournalRecord::Op::kLink, id, 0);
+  return OkStatus();
+}
+
+Status Pmfs::AddOpenRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->opens++;
+  TouchAtime(*inode);
+  return OkStatus();
+}
+
+Status Pmfs::DropOpenRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->opens == 0) {
+    return InvalidArgument("open refcount underflow");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->opens--;
+  return MaybeFree(id);
+}
+
+Status Pmfs::AddMapRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->maps++;
+  TouchAtime(*inode);
+  return OkStatus();
+}
+
+Status Pmfs::DropMapRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->maps == 0) {
+    return InvalidArgument("map refcount underflow");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->maps--;
+  return MaybeFree(id);
+}
+
+Status Pmfs::GrowTo(Inode& inode, uint64_t new_size) {
+  uint64_t allocated = inode.extents.mapped_bytes();
+  const uint64_t target = AlignUp(new_size, kPageSize);
+  while (allocated < target) {
+    const uint64_t want_blocks = (target - allocated) >> kPageShift;
+    auto extent = bitmap_.AllocExtentAtMost(want_blocks, 1);
+    if (!extent.ok()) {
+      return extent.status();
+    }
+    const Paddr paddr = AddrOf(extent->start);
+    const uint64_t bytes = extent->count << kPageShift;
+    O1_RETURN_IF_ERROR(inode.extents.Insert(allocated, paddr, bytes));
+    Journal(JournalRecord::Op::kAllocExtent, inode.id, extent->start);
+    if (zero_policy_ == ZeroPolicy::kEagerZero) {
+      O1_RETURN_IF_ERROR(machine_->phys().Zero(paddr, bytes));
+      O1_RETURN_IF_ERROR(machine_->phys().FlushLines(paddr, bytes));
+    }
+    // kZeroEpoch: blocks were zeroed in the background when freed, so the
+    // foreground allocation path does no per-byte work.
+    allocated += bytes;
+  }
+  inode.size = new_size;
+  return OkStatus();
+}
+
+Status Pmfs::ZeroOnFree(Paddr paddr, uint64_t bytes) {
+  if (zero_policy_ != ZeroPolicy::kZeroEpoch) {
+    return OkStatus();
+  }
+  // Background zeroing: contents are cleared before the block can ever be
+  // reallocated, but the cycles are accounted off the critical path.
+  O1_RETURN_IF_ERROR(machine_->phys().ZeroUncharged(paddr, bytes));
+  const uint64_t flushed = machine_->phys().FlushLinesUncharged(paddr, bytes);
+  background_zero_cycles_ += machine_->ctx().cost().NvmWriteBulkCycles(bytes) +
+                             flushed * machine_->ctx().cost().clwb_cycles;
+  return OkStatus();
+}
+
+Status Pmfs::ShrinkTo(Inode& inode, uint64_t new_size) {
+  const uint64_t keep = AlignUp(new_size, kPageSize);
+  std::vector<FileExtent> released = inode.extents.TruncateFrom(keep);
+  for (const FileExtent& e : released) {
+    O1_RETURN_IF_ERROR(ZeroOnFree(e.paddr, e.bytes));
+    O1_RETURN_IF_ERROR(bitmap_.FreeExtent(
+        BlockExtent{.start = BlockOf(e.paddr), .count = e.bytes >> kPageShift}));
+  }
+  // Zero the kept tail beyond the new size: a later extension must read
+  // zeros there, not the dead bytes (truncate(2) semantics).
+  if (new_size < keep) {
+    if (auto tail = inode.extents.Lookup(new_size); tail.has_value()) {
+      O1_RETURN_IF_ERROR(machine_->phys().Zero(tail->paddr + (new_size - tail->file_offset),
+                                               keep - new_size));
+    }
+  }
+  inode.size = new_size;
+  return OkStatus();
+}
+
+Status Pmfs::ResizeSingleExtent(InodeId id, uint64_t size) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->extents.extent_count() > 0) {
+    return InvalidArgument("file already has backing");
+  }
+  if (size == 0) {
+    return InvalidArgument("empty single-extent file");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  Journal(JournalRecord::Op::kResize, id, size);
+  auto extent = bitmap_.AllocExtent(PagesFor(size));
+  if (!extent.ok()) {
+    return extent.status();
+  }
+  const Paddr paddr = AddrOf(extent->start);
+  const uint64_t bytes = extent->count << kPageShift;
+  O1_RETURN_IF_ERROR(inode->extents.Insert(0, paddr, bytes));
+  Journal(JournalRecord::Op::kAllocExtent, id, extent->start);
+  if (zero_policy_ == ZeroPolicy::kEagerZero) {
+    O1_RETURN_IF_ERROR(machine_->phys().Zero(paddr, bytes));
+    O1_RETURN_IF_ERROR(machine_->phys().FlushLines(paddr, bytes));
+  }
+  inode->size = size;
+  TouchAtime(*inode);
+  return OkStatus();
+}
+
+Status Pmfs::Resize(InodeId id, uint64_t size) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  Journal(JournalRecord::Op::kResize, id, size);
+  TouchAtime(*inode);
+  if (size >= inode->size) {
+    return GrowTo(*inode, size);
+  }
+  return ShrinkTo(*inode, size);
+}
+
+Result<Paddr> Pmfs::GetBackingPage(InodeId id, uint64_t offset, bool for_write) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (offset >= AlignUp(std::max<uint64_t>(inode->size, 1), kPageSize)) {
+    return InvalidArgument("page beyond end of pmfs file");
+  }
+  (void)for_write;
+  auto extent = inode->extents.Lookup(offset);
+  if (!extent.has_value()) {
+    // Should not happen: PMFS allocates eagerly at Resize. Treat as
+    // corruption rather than silently allocating.
+    return Corruption("pmfs hole inside file size");
+  }
+  const Paddr paddr = extent->paddr + (offset - extent->file_offset);
+  return paddr;
+}
+
+Result<uint64_t> Pmfs::ReadAt(InodeId id, uint64_t offset, std::span<uint8_t> out) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  TouchAtime(*inode);
+  if (offset >= inode->size) {
+    return uint64_t{0};
+  }
+  const uint64_t len = std::min<uint64_t>(out.size(), inode->size - offset);
+  uint64_t done = 0;
+  while (done < len) {
+    const uint64_t cur = offset + done;
+    auto extent = inode->extents.Lookup(cur);
+    if (!extent.has_value()) {
+      return Corruption("pmfs hole inside file size");
+    }
+    const uint64_t in_extent =
+        std::min<uint64_t>(extent->file_offset + extent->bytes - cur, len - done);
+    const Paddr paddr = extent->paddr + (cur - extent->file_offset);
+    O1_RETURN_IF_ERROR(machine_->phys().Read(paddr, out.subspan(done, in_extent)));
+    done += in_extent;
+  }
+  return len;
+}
+
+Result<uint64_t> Pmfs::WriteAt(InodeId id, uint64_t offset, std::span<const uint8_t> data) {
+  {
+    O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+    if (offset + data.size() > inode->size) {
+      O1_RETURN_IF_ERROR(Resize(id, offset + data.size()));
+    }
+    TouchAtime(*inode);
+  }
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t cur = offset + done;
+    auto extent = inode->extents.Lookup(cur);
+    if (!extent.has_value()) {
+      return Corruption("pmfs hole inside file size");
+    }
+    const uint64_t in_extent =
+        std::min<uint64_t>(extent->file_offset + extent->bytes - cur, data.size() - done);
+    const Paddr paddr = extent->paddr + (cur - extent->file_offset);
+    O1_RETURN_IF_ERROR(machine_->phys().Write(paddr, data.subspan(done, in_extent)));
+    // write(2) on a PM file system is durable on return (NT stores + fence).
+    O1_RETURN_IF_ERROR(machine_->phys().FlushLines(paddr, in_extent));
+    done += in_extent;
+  }
+  return static_cast<uint64_t>(data.size());
+}
+
+Result<BackingProvider*> Pmfs::Provider(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  return static_cast<BackingProvider*>(inode->provider.get());
+}
+
+Result<std::vector<FileExtentView>> Pmfs::Extents(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  std::vector<FileExtentView> out;
+  for (const FileExtent& e : inode->extents.Extents()) {
+    machine_->ctx().Charge(machine_->ctx().cost().extent_tree_op_cycles);
+    out.push_back(FileExtentView{.file_offset = e.file_offset, .paddr = e.paddr,
+                                 .bytes = e.bytes});
+  }
+  return out;
+}
+
+Result<FileStat> Pmfs::Stat(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  FileStat st;
+  st.id = inode->id;
+  st.size = inode->size;
+  st.allocated_bytes = inode->extents.mapped_bytes();
+  st.persistent = inode->flags.persistent;
+  st.discardable = inode->flags.discardable;
+  st.link_count = inode->links;
+  st.open_count = inode->opens;
+  st.map_count = inode->maps;
+  st.extent_count = inode->extents.extent_count();
+  return st;
+}
+
+uint64_t Pmfs::free_bytes() const { return bitmap_.free_blocks() << kPageShift; }
+
+Result<uint64_t> Pmfs::ReclaimDiscardable(uint64_t bytes_needed) {
+  std::vector<std::tuple<uint64_t, std::string, InodeId>> candidates;
+  for (const auto& [path, id] : ns_.AllFiles()) {
+    const Inode& inode = inodes_.at(id);
+    if (inode.flags.discardable && inode.maps == 0 && inode.opens == 0) {
+      candidates.emplace_back(inode.atime, path, id);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  uint64_t released = 0;
+  for (const auto& [atime, path, id] : candidates) {
+    if (released >= bytes_needed) {
+      break;
+    }
+    // Hard links: only the last name's unlink releases the extents.
+    const bool frees_storage = inodes_.at(id).links == 1;
+    const uint64_t bytes = inodes_.at(id).extents.mapped_bytes();
+    O1_RETURN_IF_ERROR(Unlink(path));
+    if (frees_storage) {
+      released += bytes;
+      machine_->ctx().counters().files_reclaimed++;
+    }
+  }
+  return released;
+}
+
+Status Pmfs::SetPersistent(InodeId id, bool persistent) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  inode->flags.persistent = persistent;
+  Journal(JournalRecord::Op::kSetFlags, id, persistent ? 1 : 0);
+  return OkStatus();
+}
+
+Status Pmfs::MaybeFree(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->links > 0 || inode->opens > 0 || inode->maps > 0) {
+    return OkStatus();
+  }
+  return Destroy(id);
+}
+
+Status Pmfs::Destroy(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  O1_RETURN_IF_ERROR(ShrinkTo(*inode, 0));
+  inodes_.erase(id);
+  return OkStatus();
+}
+
+Status Pmfs::LeakBlocksForTest(uint64_t blocks) {
+  auto extent = bitmap_.AllocExtent(blocks);
+  if (!extent.ok()) {
+    return extent.status();
+  }
+  // Deliberately forget the owner: simulates a torn allocation where the
+  // bitmap update persisted but the extent-tree/journal commit did not.
+  return OkStatus();
+}
+
+Status Pmfs::OnCrash() {
+  SimContext& ctx = machine_->ctx();
+  // 1. Journal replay cost: linear in records since the last checkpoint.
+  ctx.Charge(journal_.size() * ctx.cost().journal_record_cycles / 4);
+  journal_.clear();
+  // 2. Processes died: all open/map references vanish; volatile files too.
+  std::vector<std::string> volatile_paths;
+  for (const auto& [path, id] : ns_.AllFiles()) {
+    Inode& inode = inodes_.at(id);
+    inode.opens = 0;
+    inode.maps = 0;
+    if (!inode.flags.persistent) {
+      volatile_paths.push_back(path);
+    }
+  }
+  for (const std::string& path : volatile_paths) {
+    O1_RETURN_IF_ERROR(Unlink(path));
+  }
+  // Unreferenced unlinked inodes (if any remained due to refs) are gone now;
+  // sweep any stragglers.
+  for (auto it = inodes_.begin(); it != inodes_.end();) {
+    if (it->second.links == 0) {
+      const InodeId id = it->first;
+      ++it;
+      O1_RETURN_IF_ERROR(Destroy(id));
+    } else {
+      ++it;
+    }
+  }
+  // 3. Rebuild the bitmap from the surviving extent trees; leaked blocks
+  //    (allocated in the old bitmap but owned by no file, e.g. from a torn
+  //    allocation) are implicitly reclaimed.
+  std::vector<bool> owned(region_bytes_ >> kPageShift, false);
+  for (auto& [id, inode] : inodes_) {
+    for (const FileExtent& e : inode.extents.Extents()) {
+      if (e.paddr < region_base_ || e.paddr + e.bytes > region_base_ + region_bytes_) {
+        return Corruption("pmfs extent outside region after crash");
+      }
+      for (uint64_t b = BlockOf(e.paddr); b < BlockOf(e.paddr) + (e.bytes >> kPageShift); ++b) {
+        if (owned[b]) {
+          return Corruption("pmfs block owned twice after crash");
+        }
+        owned[b] = true;
+      }
+    }
+  }
+  return bitmap_.Reset(owned);
+}
+
+Status Pmfs::VerifyIntegrity() {
+  SimContext& ctx = machine_->ctx();
+  std::vector<bool> owned(region_bytes_ >> kPageShift, false);
+  for (auto& [id, inode] : inodes_) {
+    for (const FileExtent& e : inode.extents.Extents()) {
+      ctx.Charge(ctx.cost().extent_tree_op_cycles);
+      if (e.paddr < region_base_ || e.paddr + e.bytes > region_base_ + region_bytes_) {
+        return Corruption("extent outside pmfs region");
+      }
+      for (uint64_t b = BlockOf(e.paddr); b < BlockOf(e.paddr) + (e.bytes >> kPageShift); ++b) {
+        if (owned[b]) {
+          return Corruption("block owned by two extents");
+        }
+        owned[b] = true;
+        if (!bitmap_.IsAllocated(b)) {
+          return Corruption("extent block not marked allocated in bitmap");
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace o1mem

@@ -1,0 +1,194 @@
+// Pmfs: a persistent-memory file system in the style of PMFS (Dulloor et
+// al., EuroSys '14), the system the paper's Figure 2/7 allocates through.
+//
+// Properties that matter for the reproduction:
+//   * extent-granular allocation from a block bitmap -- creating or growing
+//     a file costs O(extents), not O(pages);
+//   * DAX: file data lives directly in NVM and is mapped into processes
+//     without a page cache;
+//   * a metadata journal: every namespace/size mutation appends a record
+//     (charged as an NVM write); crash recovery replays the journal,
+//     drops volatile files, reclaims leaked blocks, and verifies extent
+//     integrity;
+//   * per-file persistence: files created persistent survive Machine::Crash,
+//     volatile (temporary) files do not -- Sec. 3.1's "marked at any time as
+//     volatile or persistent".
+//
+// Zeroing policy: kEagerZero clears new extents at allocation time (the
+// linear-time foreground cost Sec. 3.1 complains about); kZeroEpoch zeroes
+// blocks when they are FREED, off the critical path (background work,
+// accounted separately), so allocation finds pre-zeroed blocks and is
+// O(extents) in the foreground -- one realization of the "new techniques to
+// efficiently erase memory in constant time" the paper calls for. Freshly
+// formatted devices hand out zeroed blocks either way, and because zeroing
+// happens before a block can be reallocated, directly mapped (DAX) access
+// never observes another file's stale data.
+#ifndef O1MEM_SRC_FS_PMFS_H_
+#define O1MEM_SRC_FS_PMFS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "src/fs/block_bitmap.h"
+#include "src/fs/extent_tree.h"
+#include "src/fs/file_system.h"
+#include "src/sim/machine.h"
+
+namespace o1mem {
+
+enum class ZeroPolicy {
+  kEagerZero,  // zero whole extents at allocation (O(bytes) foreground)
+  kZeroEpoch,  // zero blocks at free time in the background (O(1) foreground)
+};
+
+class Pmfs : public FileSystem {
+ public:
+  // Manages the NVM range [region_base, region_base + region_bytes).
+  Pmfs(Machine* machine, Paddr region_base, uint64_t region_bytes,
+       ZeroPolicy zero_policy = ZeroPolicy::kEagerZero);
+  ~Pmfs() override;
+
+  Pmfs(const Pmfs&) = delete;
+  Pmfs& operator=(const Pmfs&) = delete;
+
+  std::string_view name() const override { return "pmfs"; }
+
+  Result<InodeId> Create(std::string_view path, const FileFlags& flags) override;
+  Result<InodeId> LookupPath(std::string_view path) override;
+  Status Unlink(std::string_view path) override;
+  std::vector<std::string> ListPaths() const override;
+  Status Mkdir(std::string_view path) override;
+  Status Rmdir(std::string_view path) override;
+  Result<std::vector<DirEntry>> List(std::string_view path) override;
+  Status Rename(std::string_view from, std::string_view to) override;
+  Status Link(std::string_view existing, std::string_view new_path) override;
+
+  Status AddOpenRef(InodeId id) override;
+  Status DropOpenRef(InodeId id) override;
+  Status AddMapRef(InodeId id) override;
+  Status DropMapRef(InodeId id) override;
+
+  Status Resize(InodeId id, uint64_t size) override;
+
+  // Like Resize (grow only), but insists on a single physically contiguous
+  // extent for the whole file; fails with kOutOfMemory when the device is
+  // too fragmented. Used for PBM-style segments and range-friendly files.
+  Status ResizeSingleExtent(InodeId id, uint64_t size);
+  Result<uint64_t> ReadAt(InodeId id, uint64_t offset, std::span<uint8_t> out) override;
+  Result<uint64_t> WriteAt(InodeId id, uint64_t offset,
+                           std::span<const uint8_t> data) override;
+
+  Result<BackingProvider*> Provider(InodeId id) override;
+  Result<std::vector<FileExtentView>> Extents(InodeId id) override;
+
+  Result<FileStat> Stat(InodeId id) override;
+  uint64_t free_bytes() const override;
+  uint64_t quota_bytes() const override { return region_bytes_; }
+
+  Result<uint64_t> ReclaimDiscardable(uint64_t bytes_needed) override;
+
+  // Crash recovery: journal replay + volatile-file teardown + bitmap
+  // rebuild + integrity verification.
+  Status OnCrash() override;
+
+  // Flips a file's persistence bit in place (Sec. 3.1: files "can be marked
+  // at any time as volatile or persistent").
+  Status SetPersistent(InodeId id, bool persistent);
+
+  // DAX page lookup used by the demand pager; allocates backing for holes.
+  Result<Paddr> GetBackingPage(InodeId id, uint64_t offset, bool for_write);
+
+  // Structural invariants: extents within the region, no block owned twice,
+  // bitmap consistent with the extent trees. Charged as a metadata scan.
+  Status VerifyIntegrity();
+
+  // Fault injection for recovery tests: marks `blocks` blocks allocated in
+  // the bitmap without any owning extent (a torn allocation). Recovery must
+  // reclaim them.
+  Status LeakBlocksForTest(uint64_t blocks);
+
+  uint64_t journal_records() const { return journal_.size(); }
+  ZeroPolicy zero_policy() const { return zero_policy_; }
+
+  // Cycles of background (off-critical-path) zeroing accrued under
+  // kZeroEpoch; the foreground clock never saw these.
+  uint64_t background_zero_cycles() const { return background_zero_cycles_; }
+
+ private:
+  struct Inode;
+
+  class DaxProvider : public BackingProvider {
+   public:
+    DaxProvider(Pmfs* fs, InodeId id) : fs_(fs), id_(id) {}
+    Result<Paddr> GetBackingPage(uint64_t file_offset, bool for_write) override {
+      return fs_->GetBackingPage(id_, file_offset, for_write);
+    }
+    uint64_t backing_id() const override { return id_; }
+
+   private:
+    Pmfs* fs_;
+    InodeId id_;
+  };
+
+  struct Inode {
+    InodeId id = kInvalidInode;
+    uint64_t size = 0;
+    FileFlags flags;
+    uint32_t links = 0;
+    uint32_t opens = 0;
+    uint32_t maps = 0;
+    uint64_t atime = 0;
+    ExtentTree extents;
+    std::unique_ptr<DaxProvider> provider;
+
+    explicit Inode(SimContext* ctx) : extents(ctx) {}
+  };
+
+  struct JournalRecord {
+    enum class Op : uint8_t {
+      kCreate,
+      kUnlink,
+      kResize,
+      kSetFlags,
+      kAllocExtent,
+      kMkdir,
+      kRmdir,
+      kRename,
+      kLink,
+    };
+    Op op;
+    InodeId inode;
+    uint64_t arg = 0;
+  };
+
+  Result<Inode*> Get(InodeId id);
+  void Journal(JournalRecord::Op op, InodeId id, uint64_t arg);
+  void TouchAtime(Inode& inode);
+  Status MaybeFree(InodeId id);
+  Status Destroy(InodeId id);
+  Status GrowTo(Inode& inode, uint64_t new_size);
+  Status ShrinkTo(Inode& inode, uint64_t new_size);
+  // Zeroing applied when an extent is released (kZeroEpoch background work).
+  Status ZeroOnFree(Paddr paddr, uint64_t bytes);
+
+  uint64_t BlockOf(Paddr paddr) const { return (paddr - region_base_) >> kPageShift; }
+  Paddr AddrOf(uint64_t block) const { return region_base_ + (block << kPageShift); }
+
+  Machine* machine_;
+  Paddr region_base_;
+  uint64_t region_bytes_;
+  ZeroPolicy zero_policy_;
+  BlockBitmap bitmap_;
+  InodeId next_inode_ = 1;
+  Namespace ns_;
+  std::unordered_map<InodeId, Inode> inodes_;
+  std::vector<JournalRecord> journal_;
+  uint64_t background_zero_cycles_ = 0;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_FS_PMFS_H_

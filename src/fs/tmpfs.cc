@@ -1,0 +1,333 @@
+#include "src/fs/tmpfs.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace o1mem {
+
+Tmpfs::Tmpfs(Machine* machine, PhysManager* phys_mgr, uint64_t quota_bytes)
+    : machine_(machine), phys_mgr_(phys_mgr), quota_bytes_(quota_bytes) {
+  O1_CHECK(machine != nullptr && phys_mgr != nullptr);
+}
+
+Tmpfs::~Tmpfs() = default;
+
+Result<Tmpfs::Inode*> Tmpfs::Get(InodeId id) {
+  auto it = inodes_.find(id);
+  if (it == inodes_.end()) {
+    return NotFound("no such tmpfs inode");
+  }
+  return &it->second;
+}
+
+void Tmpfs::TouchAtime(Inode& inode) { inode.atime = machine_->ctx().now(); }
+
+Result<InodeId> Tmpfs::Create(std::string_view path, const FileFlags& flags) {
+  if (flags.persistent) {
+    return Unsupported("tmpfs cannot hold persistent files");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  Inode inode;
+  inode.id = next_inode_++;
+  inode.flags = flags;
+  inode.links = 1;
+  inode.provider = std::make_unique<PageProvider>(this, inode.id);
+  TouchAtime(inode);
+  const InodeId id = inode.id;
+  O1_RETURN_IF_ERROR(ns_.AddFile(path, id));
+  inodes_.emplace(id, std::move(inode));
+  return id;
+}
+
+Result<InodeId> Tmpfs::LookupPath(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().file_lookup_cycles);
+  return ns_.LookupFile(path);
+}
+
+Status Tmpfs::Unlink(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().file_delete_cycles);
+  O1_ASSIGN_OR_RETURN(const InodeId id, ns_.RemoveFile(path));
+  auto inode = Get(id);
+  O1_CHECK(inode.ok());
+  inode.value()->links--;
+  return MaybeFree(id);
+}
+
+std::vector<std::string> Tmpfs::ListPaths() const {
+  std::vector<std::string> out;
+  for (const auto& [path, id] : ns_.AllFiles()) {
+    out.push_back(path);
+  }
+  return out;
+}
+
+Status Tmpfs::Mkdir(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  return ns_.Mkdir(path);
+}
+
+Status Tmpfs::Rmdir(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  return ns_.Rmdir(path);
+}
+
+Result<std::vector<DirEntry>> Tmpfs::List(std::string_view path) {
+  machine_->ctx().Charge(machine_->ctx().cost().file_lookup_cycles);
+  return ns_.List(path);
+}
+
+Status Tmpfs::Rename(std::string_view from, std::string_view to) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  return ns_.Rename(from, to);
+}
+
+Status Tmpfs::Link(std::string_view existing, std::string_view new_path) {
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  O1_ASSIGN_OR_RETURN(const InodeId id, ns_.LookupFile(existing));
+  O1_RETURN_IF_ERROR(ns_.AddFile(new_path, id));
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  inode->links++;
+  return OkStatus();
+}
+
+Status Tmpfs::AddOpenRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->opens++;
+  TouchAtime(*inode);
+  return OkStatus();
+}
+
+Status Tmpfs::DropOpenRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->opens == 0) {
+    return InvalidArgument("open refcount underflow");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->opens--;
+  return MaybeFree(id);
+}
+
+Status Tmpfs::AddMapRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->maps++;
+  TouchAtime(*inode);
+  return OkStatus();
+}
+
+Status Tmpfs::DropMapRef(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->maps == 0) {
+    return InvalidArgument("map refcount underflow");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
+  inode->maps--;
+  return MaybeFree(id);
+}
+
+Status Tmpfs::FreePagesFrom(Inode& inode, uint64_t first_page_index) {
+  auto it = inode.pages.lower_bound(first_page_index);
+  while (it != inode.pages.end()) {
+    O1_RETURN_IF_ERROR(phys_mgr_->FreeFrame(it->second));
+    used_bytes_ -= kPageSize;
+    it = inode.pages.erase(it);
+  }
+  return OkStatus();
+}
+
+Status Tmpfs::Resize(InodeId id, uint64_t size) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  if (size < inode->size) {
+    O1_RETURN_IF_ERROR(FreePagesFrom(*inode, PagesFor(size)));
+    // Zero the kept tail of a partially covered last page (truncate(2)
+    // semantics: re-extension reads zeros).
+    if (!IsAligned(size, kPageSize)) {
+      auto it = inode->pages.find(size >> kPageShift);
+      if (it != inode->pages.end()) {
+        O1_RETURN_IF_ERROR(machine_->phys().Zero(it->second + (size & (kPageSize - 1)),
+                                                 kPageSize - (size & (kPageSize - 1))));
+      }
+    }
+  }
+  // Growth is lazy: tmpfs allocates page-cache pages on first touch.
+  inode->size = size;
+  TouchAtime(*inode);
+  return OkStatus();
+}
+
+Result<Paddr> Tmpfs::GetOrAllocPage(InodeId id, uint64_t offset) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (offset >= AlignUp(std::max<uint64_t>(inode->size, 1), kPageSize)) {
+    return InvalidArgument("page beyond end of tmpfs file");
+  }
+  const uint64_t index = offset >> kPageShift;
+  machine_->ctx().Charge(machine_->ctx().cost().page_cache_lookup_cycles);
+  auto it = inode->pages.find(index);
+  if (it != inode->pages.end()) {
+    return it->second;
+  }
+  if (used_bytes_ + kPageSize > quota_bytes_) {
+    return QuotaExceeded("tmpfs quota exhausted");
+  }
+  auto frame = phys_mgr_->AllocFrame(/*zero=*/true);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().page_cache_insert_cycles);
+  PageMeta& m = phys_mgr_->meta().Of(frame.value());
+  m.Set(PageFlag::kUptodate);
+  m.Set(PageFlag::kSwapBacked);
+  m.owner_inode = id;
+  m.file_offset = index << kPageShift;
+  inode->pages.emplace(index, frame.value());
+  used_bytes_ += kPageSize;
+  return frame.value();
+}
+
+Result<uint64_t> Tmpfs::ReadAt(InodeId id, uint64_t offset, std::span<uint8_t> out) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  TouchAtime(*inode);
+  if (offset >= inode->size) {
+    return uint64_t{0};
+  }
+  const uint64_t len = std::min<uint64_t>(out.size(), inode->size - offset);
+  uint64_t done = 0;
+  while (done < len) {
+    const uint64_t cur = offset + done;
+    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), len - done);
+    machine_->ctx().Charge(machine_->ctx().cost().page_cache_lookup_cycles);
+    auto it = inode->pages.find(cur >> kPageShift);
+    if (it == inode->pages.end()) {
+      // Hole: zero fill (charged as a DRAM-rate fill).
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(done), in_page, uint8_t{0});
+      machine_->ctx().Charge(machine_->ctx().cost().DramBulkCycles(in_page));
+    } else {
+      O1_RETURN_IF_ERROR(machine_->phys().Read(it->second + (cur & (kPageSize - 1)),
+                                               out.subspan(done, in_page)));
+    }
+    done += in_page;
+  }
+  return len;
+}
+
+Result<uint64_t> Tmpfs::WriteAt(InodeId id, uint64_t offset, std::span<const uint8_t> data) {
+  {
+    O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+    if (offset + data.size() > inode->size) {
+      O1_RETURN_IF_ERROR(Resize(id, offset + data.size()));
+    }
+    TouchAtime(*inode);
+  }
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const uint64_t cur = offset + done;
+    const uint64_t in_page =
+        std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), data.size() - done);
+    auto frame = GetOrAllocPage(id, AlignDown(cur, kPageSize));
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    O1_RETURN_IF_ERROR(machine_->phys().Write(frame.value() + (cur & (kPageSize - 1)),
+                                              data.subspan(done, in_page)));
+    done += in_page;
+  }
+  return static_cast<uint64_t>(data.size());
+}
+
+Result<BackingProvider*> Tmpfs::Provider(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  return static_cast<BackingProvider*>(inode->provider.get());
+}
+
+Result<std::vector<FileExtentView>> Tmpfs::Extents(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  // Page-granular backing: adjacent pages are rarely physically contiguous,
+  // so this usually returns one extent per page -- which is exactly why the
+  // baseline cannot map tmpfs files in O(1).
+  std::vector<FileExtentView> out;
+  for (const auto& [index, paddr] : inode->pages) {
+    machine_->ctx().Charge(machine_->ctx().cost().page_cache_lookup_cycles);
+    if (!out.empty() && out.back().paddr + out.back().bytes == paddr &&
+        out.back().file_offset + out.back().bytes == index << kPageShift) {
+      out.back().bytes += kPageSize;
+    } else {
+      out.push_back(FileExtentView{.file_offset = index << kPageShift,
+                                   .paddr = paddr,
+                                   .bytes = kPageSize});
+    }
+  }
+  return out;
+}
+
+Result<FileStat> Tmpfs::Stat(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  FileStat st;
+  st.id = inode->id;
+  st.size = inode->size;
+  st.allocated_bytes = inode->pages.size() * kPageSize;
+  st.persistent = inode->flags.persistent;
+  st.discardable = inode->flags.discardable;
+  st.link_count = inode->links;
+  st.open_count = inode->opens;
+  st.map_count = inode->maps;
+  st.extent_count = inode->pages.size();
+  return st;
+}
+
+uint64_t Tmpfs::free_bytes() const { return quota_bytes_ - used_bytes_; }
+
+Result<uint64_t> Tmpfs::ReclaimDiscardable(uint64_t bytes_needed) {
+  // Collect discardable, unreferenced-by-mappers files, oldest atime first.
+  std::vector<std::tuple<uint64_t, std::string, InodeId>> candidates;  // (atime, path, id)
+  for (const auto& [path, id] : ns_.AllFiles()) {
+    const Inode& inode = inodes_.at(id);
+    if (inode.flags.discardable && inode.maps == 0 && inode.opens == 0) {
+      candidates.emplace_back(inode.atime, path, id);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  uint64_t released = 0;
+  for (const auto& [atime, path, id] : candidates) {
+    if (released >= bytes_needed) {
+      break;
+    }
+    // Hard links: bytes are only released by the unlink that drops the
+    // last name.
+    const bool frees_storage = inodes_.at(id).links == 1;
+    const uint64_t bytes = inodes_.at(id).pages.size() * kPageSize;
+    O1_RETURN_IF_ERROR(Unlink(path));
+    if (frees_storage) {
+      released += bytes;
+      machine_->ctx().counters().files_reclaimed++;
+    }
+  }
+  return released;
+}
+
+Status Tmpfs::MaybeFree(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  if (inode->links > 0 || inode->opens > 0 || inode->maps > 0) {
+    return OkStatus();
+  }
+  return Destroy(id);
+}
+
+Status Tmpfs::Destroy(InodeId id) {
+  O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  O1_RETURN_IF_ERROR(FreePagesFrom(*inode, 0));
+  inodes_.erase(id);
+  return OkStatus();
+}
+
+Status Tmpfs::OnCrash() {
+  // Everything in tmpfs is volatile. The frames themselves were dropped with
+  // DRAM; release the bookkeeping without charging (the machine is dead).
+  inodes_.clear();
+  ns_.Clear();
+  used_bytes_ = 0;
+  return OkStatus();
+}
+
+}  // namespace o1mem

@@ -1,0 +1,43 @@
+// Shared file-system types.
+#ifndef O1MEM_SRC_FS_TYPES_H_
+#define O1MEM_SRC_FS_TYPES_H_
+
+#include <cstdint>
+
+#include "src/support/units.h"
+
+namespace o1mem {
+
+using InodeId = uint64_t;
+inline constexpr InodeId kInvalidInode = 0;
+
+// One contiguous run of physical memory backing part of a file.
+struct PhysExtent {
+  Paddr paddr = 0;
+  uint64_t bytes = 0;
+};
+
+// Creation-time properties. The paper's Sec. 3.1: "all data lives in files
+// that can be marked at any time as volatile or persistent"; `discardable`
+// marks non-critical data the OS may reclaim by deleting the file
+// (transcendent-memory-like caches).
+struct FileFlags {
+  bool persistent = false;
+  bool discardable = false;
+};
+
+struct FileStat {
+  InodeId id = kInvalidInode;
+  uint64_t size = 0;             // logical size
+  uint64_t allocated_bytes = 0;  // physical backing actually held
+  bool persistent = false;
+  bool discardable = false;
+  uint32_t link_count = 0;
+  uint32_t open_count = 0;
+  uint32_t map_count = 0;
+  uint64_t extent_count = 0;     // fragmentation signal
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_FS_TYPES_H_

@@ -1,0 +1,93 @@
+#include "src/mm/buddy_allocator.h"
+
+namespace o1mem {
+
+BuddyAllocator::BuddyAllocator(SimContext* ctx, Paddr base, uint64_t bytes)
+    : ctx_(ctx), base_(base), bytes_(bytes) {
+  O1_CHECK(ctx != nullptr);
+  O1_CHECK(IsAligned(base, kPageSize));
+  O1_CHECK(IsAligned(bytes, kPageSize));
+  // Seed free lists greedily with the largest aligned blocks that fit.
+  uint64_t index = 0;
+  const uint64_t frames = bytes >> kPageShift;
+  while (index < frames) {
+    int order = kMaxOrder - 1;
+    while (order > 0 && (index % (uint64_t{1} << order) != 0 ||
+                         index + (uint64_t{1} << order) > frames)) {
+      --order;
+    }
+    free_lists_[static_cast<size_t>(order)].insert(index);
+    index += uint64_t{1} << order;
+  }
+  free_bytes_ = bytes;
+}
+
+Result<Paddr> BuddyAllocator::AllocOrder(int order) {
+  if (order < 0 || order >= kMaxOrder) {
+    return InvalidArgument("buddy order out of range");
+  }
+  ctx_->Charge(ctx_->cost().buddy_alloc_cycles);
+  // Find the smallest order >= requested with a free block.
+  int have = order;
+  while (have < kMaxOrder && free_lists_[static_cast<size_t>(have)].empty()) {
+    ++have;
+  }
+  if (have == kMaxOrder) {
+    return OutOfMemory("buddy allocator exhausted");
+  }
+  uint64_t index = *free_lists_[static_cast<size_t>(have)].begin();
+  free_lists_[static_cast<size_t>(have)].erase(free_lists_[static_cast<size_t>(have)].begin());
+  // Split down to the requested order, returning the upper halves.
+  while (have > order) {
+    --have;
+    ctx_->Charge(ctx_->cost().buddy_split_cycles);
+    free_lists_[static_cast<size_t>(have)].insert(index + (uint64_t{1} << have));
+  }
+  free_bytes_ -= kPageSize << order;
+  ctx_->counters().frames_allocated += uint64_t{1} << order;
+  return FrameAddr(index);
+}
+
+Status BuddyAllocator::FreeOrder(Paddr paddr, int order) {
+  if (order < 0 || order >= kMaxOrder) {
+    return InvalidArgument("buddy order out of range");
+  }
+  if (!Owns(paddr) || !IsAligned(paddr - base_, kPageSize << order)) {
+    return InvalidArgument("free of block not from this allocator");
+  }
+  ctx_->Charge(ctx_->cost().buddy_free_cycles);
+  uint64_t index = FrameIndex(paddr);
+  ctx_->counters().frames_freed += uint64_t{1} << order;
+  free_bytes_ += kPageSize << order;
+  // Merge with the buddy while possible.
+  while (order < kMaxOrder - 1) {
+    const uint64_t buddy = index ^ (uint64_t{1} << order);
+    auto& list = free_lists_[static_cast<size_t>(order)];
+    auto it = list.find(buddy);
+    if (it == list.end()) {
+      break;
+    }
+    list.erase(it);
+    ctx_->Charge(ctx_->cost().buddy_split_cycles);
+    index &= ~(uint64_t{1} << order);
+    ++order;
+  }
+  free_lists_[static_cast<size_t>(order)].insert(index);
+  return OkStatus();
+}
+
+int BuddyAllocator::LargestFreeOrder() const {
+  for (int order = kMaxOrder - 1; order >= 0; --order) {
+    if (!free_lists_[static_cast<size_t>(order)].empty()) {
+      return order;
+    }
+  }
+  return -1;
+}
+
+size_t BuddyAllocator::FreeBlocksAt(int order) const {
+  O1_CHECK(order >= 0 && order < kMaxOrder);
+  return free_lists_[static_cast<size_t>(order)].size();
+}
+
+}  // namespace o1mem

@@ -1,0 +1,71 @@
+// Binary buddy allocator over a contiguous physical range, modeled on the
+// Linux page allocator the paper's Section 2 describes ("the kernel's
+// management of physical memory is ... designed around a scarce resource").
+//
+// Allocation granularity is one 4 KiB frame (order 0) up to order
+// kMaxOrder-1 (512 MiB). Costs are charged per freelist operation and per
+// split/merge step, which is what makes large allocations through the buddy
+// path linear-ish in order while FOM's extent allocations are O(1).
+#ifndef O1MEM_SRC_MM_BUDDY_ALLOCATOR_H_
+#define O1MEM_SRC_MM_BUDDY_ALLOCATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/sim/context.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace o1mem {
+
+class BuddyAllocator {
+ public:
+  static constexpr int kMaxOrder = 18;  // 4 KiB << 17 = 512 MiB largest block
+
+  // Manages [base, base + bytes); both must be page aligned and bytes must be
+  // a multiple of the page size.
+  BuddyAllocator(SimContext* ctx, Paddr base, uint64_t bytes);
+
+  BuddyAllocator(const BuddyAllocator&) = delete;
+  BuddyAllocator& operator=(const BuddyAllocator&) = delete;
+
+  // Allocates 2^order frames, splitting larger blocks as needed.
+  Result<Paddr> AllocOrder(int order);
+
+  // Allocates one 4 KiB frame.
+  Result<Paddr> AllocFrame() { return AllocOrder(0); }
+
+  // Frees a block previously returned by AllocOrder(order). Buddies are
+  // merged eagerly, as Linux does.
+  Status FreeOrder(Paddr paddr, int order);
+  Status FreeFrame(Paddr paddr) { return FreeOrder(paddr, 0); }
+
+  uint64_t free_bytes() const { return free_bytes_; }
+  uint64_t total_bytes() const { return bytes_; }
+  Paddr base() const { return base_; }
+  bool Owns(Paddr paddr) const { return paddr >= base_ && paddr < base_ + bytes_; }
+
+  // Largest order with a free block (-1 if empty); a fragmentation signal.
+  int LargestFreeOrder() const;
+
+  // Count of free blocks at `order` (tests / fragmentation studies).
+  size_t FreeBlocksAt(int order) const;
+
+ private:
+  uint64_t FrameIndex(Paddr paddr) const { return (paddr - base_) >> kPageShift; }
+  Paddr FrameAddr(uint64_t index) const { return base_ + (index << kPageShift); }
+
+  SimContext* ctx_;
+  Paddr base_;
+  uint64_t bytes_;
+  uint64_t free_bytes_ = 0;
+  // Free lists per order, keyed by frame index; std::set gives deterministic
+  // lowest-address-first allocation, which keeps runs reproducible.
+  std::array<std::set<uint64_t>, kMaxOrder> free_lists_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_MM_BUDDY_ALLOCATOR_H_

@@ -1,0 +1,31 @@
+#include "src/mm/page_meta.h"
+
+namespace o1mem {
+
+namespace {
+// Cycles to initialize one struct page at boot (memmap_init_zone-ish).
+constexpr uint64_t kInitCyclesPerPage = 6;
+}  // namespace
+
+PageMetaArray::PageMetaArray(SimContext* ctx, Paddr base, uint64_t bytes)
+    : ctx_(ctx), base_(base), bytes_(bytes) {
+  O1_CHECK(ctx != nullptr);
+  O1_CHECK(IsAligned(base, kPageSize));
+  O1_CHECK(IsAligned(bytes, kPageSize));
+  metas_.resize(bytes >> kPageShift);
+  init_cycles_ = metas_.size() * kInitCyclesPerPage;
+  ctx_->Charge(init_cycles_);
+}
+
+PageMeta& PageMetaArray::Of(Paddr paddr) {
+  O1_CHECK(Covers(paddr));
+  ctx_->Charge(ctx_->cost().page_meta_update_cycles);
+  return metas_[(paddr - base_) >> kPageShift];
+}
+
+const PageMeta& PageMetaArray::Peek(Paddr paddr) const {
+  O1_CHECK(Covers(paddr));
+  return metas_[(paddr - base_) >> kPageShift];
+}
+
+}  // namespace o1mem

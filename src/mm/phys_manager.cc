@@ -1,0 +1,52 @@
+#include "src/mm/phys_manager.h"
+
+namespace o1mem {
+
+PhysManager::PhysManager(Machine* machine)
+    : machine_(machine),
+      buddy_(&machine->ctx(), /*base=*/0, machine->phys().dram_bytes()),
+      meta_(&machine->ctx(), /*base=*/0, machine->phys().dram_bytes()) {
+  O1_CHECK(machine != nullptr);
+}
+
+Result<Paddr> PhysManager::AllocFrame(bool zero) {
+  auto frame = buddy_.AllocFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  if (zero) {
+    O1_RETURN_IF_ERROR(machine_->phys().Zero(frame.value(), kPageSize));
+  }
+  PageMeta& m = meta_.Of(frame.value());
+  m = PageMeta{};
+  m.refcount = 1;
+  return frame.value();
+}
+
+Status PhysManager::FreeFrame(Paddr paddr) {
+  PageMeta& m = meta_.Of(paddr);
+  m = PageMeta{};
+  return buddy_.FreeFrame(paddr);
+}
+
+Status PhysManager::ReleaseFrame(Paddr paddr) {
+  PageMeta& m = meta_.Of(paddr);
+  if (m.refcount > 1) {
+    m.refcount--;
+    return OkStatus();
+  }
+  m = PageMeta{};
+  return buddy_.FreeFrame(paddr);
+}
+
+Status PhysManager::ReleaseContiguous(Paddr paddr, int order) {
+  PageMeta& m = meta_.Of(paddr);
+  if (m.refcount > 1) {
+    m.refcount--;
+    return OkStatus();
+  }
+  m = PageMeta{};
+  return buddy_.FreeOrder(paddr, order);
+}
+
+}  // namespace o1mem

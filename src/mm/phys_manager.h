@@ -1,0 +1,49 @@
+// PhysManager: the baseline kernel's view of DRAM -- a buddy allocator plus
+// the per-frame struct-page metadata array. One instance manages the DRAM
+// tier of a Machine; the NVM tier is managed by the file systems (src/fs).
+#ifndef O1MEM_SRC_MM_PHYS_MANAGER_H_
+#define O1MEM_SRC_MM_PHYS_MANAGER_H_
+
+#include "src/mm/buddy_allocator.h"
+#include "src/mm/page_meta.h"
+#include "src/sim/machine.h"
+
+namespace o1mem {
+
+class PhysManager {
+ public:
+  explicit PhysManager(Machine* machine);
+
+  PhysManager(const PhysManager&) = delete;
+  PhysManager& operator=(const PhysManager&) = delete;
+
+  // Allocates one DRAM frame; zeroes it when `zero` is set (the baseline
+  // zeroes at fault time for anonymous memory).
+  Result<Paddr> AllocFrame(bool zero);
+
+  // Releases one frame back to the buddy allocator.
+  Status FreeFrame(Paddr paddr);
+
+  // Reference-counted release for frames shared across address spaces
+  // (fork/COW): drops one reference and frees only at zero.
+  Status ReleaseFrame(Paddr paddr);
+  Status ReleaseContiguous(Paddr paddr, int order);
+
+  // Allocates 2^order contiguous frames (no zeroing).
+  Result<Paddr> AllocContiguous(int order) { return buddy_.AllocOrder(order); }
+  Status FreeContiguous(Paddr paddr, int order) { return buddy_.FreeOrder(paddr, order); }
+
+  BuddyAllocator& buddy() { return buddy_; }
+  PageMetaArray& meta() { return meta_; }
+  Machine& machine() { return *machine_; }
+  uint64_t free_bytes() const { return buddy_.free_bytes(); }
+
+ private:
+  Machine* machine_;
+  BuddyAllocator buddy_;
+  PageMetaArray meta_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_MM_PHYS_MANAGER_H_

@@ -1,0 +1,85 @@
+#include "src/mm/reclaim.h"
+
+namespace o1mem {
+
+Result<ReclaimStats> ClockReclaimer::Reclaim(uint64_t target) {
+  ReclaimStats stats;
+  SimContext& ctx = pager_->machine().ctx();
+  std::list<Vaddr>& lru = pager_->inactive_list();
+  // Bound the sweep: at most two full revolutions of the clock, after which
+  // everything had its referenced bit cleared once and the scan must yield.
+  uint64_t budget = 2 * lru.size() + 1;
+  while (stats.reclaimed < target && budget > 0 && !lru.empty()) {
+    --budget;
+    ctx.Charge(ctx.cost().reclaim_scan_page_cycles);
+    ctx.counters().pages_scanned++;
+    stats.scanned++;
+    const Vaddr victim = lru.front();
+    if (pager_->TestAndClearReferenced(victim)) {
+      // Second chance: rotate to the back of the clock. splice() keeps the
+      // pager's stored iterators valid.
+      lru.splice(lru.end(), lru, lru.begin());
+      stats.spared++;
+      continue;
+    }
+    Status evicted = pager_->SwapOutPage(victim);
+    if (evicted.code() == StatusCode::kBusy) {
+      // Pinned (mlocked) page: unevictable, rotate past it.
+      lru.splice(lru.end(), lru, lru.begin());
+      stats.spared++;
+      continue;
+    }
+    O1_RETURN_IF_ERROR(evicted);
+    stats.reclaimed++;
+  }
+  return stats;
+}
+
+void TwoQueueReclaimer::RebalanceQueues() {
+  // Keep the inactive queue at least as large as a third of the total, as
+  // Linux's active/inactive balancing aims for.
+  std::list<Vaddr>& active = pager_->active_list();
+  std::list<Vaddr>& inactive = pager_->inactive_list();
+  SimContext& ctx = pager_->machine().ctx();
+  while (!active.empty() && inactive.size() < (active.size() + inactive.size()) / 3 + 1) {
+    ctx.Charge(ctx.cost().reclaim_scan_page_cycles);
+    ctx.counters().pages_scanned++;
+    pager_->Demote(active.front());
+  }
+}
+
+Result<ReclaimStats> TwoQueueReclaimer::Reclaim(uint64_t target) {
+  ReclaimStats stats;
+  SimContext& ctx = pager_->machine().ctx();
+  std::list<Vaddr>& inactive = pager_->inactive_list();
+  uint64_t budget = 2 * (inactive.size() + pager_->active_list().size()) + 2;
+  while (stats.reclaimed < target && budget > 0) {
+    --budget;
+    if (inactive.empty()) {
+      RebalanceQueues();
+      if (inactive.empty()) {
+        break;
+      }
+    }
+    ctx.Charge(ctx.cost().reclaim_scan_page_cycles);
+    ctx.counters().pages_scanned++;
+    stats.scanned++;
+    const Vaddr candidate = inactive.front();
+    if (pager_->TestAndClearReferenced(candidate)) {
+      pager_->Promote(candidate);
+      stats.spared++;
+      continue;
+    }
+    Status evicted = pager_->SwapOutPage(candidate);
+    if (evicted.code() == StatusCode::kBusy) {
+      pager_->Promote(candidate);  // unevictable: park it on the active list
+      stats.spared++;
+      continue;
+    }
+    O1_RETURN_IF_ERROR(evicted);
+    stats.reclaimed++;
+  }
+  return stats;
+}
+
+}  // namespace o1mem

@@ -1,0 +1,51 @@
+// Page reclamation algorithms the paper retires (Sec. 3.1: "avoids the need
+// for page reclamation algorithms (e.g., clock, 2-queue)").
+//
+// Both reclaimers operate on a DemandPager's anonymous LRU state. Their
+// defining property for the reproduction is the per-page scan cost:
+// reclaiming N pages examines >= N pages (usually more), each examination
+// charged, versus FOM's reclaim-by-deleting-a-file.
+#ifndef O1MEM_SRC_MM_RECLAIM_H_
+#define O1MEM_SRC_MM_RECLAIM_H_
+
+#include "src/mm/demand_pager.h"
+
+namespace o1mem {
+
+struct ReclaimStats {
+  uint64_t scanned = 0;
+  uint64_t reclaimed = 0;
+  uint64_t spared = 0;  // referenced pages given a second chance
+};
+
+// Classic clock (second chance): sweep the inactive list circularly; a
+// referenced page is cleared and skipped, an unreferenced one is evicted.
+class ClockReclaimer {
+ public:
+  explicit ClockReclaimer(DemandPager* pager) : pager_(pager) {}
+
+  // Evicts up to `target` pages; returns what actually happened.
+  Result<ReclaimStats> Reclaim(uint64_t target);
+
+ private:
+  DemandPager* pager_;
+};
+
+// Simplified 2Q: evict from the inactive queue; referenced inactive pages
+// are promoted to the active queue instead of evicted; when inactive runs
+// low, the oldest active pages are demoted.
+class TwoQueueReclaimer {
+ public:
+  explicit TwoQueueReclaimer(DemandPager* pager) : pager_(pager) {}
+
+  Result<ReclaimStats> Reclaim(uint64_t target);
+
+ private:
+  void RebalanceQueues();
+
+  DemandPager* pager_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_MM_RECLAIM_H_

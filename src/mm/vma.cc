@@ -1,0 +1,148 @@
+#include "src/mm/vma.h"
+
+#include <algorithm>
+
+namespace o1mem {
+
+Status VmaTree::Insert(const Vma& vma) {
+  if (vma.start >= vma.end || !IsAligned(vma.start, kPageSize) || !IsAligned(vma.end, kPageSize)) {
+    return InvalidArgument("bad VMA geometry");
+  }
+  ctx_->Charge(ctx_->cost().vma_insert_cycles);
+  // Overlap check against the neighbor at/above and below.
+  auto next = vmas_.lower_bound(vma.start);
+  if (next != vmas_.end() && next->second.start < vma.end) {
+    return AlreadyExists("VMA overlaps a higher region");
+  }
+  if (next != vmas_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.end > vma.start) {
+      return AlreadyExists("VMA overlaps a lower region");
+    }
+  }
+  Vma merged = vma;
+  // Merge with predecessor.
+  if (next != vmas_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.CanMergeWith(merged)) {
+      merged.start = prev->second.start;
+      merged.file_offset = prev->second.file_offset;
+      vmas_.erase(prev);
+    }
+  }
+  // Merge with successor.
+  if (next != vmas_.end() && merged.CanMergeWith(next->second)) {
+    merged.end = next->second.end;
+    vmas_.erase(next);
+  }
+  vmas_.emplace(merged.start, merged);
+  return OkStatus();
+}
+
+std::optional<Vma> VmaTree::Find(Vaddr vaddr) {
+  ctx_->Charge(ctx_->cost().vma_lookup_cycles);
+  auto it = vmas_.upper_bound(vaddr);
+  if (it == vmas_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (vaddr >= it->second.start && vaddr < it->second.end) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<Vma>> VmaTree::RemoveRange(Vaddr start, uint64_t len) {
+  if (!IsAligned(start, kPageSize) || !IsAligned(len, kPageSize) || len == 0) {
+    return InvalidArgument("bad unmap geometry");
+  }
+  ctx_->Charge(ctx_->cost().vma_remove_cycles);
+  const Vaddr end = start + len;
+  std::vector<Vma> removed;
+  auto it = vmas_.upper_bound(start);
+  if (it != vmas_.begin()) {
+    --it;
+  }
+  while (it != vmas_.end() && it->second.start < end) {
+    Vma cur = it->second;
+    if (cur.end <= start) {
+      ++it;
+      continue;
+    }
+    it = vmas_.erase(it);
+    // Left remainder.
+    if (cur.start < start) {
+      Vma left = cur;
+      left.end = start;
+      vmas_.emplace(left.start, left);
+    }
+    // Right remainder.
+    if (cur.end > end) {
+      Vma right = cur;
+      right.file_offset += end - cur.start;
+      right.start = end;
+      it = vmas_.emplace(right.start, right).first;
+      ++it;
+    }
+    // The removed middle piece.
+    Vma mid = cur;
+    mid.file_offset += (std::max(cur.start, start) - cur.start);
+    mid.start = std::max(cur.start, start);
+    mid.end = std::min(cur.end, end);
+    removed.push_back(mid);
+  }
+  return removed;
+}
+
+Result<Vaddr> VmaTree::FindFreeRegion(Vaddr hint, uint64_t len, uint64_t align, Vaddr limit) {
+  if (len == 0 || !IsPowerOfTwo(align)) {
+    return InvalidArgument("bad free-region request");
+  }
+  ctx_->Charge(ctx_->cost().vma_lookup_cycles);
+  Vaddr candidate = AlignUp(std::max<Vaddr>(hint, kPageSize), align);
+  auto it = vmas_.upper_bound(candidate);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > candidate) {
+      candidate = AlignUp(prev->second.end, align);
+      it = vmas_.upper_bound(candidate);
+    }
+  }
+  while (true) {
+    if (candidate + len > limit || candidate + len < candidate) {
+      return OutOfMemory("no free virtual region below limit");
+    }
+    if (it == vmas_.end() || candidate + len <= it->second.start) {
+      return candidate;
+    }
+    candidate = AlignUp(it->second.end, align);
+    ++it;
+  }
+}
+
+Status VmaTree::Protect(Vaddr start, uint64_t len, Prot prot) {
+  if (!IsAligned(start, kPageSize) || !IsAligned(len, kPageSize) || len == 0) {
+    return InvalidArgument("bad mprotect geometry");
+  }
+  // Reuse the split machinery: remove and reinsert with new protection.
+  auto removed = RemoveRange(start, len);
+  if (!removed.ok()) {
+    return removed.status();
+  }
+  for (Vma piece : removed.value()) {
+    piece.prot = prot;
+    O1_RETURN_IF_ERROR(Insert(piece));
+  }
+  return OkStatus();
+}
+
+std::vector<Vma> VmaTree::Regions() const {
+  std::vector<Vma> out;
+  out.reserve(vmas_.size());
+  for (const auto& [start, vma] : vmas_) {
+    out.push_back(vma);
+  }
+  return out;
+}
+
+}  // namespace o1mem

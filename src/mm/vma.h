@@ -1,0 +1,94 @@
+// Virtual memory areas: the per-process region bookkeeping of the baseline
+// kernel (Linux's vm_area_struct + rb-tree, here a std::map with identical
+// algorithmic behaviour).
+//
+// Adjacent anonymous regions with identical flags are merged on insert, the
+// optimization Section 3.1 notes becomes harder under file-only memory
+// ("Linux merges adjacent memory regions when possible").
+#ifndef O1MEM_SRC_MM_VMA_H_
+#define O1MEM_SRC_MM_VMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/sim/context.h"
+#include "src/sim/prot.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace o1mem {
+
+// Supplies backing frames for file-backed VMAs (implemented by tmpfs/PMFS
+// files). `file_offset` is page aligned. The provider allocates backing
+// on demand and returns the physical address holding that page.
+class BackingProvider {
+ public:
+  virtual ~BackingProvider() = default;
+  virtual Result<Paddr> GetBackingPage(uint64_t file_offset, bool for_write) = 0;
+  // Identity for VMA-merge checks and debugging.
+  virtual uint64_t backing_id() const = 0;
+};
+
+class FileSystem;  // the fs owning `backing`, opaque to the mm layer
+
+struct Vma {
+  Vaddr start = 0;
+  Vaddr end = 0;  // exclusive
+  Prot prot = Prot::kNone;
+  bool populate = false;        // MAP_POPULATE semantics
+  bool discardable = false;     // contents may be dropped under pressure
+  bool large_pages = false;     // back with 2 MiB pages (MAP_HUGETLB/THP-like)
+  BackingProvider* backing = nullptr;  // nullptr = anonymous
+  FileSystem* backing_fs = nullptr;    // owner of `backing` (refcount target)
+  uint64_t file_offset = 0;     // offset of `start` within the backing
+
+  uint64_t bytes() const { return end - start; }
+  bool anonymous() const { return backing == nullptr; }
+
+  // True when `other` may be merged immediately after *this.
+  bool CanMergeWith(const Vma& other) const {
+    return end == other.start && prot == other.prot && populate == other.populate &&
+           discardable == other.discardable && large_pages == other.large_pages &&
+           anonymous() && other.anonymous();
+  }
+};
+
+class VmaTree {
+ public:
+  explicit VmaTree(SimContext* ctx) : ctx_(ctx) {}
+
+  VmaTree(const VmaTree&) = delete;
+  VmaTree& operator=(const VmaTree&) = delete;
+
+  // Inserts a region; rejects overlap. Merges with neighbours when legal
+  // (anonymous, same flags). Charges vma_insert_cycles.
+  Status Insert(const Vma& vma);
+
+  // Finds the VMA containing `vaddr` (charged: this is the fault-path
+  // lookup).
+  std::optional<Vma> Find(Vaddr vaddr);
+
+  // Removes [start, start+len), splitting partially covered VMAs. Returns
+  // the removed pieces so the caller can release backing per piece.
+  Result<std::vector<Vma>> RemoveRange(Vaddr start, uint64_t len);
+
+  // Lowest gap of at least `len` bytes with `align` alignment at or above
+  // `hint`; the mmap address-picker.
+  Result<Vaddr> FindFreeRegion(Vaddr hint, uint64_t len, uint64_t align, Vaddr limit);
+
+  // Changes protection over [start, start+len); splits as needed.
+  Status Protect(Vaddr start, uint64_t len, Prot prot);
+
+  size_t size() const { return vmas_.size(); }
+  std::vector<Vma> Regions() const;
+
+ private:
+  SimContext* ctx_;
+  std::map<Vaddr, Vma> vmas_;  // keyed by start
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_MM_VMA_H_

@@ -1,0 +1,103 @@
+#include "src/os/malloc.h"
+
+namespace o1mem {
+
+SizeClassAllocator::SizeClassAllocator(System* system, Process* proc, bool populate)
+    : system_(system), proc_(proc), populate_(populate) {
+  O1_CHECK(system != nullptr && proc != nullptr);
+}
+
+int SizeClassAllocator::ClassFor(uint64_t bytes) {
+  uint64_t cls_bytes = 16;
+  for (int cls = 0; cls < kClassCount; ++cls) {
+    if (cls_bytes >= bytes) {
+      return cls;
+    }
+    cls_bytes *= 2;
+  }
+  return kClassCount;
+}
+
+uint64_t SizeClassAllocator::ClassBytes(int cls) {
+  O1_CHECK(cls >= 0 && cls < kClassCount);
+  return uint64_t{16} << cls;
+}
+
+Status SizeClassAllocator::Refill(int cls) {
+  auto chunk = system_->Mmap(*proc_, MmapArgs{.length = kChunkBytes,
+                                              .prot = Prot::kReadWrite,
+                                              .populate = populate_});
+  if (!chunk.ok()) {
+    return chunk.status();
+  }
+  stats_.chunk_refills++;
+  stats_.mmap_bytes += kChunkBytes;
+  const uint64_t object_bytes = ClassBytes(cls);
+  for (uint64_t off = 0; off < kChunkBytes; off += object_bytes) {
+    free_lists_[static_cast<size_t>(cls)].push_back(*chunk + off);
+  }
+  return OkStatus();
+}
+
+Result<Vaddr> SizeClassAllocator::Malloc(uint64_t bytes) {
+  if (bytes == 0) {
+    return InvalidArgument("malloc(0)");
+  }
+  system_->ctx().Charge(system_->ctx().cost().user_alloc_cycles);
+  stats_.allocations++;
+  const int cls = ClassFor(bytes);
+  if (cls >= kClassCount) {
+    auto region = system_->Mmap(*proc_, MmapArgs{.length = bytes,
+                                                 .prot = Prot::kReadWrite,
+                                                 .populate = populate_});
+    if (!region.ok()) {
+      return region;
+    }
+    stats_.mmap_bytes += AlignUp(bytes, kPageSize);
+    stats_.live_bytes += AlignUp(bytes, kPageSize);
+    live_big_.emplace(*region, bytes);
+    return region;
+  }
+  auto& free_list = free_lists_[static_cast<size_t>(cls)];
+  if (free_list.empty()) {
+    O1_RETURN_IF_ERROR(Refill(cls));
+  }
+  const Vaddr ptr = free_list.back();
+  free_list.pop_back();
+  live_class_.emplace(ptr, cls);
+  stats_.live_bytes += ClassBytes(cls);
+  return ptr;
+}
+
+Status SizeClassAllocator::Free(Vaddr ptr) {
+  system_->ctx().Charge(system_->ctx().cost().user_alloc_cycles);
+  if (auto big = live_big_.find(ptr); big != live_big_.end()) {
+    stats_.frees++;
+    stats_.live_bytes -= AlignUp(big->second, kPageSize);
+    O1_RETURN_IF_ERROR(system_->Munmap(*proc_, ptr, big->second));
+    live_big_.erase(big);
+    return OkStatus();
+  }
+  auto it = live_class_.find(ptr);
+  if (it == live_class_.end()) {
+    return InvalidArgument("free of unknown pointer");
+  }
+  stats_.frees++;
+  stats_.live_bytes -= ClassBytes(it->second);
+  free_lists_[static_cast<size_t>(it->second)].push_back(ptr);
+  live_class_.erase(it);
+  return OkStatus();
+}
+
+Result<uint64_t> SizeClassAllocator::UsableSize(Vaddr ptr) const {
+  if (auto big = live_big_.find(ptr); big != live_big_.end()) {
+    return big->second;
+  }
+  auto it = live_class_.find(ptr);
+  if (it == live_class_.end()) {
+    return NotFound("unknown pointer");
+  }
+  return ClassBytes(it->second);
+}
+
+}  // namespace o1mem

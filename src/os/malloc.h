@@ -1,0 +1,69 @@
+// SizeClassAllocator: a user-level heap in the TCMalloc family (the paper
+// cites TCMalloc as an allocator that trades space for speed). It sits on
+// top of System::Mmap for either backend, so the same user workload can be
+// priced over baseline anonymous memory and over file-only memory -- the
+// comparison of Figure 2/7.
+//
+// Design: power-of-two-ish size classes from 16 B to 256 KiB served from
+// per-class free lists; classes are refilled by carving 1 MiB chunks
+// obtained from mmap; larger requests go straight to mmap. Allocator
+// metadata lives host-side (out of band), as the simulated bytes belong to
+// the application.
+#ifndef O1MEM_SRC_OS_MALLOC_H_
+#define O1MEM_SRC_OS_MALLOC_H_
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "src/os/system.h"
+
+namespace o1mem {
+
+struct MallocStats {
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+  uint64_t chunk_refills = 0;
+  uint64_t mmap_bytes = 0;  // address space obtained from the kernel
+  uint64_t live_bytes = 0;  // bytes handed to the application
+};
+
+class SizeClassAllocator {
+ public:
+  static constexpr uint64_t kChunkBytes = 1 * kMiB;
+  static constexpr uint64_t kMaxClassBytes = 256 * kKiB;
+
+  // `populate` selects eager backing for chunks (MAP_POPULATE); demand
+  // paging otherwise. FOM-backed chunks are always fully backed.
+  SizeClassAllocator(System* system, Process* proc, bool populate = false);
+
+  SizeClassAllocator(const SizeClassAllocator&) = delete;
+  SizeClassAllocator& operator=(const SizeClassAllocator&) = delete;
+
+  Result<Vaddr> Malloc(uint64_t bytes);
+  Status Free(Vaddr ptr);
+
+  const MallocStats& stats() const { return stats_; }
+
+  // Bytes of a given allocation (tests).
+  Result<uint64_t> UsableSize(Vaddr ptr) const;
+
+  static int ClassFor(uint64_t bytes);
+  static uint64_t ClassBytes(int cls);
+  static constexpr int kClassCount = 15;  // 16B..256KiB, x2 steps
+
+ private:
+  Status Refill(int cls);
+
+  System* system_;
+  Process* proc_;
+  bool populate_;
+  std::array<std::vector<Vaddr>, kClassCount> free_lists_;
+  std::unordered_map<Vaddr, int> live_class_;       // small allocation -> class
+  std::unordered_map<Vaddr, uint64_t> live_big_;    // direct mmap -> bytes
+  MallocStats stats_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OS_MALLOC_H_

@@ -1,0 +1,85 @@
+// Process: one simulated user process, managed by System.
+//
+// A process runs on one of two memory backends:
+//   * kBaseline -- Linux-like: VMA tree + demand pager + per-page everything;
+//   * kFom      -- file-only memory: all segments are PMFS files mapped with
+//     O(1) mechanisms; there is no pager and no per-page state.
+//
+// Either way the process owns a hardware AddressSpace and a descriptor
+// table. User-level data access goes through System::UserRead/UserWrite/
+// UserTouch (no syscall cost); everything else is a charged "syscall".
+#ifndef O1MEM_SRC_OS_PROCESS_H_
+#define O1MEM_SRC_OS_PROCESS_H_
+
+#include <map>
+#include <memory>
+
+#include "src/fom/fom_manager.h"
+#include "src/mm/demand_pager.h"
+#include "src/mm/vma.h"
+
+namespace o1mem {
+
+enum class Backend {
+  kBaseline,
+  kFom,
+};
+
+class System;
+
+class Process {
+ public:
+  using Pid = uint32_t;
+
+  Pid pid() const { return pid_; }
+  Backend backend() const { return backend_; }
+
+  AddressSpace& address_space() {
+    return backend_ == Backend::kFom ? fom_->address_space() : *as_;
+  }
+
+  // Baseline-only accessors (CHECK on the wrong backend).
+  VmaTree& vmas();
+  DemandPager& pager();
+  // FOM-only accessor.
+  FomProcess& fom();
+
+  // Segment base addresses installed by System::Launch.
+  Vaddr code_base() const { return code_base_; }
+  Vaddr stack_base() const { return stack_base_; }
+  Vaddr heap_base() const { return heap_base_; }
+
+ private:
+  friend class System;
+
+  struct OpenFile {
+    FileSystem* fs = nullptr;
+    InodeId inode = kInvalidInode;
+    uint64_t offset = 0;
+  };
+
+  Process(Pid pid, Backend backend) : pid_(pid), backend_(backend) {}
+
+  Pid pid_;
+  Backend backend_;
+
+  // Baseline state.
+  std::unique_ptr<AddressSpace> as_;
+  std::unique_ptr<VmaTree> vmas_;
+  std::unique_ptr<DemandPager> pager_;
+
+  // FOM state.
+  std::unique_ptr<FomProcess> fom_;
+
+  std::map<int, OpenFile> fds_;
+  int next_fd_ = 3;
+
+  Vaddr code_base_ = 0;
+  Vaddr stack_base_ = 0;
+  Vaddr heap_base_ = 0;
+  uint64_t anon_counter_ = 0;  // names FOM's anonymous temp segments
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OS_PROCESS_H_

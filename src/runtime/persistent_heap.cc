@@ -1,0 +1,160 @@
+#include "src/runtime/persistent_heap.h"
+
+#include <cstring>
+
+namespace o1mem {
+
+namespace {
+constexpr uint64_t kHeapMagic = 0x6f31706865617021ULL;  // "o1pheap!"
+}
+
+uint64_t PersistentHeap::HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;  // 0 means "empty slot"
+}
+
+Status PersistentHeap::LoadHeader(Header* header) {
+  return sys_->UserRead(*proc_, base_,
+                        std::span<uint8_t>(reinterpret_cast<uint8_t*>(header),
+                                           sizeof(Header)));
+}
+
+Status PersistentHeap::StoreHeader(const Header& header) {
+  O1_RETURN_IF_ERROR(sys_->UserWrite(
+      *proc_, base_,
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&header), sizeof(Header))));
+  // Metadata must be durable before any operation that depends on it.
+  return sys_->UserFlush(*proc_, base_, sizeof(Header));
+}
+
+Result<PersistentHeap> PersistentHeap::OpenOrCreate(System* sys, Process* proc,
+                                                    std::string path,
+                                                    uint64_t capacity_bytes) {
+  O1_CHECK(sys != nullptr && proc != nullptr);
+  if (proc->backend() != Backend::kFom) {
+    return Unsupported("persistent heaps are backed by FOM segments");
+  }
+  if (capacity_bytes == 0) {
+    return InvalidArgument("zero-capacity heap");
+  }
+  bool fresh = false;
+  InodeId inode = kInvalidInode;
+  if (auto existing = sys->fom().OpenSegment(path); existing.ok()) {
+    inode = *existing;
+  } else {
+    auto created = sys->fom().CreateSegment(
+        path, kHeaderBytes + capacity_bytes,
+        SegmentOptions{.flags = FileFlags{.persistent = true}});
+    if (!created.ok()) {
+      return created.status();
+    }
+    inode = *created;
+    fresh = true;
+  }
+  auto base = sys->fom().Map(proc->fom(), inode, Prot::kReadWrite);
+  if (!base.ok()) {
+    return base.status();
+  }
+  auto stat = sys->fom().fs().Stat(inode);
+  if (!stat.ok()) {
+    return stat.status();
+  }
+  if (stat->size < kHeaderBytes) {
+    return Corruption("segment too small to be a heap");
+  }
+  const uint64_t usable = stat->size - kHeaderBytes;
+  PersistentHeap heap(sys, proc, *base, usable, 0, !fresh);
+  Header header;
+  if (fresh) {
+    header.magic = kHeapMagic;
+    header.capacity = usable;
+    header.cursor = 0;
+    O1_RETURN_IF_ERROR(heap.StoreHeader(header));
+  } else {
+    O1_RETURN_IF_ERROR(heap.LoadHeader(&header));
+    if (header.magic != kHeapMagic || header.capacity != usable ||
+        header.cursor > header.capacity) {
+      return Corruption("persistent heap header is damaged");
+    }
+    heap.cursor_ = header.cursor;
+  }
+  return heap;
+}
+
+Result<uint64_t> PersistentHeap::Allocate(uint64_t bytes, uint64_t align) {
+  if (bytes == 0 || !IsPowerOfTwo(align)) {
+    return InvalidArgument("bad heap allocation");
+  }
+  sys_->ctx().Charge(sys_->ctx().cost().user_alloc_cycles);
+  const uint64_t start = AlignUp(cursor_, align);
+  if (start + bytes > capacity_ || start + bytes < start) {
+    return OutOfMemory("persistent heap exhausted");
+  }
+  cursor_ = start + bytes;
+  // Persist the cursor so a crash cannot double-allocate. One small NVM
+  // store through the mapping.
+  const uint64_t cursor_offset = offsetof(Header, cursor);
+  O1_RETURN_IF_ERROR(sys_->UserWrite(
+      *proc_, base_ + cursor_offset,
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&cursor_), sizeof(cursor_))));
+  O1_RETURN_IF_ERROR(sys_->UserFlush(*proc_, base_ + cursor_offset, sizeof(cursor_)));
+  return start;
+}
+
+Status PersistentHeap::SetRoot(std::string_view name, uint64_t offset) {
+  if (offset >= capacity_) {
+    return InvalidArgument("root offset outside heap");
+  }
+  Header header;
+  O1_RETURN_IF_ERROR(LoadHeader(&header));
+  const uint64_t hash = HashName(name);
+  int free_slot = -1;
+  for (int i = 0; i < kMaxRoots; ++i) {
+    if (header.roots[i].name_hash == hash) {
+      free_slot = i;
+      break;
+    }
+    if (header.roots[i].name_hash == 0 && free_slot < 0) {
+      free_slot = i;
+    }
+  }
+  if (free_slot < 0) {
+    return OutOfMemory("root table full");
+  }
+  header.roots[free_slot].name_hash = hash;
+  header.roots[free_slot].offset = offset;
+  return StoreHeader(header);
+}
+
+Result<uint64_t> PersistentHeap::GetRoot(std::string_view name) {
+  Header header;
+  O1_RETURN_IF_ERROR(LoadHeader(&header));
+  const uint64_t hash = HashName(name);
+  for (int i = 0; i < kMaxRoots; ++i) {
+    if (header.roots[i].name_hash == hash) {
+      return header.roots[i].offset;
+    }
+  }
+  return NotFound("no such root");
+}
+
+Status PersistentHeap::WriteObject(uint64_t offset, std::span<const uint8_t> data) {
+  if (offset + data.size() > cursor_) {
+    return InvalidArgument("write beyond allocated heap space");
+  }
+  O1_RETURN_IF_ERROR(sys_->UserWrite(*proc_, AddressOf(offset), data));
+  // Object contents are durable when WriteObject returns.
+  return sys_->UserFlush(*proc_, AddressOf(offset), data.size());
+}
+
+Status PersistentHeap::ReadObject(uint64_t offset, std::span<uint8_t> out) {
+  if (offset + out.size() > cursor_) {
+    return InvalidArgument("read beyond allocated heap space");
+  }
+  return sys_->UserRead(*proc_, AddressOf(offset), out);
+}
+
+}  // namespace o1mem

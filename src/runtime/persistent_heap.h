@@ -1,0 +1,93 @@
+// PersistentHeap: a crash-surviving allocation heap for language runtimes.
+//
+// Everything -- the allocator's own metadata (header + root table) and the
+// application objects -- lives inside ONE persistent FOM segment and is
+// manipulated through ordinary loads and stores on the mapping. After a
+// power failure the heap reopens in O(1) (map the file; pre-created tables
+// were persistent) and every object is where it was. Roots give crash-safe
+// named entry points into the object graph; object references should be
+// stored as heap OFFSETS (the segment may map at a different address after
+// reboot -- unless the PBM mechanism is used, which guarantees stable
+// addresses).
+//
+// This realizes the paper's "recovery of large in-memory data sets after a
+// process crash" at the runtime level.
+#ifndef O1MEM_SRC_RUNTIME_PERSISTENT_HEAP_H_
+#define O1MEM_SRC_RUNTIME_PERSISTENT_HEAP_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/os/system.h"
+
+namespace o1mem {
+
+class PersistentHeap {
+ public:
+  static constexpr int kMaxRoots = 64;
+
+  // Opens an existing heap at `path` or creates a fresh one of
+  // `capacity_bytes`. An existing heap's capacity wins; a corrupted header
+  // is reported as kCorruption, never silently reformatted.
+  static Result<PersistentHeap> OpenOrCreate(System* sys, Process* proc, std::string path,
+                                             uint64_t capacity_bytes);
+
+  PersistentHeap(PersistentHeap&&) = default;
+  PersistentHeap& operator=(PersistentHeap&&) = default;
+  PersistentHeap(const PersistentHeap&) = delete;
+  PersistentHeap& operator=(const PersistentHeap&) = delete;
+
+  // Allocates `bytes`; returns the heap OFFSET (stable across reboots).
+  // The bump cursor is persisted in the header before the call returns, so
+  // a crash can never hand out the same bytes twice.
+  Result<uint64_t> Allocate(uint64_t bytes, uint64_t align = 16);
+
+  // Named persistent roots (offset values; 0 = unset).
+  Status SetRoot(std::string_view name, uint64_t offset);
+  Result<uint64_t> GetRoot(std::string_view name);
+
+  // Object access by offset.
+  Status WriteObject(uint64_t offset, std::span<const uint8_t> data);
+  Status ReadObject(uint64_t offset, std::span<uint8_t> out);
+  Vaddr AddressOf(uint64_t offset) const { return base_ + kHeaderBytes + offset; }
+
+  // True when OpenOrCreate found an existing formatted heap.
+  bool recovered() const { return recovered_; }
+  uint64_t used_bytes() const { return cursor_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+
+  static constexpr uint64_t kHeaderBytes = 4 * kKiB;
+
+ private:
+  struct Header {
+    uint64_t magic = 0;
+    uint64_t capacity = 0;
+    uint64_t cursor = 0;
+    struct Root {
+      uint64_t name_hash = 0;
+      uint64_t offset = 0;
+    } roots[kMaxRoots] = {};
+  };
+  static_assert(sizeof(Header) <= kHeaderBytes, "header must fit its page");
+
+  PersistentHeap(System* sys, Process* proc, Vaddr base, uint64_t capacity, uint64_t cursor,
+                 bool recovered)
+      : sys_(sys), proc_(proc), base_(base), capacity_(capacity), cursor_(cursor),
+        recovered_(recovered) {}
+
+  static uint64_t HashName(std::string_view name);
+
+  Status LoadHeader(Header* header);
+  Status StoreHeader(const Header& header);
+
+  System* sys_;
+  Process* proc_;
+  Vaddr base_;
+  uint64_t capacity_;  // usable object bytes (excludes header)
+  uint64_t cursor_;
+  bool recovered_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_RUNTIME_PERSISTENT_HEAP_H_

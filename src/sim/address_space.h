@@ -1,0 +1,53 @@
+// AddressSpace: the hardware view of one process's virtual address space --
+// an ASID, a radix page table, and a range table. OS-level structures (VMAs,
+// segments, file mappings) live in src/mm and src/os; this class is what the
+// MMU consults.
+#ifndef O1MEM_SRC_SIM_ADDRESS_SPACE_H_
+#define O1MEM_SRC_SIM_ADDRESS_SPACE_H_
+
+#include <memory>
+
+#include "src/sim/page_table.h"
+#include "src/sim/prot.h"
+#include "src/sim/range_table.h"
+#include "src/sim/tlb.h"
+
+namespace o1mem {
+
+// Installed by the OS layer; invoked by the Mmu when no translation covers a
+// virtual address. The handler must install a translation (page table or
+// range table) for the faulting address and return OK, or return an error to
+// deliver the moral equivalent of SIGSEGV.
+class FaultHandler {
+ public:
+  virtual ~FaultHandler() = default;
+  virtual Status HandleFault(Vaddr vaddr, AccessType type) = 0;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(SimContext* ctx, Asid asid, int pt_depth)
+      : asid_(asid), page_table_(ctx, pt_depth) {}
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  Asid asid() const { return asid_; }
+  PageTable& page_table() { return page_table_; }
+  const PageTable& page_table() const { return page_table_; }
+  RangeTable& range_table() { return range_table_; }
+  const RangeTable& range_table() const { return range_table_; }
+
+  void set_fault_handler(FaultHandler* handler) { fault_handler_ = handler; }
+  FaultHandler* fault_handler() const { return fault_handler_; }
+
+ private:
+  Asid asid_;
+  PageTable page_table_;
+  RangeTable range_table_;
+  FaultHandler* fault_handler_ = nullptr;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_ADDRESS_SPACE_H_

@@ -1,0 +1,39 @@
+// Virtual cycle clock: the single time source of the simulation.
+//
+// Every simulated hardware and kernel operation advances this clock by a
+// number of cycles taken from the CostModel. Benchmarks report
+// (cycles_after - cycles_before) converted to microseconds, which makes the
+// whole suite deterministic and independent of host machine speed.
+#ifndef O1MEM_SRC_SIM_CLOCK_H_
+#define O1MEM_SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace o1mem {
+
+class SimClock {
+ public:
+  explicit SimClock(double ghz = 2.0) : ghz_(ghz) {}
+
+  void Advance(uint64_t cycles) { now_ += cycles; }
+
+  uint64_t now() const { return now_; }
+  double ghz() const { return ghz_; }
+
+  // Converts a cycle count to microseconds at this clock's frequency.
+  double CyclesToUs(uint64_t cycles) const {
+    return static_cast<double>(cycles) / (ghz_ * 1000.0);
+  }
+  double CyclesToNs(uint64_t cycles) const { return static_cast<double>(cycles) / ghz_; }
+
+  // Elapsed microseconds since `start_cycles`.
+  double ElapsedUs(uint64_t start_cycles) const { return CyclesToUs(now_ - start_cycles); }
+
+ private:
+  uint64_t now_ = 0;
+  double ghz_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_CLOCK_H_

@@ -1,0 +1,40 @@
+// SimContext: the bundle of clock + cost model + counters threaded through
+// every simulated component. One SimContext exists per Machine.
+#ifndef O1MEM_SRC_SIM_CONTEXT_H_
+#define O1MEM_SRC_SIM_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/counters.h"
+
+namespace o1mem {
+
+class SimContext {
+ public:
+  SimContext() = default;
+  explicit SimContext(const CostModel& cost) : cost_(cost), clock_(cost.cpu_ghz) {}
+
+  // Advances simulated time by `cycles`.
+  void Charge(uint64_t cycles) { clock_.Advance(cycles); }
+
+  const CostModel& cost() const { return cost_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  EventCounters& counters() { return counters_; }
+  const EventCounters& counters() const { return counters_; }
+
+  // Convenience: current simulated time in cycles / microseconds.
+  uint64_t now() const { return clock_.now(); }
+  double ElapsedUs(uint64_t start_cycles) const { return clock_.ElapsedUs(start_cycles); }
+
+ private:
+  CostModel cost_;
+  SimClock clock_{cost_.cpu_ghz};
+  EventCounters counters_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_CONTEXT_H_

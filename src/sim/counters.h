@@ -1,0 +1,80 @@
+// Event counters: everything the simulation counts besides time.
+//
+// Benchmarks snapshot these around a measured region to report fault counts,
+// TLB behaviour, PTEs written, bytes zeroed, etc. (e.g. the page-fault-count
+// plot that corroborates Figure 1b).
+#ifndef O1MEM_SRC_SIM_COUNTERS_H_
+#define O1MEM_SRC_SIM_COUNTERS_H_
+
+#include <cstdint>
+
+namespace o1mem {
+
+struct EventCounters {
+  // Translation.
+  uint64_t tlb_l1_hits = 0;
+  uint64_t tlb_l2_hits = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t range_tlb_hits = 0;
+  uint64_t range_table_walks = 0;
+  uint64_t page_walks = 0;
+  uint64_t pwc_hits = 0;
+  uint64_t tlb_shootdowns = 0;
+
+  // Faults and syscalls.
+  uint64_t minor_faults = 0;
+  uint64_t major_faults = 0;
+  uint64_t segv_faults = 0;
+  uint64_t syscalls = 0;
+
+  // Mapping machinery.
+  uint64_t ptes_written = 0;
+  uint64_t pt_nodes_allocated = 0;
+  uint64_t subtree_splices = 0;
+  uint64_t range_entries_installed = 0;
+
+  // Physical memory.
+  uint64_t frames_allocated = 0;
+  uint64_t frames_freed = 0;
+  uint64_t bytes_zeroed = 0;
+  uint64_t bytes_copied = 0;
+
+  // Reclamation.
+  uint64_t pages_scanned = 0;
+  uint64_t pages_swapped_out = 0;
+  uint64_t pages_swapped_in = 0;
+  uint64_t files_reclaimed = 0;
+
+  EventCounters Delta(const EventCounters& since) const {
+    EventCounters d;
+    d.tlb_l1_hits = tlb_l1_hits - since.tlb_l1_hits;
+    d.tlb_l2_hits = tlb_l2_hits - since.tlb_l2_hits;
+    d.tlb_misses = tlb_misses - since.tlb_misses;
+    d.range_tlb_hits = range_tlb_hits - since.range_tlb_hits;
+    d.range_table_walks = range_table_walks - since.range_table_walks;
+    d.page_walks = page_walks - since.page_walks;
+    d.pwc_hits = pwc_hits - since.pwc_hits;
+    d.tlb_shootdowns = tlb_shootdowns - since.tlb_shootdowns;
+    d.minor_faults = minor_faults - since.minor_faults;
+    d.major_faults = major_faults - since.major_faults;
+    d.segv_faults = segv_faults - since.segv_faults;
+    d.syscalls = syscalls - since.syscalls;
+    d.ptes_written = ptes_written - since.ptes_written;
+    d.pt_nodes_allocated = pt_nodes_allocated - since.pt_nodes_allocated;
+    d.subtree_splices = subtree_splices - since.subtree_splices;
+    d.range_entries_installed = range_entries_installed - since.range_entries_installed;
+    d.frames_allocated = frames_allocated - since.frames_allocated;
+    d.frames_freed = frames_freed - since.frames_freed;
+    d.bytes_zeroed = bytes_zeroed - since.bytes_zeroed;
+    d.bytes_copied = bytes_copied - since.bytes_copied;
+    d.pages_scanned = pages_scanned - since.pages_scanned;
+    d.pages_swapped_out = pages_swapped_out - since.pages_swapped_out;
+    d.pages_swapped_in = pages_swapped_in - since.pages_swapped_in;
+    d.files_reclaimed = files_reclaimed - since.files_reclaimed;
+    return d;
+  }
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_COUNTERS_H_

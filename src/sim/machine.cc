@@ -1,0 +1,28 @@
+#include "src/sim/machine.h"
+
+namespace o1mem {
+
+namespace {
+// Cycles charged for the machine coming back up after a crash (firmware +
+// kernel boot are not what the paper measures, so this is nominal).
+constexpr uint64_t kRebootCycles = 1000000;
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      ctx_(config.cost),
+      phys_(&ctx_, config.dram_bytes, config.nvm_bytes, config.persistence),
+      mmu_(&ctx_, &phys_, config.mmu) {}
+
+std::unique_ptr<AddressSpace> Machine::CreateAddressSpace() {
+  return std::make_unique<AddressSpace>(&ctx_, next_asid_++, config_.page_table_depth);
+}
+
+void Machine::Crash() {
+  phys_.DropVolatile();
+  mmu_.InvalidateAll();
+  ctx_.Charge(kRebootCycles);
+  ++crash_count_;
+}
+
+}  // namespace o1mem

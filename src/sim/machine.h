@@ -1,0 +1,62 @@
+// Machine: one simulated computer -- clock, cost model, physical memory
+// (DRAM + persistent NVM tiers), MMU, and a factory for address spaces.
+//
+// Crash() models a power failure: DRAM contents and all translation caches
+// are lost, NVM survives. The persistent file system (src/fs/pmfs) and
+// file-only memory (src/fom) recover from NVM state after a crash.
+#ifndef O1MEM_SRC_SIM_MACHINE_H_
+#define O1MEM_SRC_SIM_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/address_space.h"
+#include "src/sim/mmu.h"
+#include "src/sim/phys_mem.h"
+
+namespace o1mem {
+
+struct MachineConfig {
+  CostModel cost;
+  uint64_t dram_bytes = 4 * kGiB;
+  uint64_t nvm_bytes = 64 * kGiB;
+  MmuConfig mmu;
+  int page_table_depth = 4;  // 4- or 5-level paging
+  // kAutoDurable (eADR-style, the default) or kExplicitFlush (clwb/fence
+  // required; crash reverts unflushed NVM lines).
+  PersistenceModel persistence = PersistenceModel::kAutoDurable;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = MachineConfig());
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimContext& ctx() { return ctx_; }
+  PhysicalMemory& phys() { return phys_; }
+  Mmu& mmu() { return mmu_; }
+  const MachineConfig& config() const { return config_; }
+
+  // Creates a new hardware address space with a fresh ASID.
+  std::unique_ptr<AddressSpace> CreateAddressSpace();
+
+  // Power failure: DRAM and all translation state evaporate; NVM persists;
+  // simulated time keeps running (reboot cost charged).
+  void Crash();
+
+  uint64_t crash_count() const { return crash_count_; }
+
+ private:
+  MachineConfig config_;
+  SimContext ctx_;
+  PhysicalMemory phys_;
+  Mmu mmu_;
+  Asid next_asid_ = 1;
+  uint64_t crash_count_ = 0;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_MACHINE_H_

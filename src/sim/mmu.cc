@@ -1,0 +1,249 @@
+#include "src/sim/mmu.h"
+
+#include <algorithm>
+
+namespace o1mem {
+
+namespace {
+// Accesses at least this long are charged at the streaming (bulk) rate; the
+// hardware prefetcher hides latency on longer runs.
+constexpr uint64_t kStreamingThreshold = 256;
+}  // namespace
+
+Mmu::Mmu(SimContext* ctx, PhysicalMemory* phys, const MmuConfig& config)
+    : ctx_(ctx),
+      phys_(phys),
+      l1_tlb_(config.l1_tlb_entries, config.l1_tlb_ways),
+      l2_tlb_(config.l2_tlb_entries, config.l2_tlb_ways),
+      range_tlb_(config.range_tlb_entries),
+      pwc_entries_(config.pwc_entries) {
+  O1_CHECK(ctx != nullptr && phys != nullptr);
+}
+
+bool Mmu::PwcLookupOrInsert(Asid asid, Vaddr vaddr) {
+  const uint64_t key = (static_cast<uint64_t>(asid) << 43) | (vaddr >> kLargePageShift);
+  ++pwc_tick_;
+  auto it = pwc_.find(key);
+  if (it != pwc_.end()) {
+    it->second = pwc_tick_;
+    return true;
+  }
+  if (pwc_.size() >= static_cast<size_t>(pwc_entries_)) {
+    // Evict the least recently used tag.
+    auto victim = pwc_.begin();
+    for (auto cand = pwc_.begin(); cand != pwc_.end(); ++cand) {
+      if (cand->second < victim->second) {
+        victim = cand;
+      }
+    }
+    pwc_.erase(victim);
+  }
+  pwc_.emplace(key, pwc_tick_);
+  return false;
+}
+
+void Mmu::ChargeWalk(AddressSpace& as, Vaddr vaddr, int levels) {
+  const CostModel& c = ctx_->cost();
+  const int upper_levels = std::max(levels - 1, 0);
+  if (PwcLookupOrInsert(as.asid(), vaddr)) {
+    // PWC covers the upper levels; the leaf PTE fetch remains (and under
+    // virtualization the leaf's own guest-physical translation with it).
+    const uint64_t leaf_refs =
+        c.virtualized_walks ? static_cast<uint64_t>(levels) + 1 : uint64_t{1};
+    ctx_->counters().pwc_hits++;
+    ctx_->Charge(static_cast<uint64_t>(upper_levels) * c.pwc_hit_cycles +
+                 leaf_refs * c.pte_fetch_cycles);
+  } else {
+    // Full walk: d references native, d^2+2d nested (24 for 4-level, 35 for
+    // 5-level -- Sec. 2's numbers).
+    ctx_->Charge(c.WalkRefs(levels) * c.pte_fetch_cold_cycles);
+  }
+  ctx_->counters().page_walks++;
+}
+
+std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) {
+  const CostModel& c = ctx_->cost();
+  // L1 TLB.
+  if (auto e = l1_tlb_.Lookup(as.asid(), vaddr)) {
+    ctx_->counters().tlb_l1_hits++;
+    ctx_->Charge(c.tlb_l1_hit_cycles);
+    return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
+                           .prot = e->prot,
+                           .source = TranslationInfo::Source::kL1Tlb};
+  }
+  // L2 TLB.
+  if (auto e = l2_tlb_.Lookup(as.asid(), vaddr)) {
+    ctx_->counters().tlb_l2_hits++;
+    ctx_->Charge(c.tlb_l2_hit_cycles + c.tlb_insert_cycles);
+    l1_tlb_.Insert(as.asid(), e->vbase, e->pbase, e->page_bytes, e->prot);
+    return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
+                           .prot = e->prot,
+                           .source = TranslationInfo::Source::kL2Tlb};
+  }
+  ctx_->counters().tlb_misses++;
+  // Range TLB.
+  if (auto e = range_tlb_.Lookup(as.asid(), vaddr)) {
+    ctx_->counters().range_tlb_hits++;
+    ctx_->Charge(c.range_tlb_hit_cycles);
+    return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
+                           .prot = e->prot,
+                           .source = TranslationInfo::Source::kRangeTlb};
+  }
+  // Range-table walk (hardware walker over the OS-maintained range table).
+  if (auto r = as.range_table().Lookup(vaddr)) {
+    ctx_->counters().range_table_walks++;
+    ctx_->Charge(c.range_table_walk_cycles + c.tlb_insert_cycles);
+    range_tlb_.Insert(as.asid(), r->vbase, r->bytes, r->pbase, r->prot);
+    return TranslationInfo{.paddr = r->pbase + (vaddr - r->vbase),
+                           .prot = r->prot,
+                           .source = TranslationInfo::Source::kRangeTable};
+  }
+  // Radix page-table walk.
+  if (auto t = as.page_table().Lookup(vaddr)) {
+    ChargeWalk(as, vaddr, t->levels_walked);
+    ctx_->Charge(c.tlb_insert_cycles);
+    const Vaddr vbase = AlignDown(vaddr, t->page_bytes);
+    const Paddr pbase = t->paddr - (vaddr - vbase);
+    l1_tlb_.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
+    l2_tlb_.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
+    return TranslationInfo{.paddr = t->paddr,
+                           .prot = t->prot,
+                           .source = TranslationInfo::Source::kPageWalk};
+  }
+  // Charge the full failed walk: hardware discovers the hole the hard way.
+  ChargeWalk(as, vaddr, as.page_table().depth());
+  return std::nullopt;
+}
+
+Result<TranslationInfo> Mmu::Translate(AddressSpace& as, Vaddr vaddr, AccessType type) {
+  bool faulted = false;
+  for (int attempt = 0; attempt <= kMaxFaultRetries; ++attempt) {
+    auto info = TryTranslate(as, vaddr);
+    if (info.has_value() && HasProt(info->prot, RequiredProt(type))) {
+      info->faulted = faulted;
+      return *info;
+    }
+    // Miss or protection violation: trap to the OS. A protection fault with
+    // a handler supports copy-on-write-style upgrades; the handler must
+    // shoot down the stale entry before returning.
+    FaultHandler* handler = as.fault_handler();
+    ctx_->Charge(ctx_->cost().fault_trap_cycles);
+    if (handler == nullptr) {
+      ctx_->counters().segv_faults++;
+      return info.has_value() ? PermissionDenied("access violates mapping protection")
+                              : FaultError("unhandled translation fault");
+    }
+    faulted = true;
+    Status s = handler->HandleFault(vaddr, type);
+    if (!s.ok()) {
+      ctx_->counters().segv_faults++;
+      return s;
+    }
+  }
+  ctx_->counters().segv_faults++;
+  return FaultError("fault handler loop did not install a translation");
+}
+
+void Mmu::ChargeDataTouch(Paddr paddr, uint64_t len, AccessType type) {
+  const CostModel& c = ctx_->cost();
+  const bool nvm = phys_->TierOf(paddr) == MemTier::kNvm;
+  if (len >= kStreamingThreshold) {
+    if (nvm) {
+      ctx_->Charge(type == AccessType::kWrite ? c.NvmWriteBulkCycles(len)
+                                              : c.NvmReadBulkCycles(len));
+    } else {
+      ctx_->Charge(c.DramBulkCycles(len));
+    }
+    return;
+  }
+  const uint64_t lines = (len + 63) / 64;
+  if (nvm) {
+    ctx_->Charge(lines * (type == AccessType::kWrite ? c.nvm_write_cycles : c.nvm_read_cycles));
+  } else {
+    ctx_->Charge(lines * c.dram_access_cycles);
+  }
+}
+
+Status Mmu::Touch(AddressSpace& as, Vaddr vaddr, uint64_t len, AccessType type) {
+  if (len == 0) {
+    return OkStatus();
+  }
+  uint64_t done = 0;
+  while (done < len) {
+    const Vaddr cur = vaddr + done;
+    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), len - done);
+    auto t = Translate(as, cur, type);
+    if (!t.ok()) {
+      return t.status();
+    }
+    ChargeDataTouch(t->paddr, in_page, type);
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+Status Mmu::ReadVirt(AddressSpace& as, Vaddr vaddr, std::span<uint8_t> out) {
+  uint64_t done = 0;
+  while (done < out.size()) {
+    const Vaddr cur = vaddr + done;
+    const uint64_t in_page =
+        std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), out.size() - done);
+    auto t = Translate(as, cur, AccessType::kRead);
+    if (!t.ok()) {
+      return t.status();
+    }
+    ChargeDataTouch(t->paddr, in_page, AccessType::kRead);
+    O1_RETURN_IF_ERROR(phys_->ReadUncharged(t->paddr, out.subspan(done, in_page)));
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+Status Mmu::WriteVirt(AddressSpace& as, Vaddr vaddr, std::span<const uint8_t> data) {
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const Vaddr cur = vaddr + done;
+    const uint64_t in_page =
+        std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), data.size() - done);
+    auto t = Translate(as, cur, AccessType::kWrite);
+    if (!t.ok()) {
+      return t.status();
+    }
+    ChargeDataTouch(t->paddr, in_page, AccessType::kWrite);
+    O1_RETURN_IF_ERROR(phys_->WriteUncharged(t->paddr, data.subspan(done, in_page)));
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+void Mmu::ShootdownPage(Asid asid, Vaddr vaddr) {
+  l1_tlb_.InvalidatePage(asid, vaddr);
+  l2_tlb_.InvalidatePage(asid, vaddr);
+  ctx_->Charge(ctx_->cost().tlb_shootdown_cycles);
+  ctx_->counters().tlb_shootdowns++;
+}
+
+void Mmu::ShootdownRange(Asid asid, Vaddr vaddr, uint64_t len) {
+  l1_tlb_.InvalidateRange(asid, vaddr, len);
+  l2_tlb_.InvalidateRange(asid, vaddr, len);
+  range_tlb_.InvalidateRange(asid, vaddr, len);
+  ctx_->Charge(ctx_->cost().tlb_shootdown_cycles);
+  ctx_->counters().tlb_shootdowns++;
+}
+
+void Mmu::ShootdownAsid(Asid asid) {
+  l1_tlb_.InvalidateAsid(asid);
+  l2_tlb_.InvalidateAsid(asid);
+  range_tlb_.InvalidateAsid(asid);
+  ctx_->Charge(ctx_->cost().tlb_shootdown_cycles);
+  ctx_->counters().tlb_shootdowns++;
+}
+
+void Mmu::InvalidateAll() {
+  l1_tlb_.InvalidateAll();
+  l2_tlb_.InvalidateAll();
+  range_tlb_.InvalidateAll();
+  pwc_.clear();
+}
+
+}  // namespace o1mem

@@ -1,0 +1,101 @@
+// Mmu: the translation front-end of the simulated processor.
+//
+// Every virtual-memory access goes through Translate(), which models the
+// hardware lookup order:
+//
+//   L1 TLB -> L2 TLB -> range TLB -> range-table walk -> page-table walk
+//           -> (miss) OS fault handler -> retry
+//
+// and charges the cost model accordingly. A small page-walk cache (PWC)
+// makes repeat walks within a 2 MiB region cheap, as on real CPUs. Data
+// movement costs are charged here too (streaming bulk rate for >=256-byte
+// runs, per-cache-line demand rate below that), so PhysicalMemory's
+// *uncharged* accessors are used for the actual bytes.
+#ifndef O1MEM_SRC_SIM_MMU_H_
+#define O1MEM_SRC_SIM_MMU_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+
+#include "src/sim/address_space.h"
+#include "src/sim/phys_mem.h"
+#include "src/sim/tlb.h"
+
+namespace o1mem {
+
+struct MmuConfig {
+  int l1_tlb_entries = 64;
+  int l1_tlb_ways = 4;
+  int l2_tlb_entries = 1024;
+  int l2_tlb_ways = 8;
+  int range_tlb_entries = 32;
+  int pwc_entries = 48;
+};
+
+// Outcome of one translated access, for tests and microbenches.
+struct TranslationInfo {
+  Paddr paddr = 0;
+  Prot prot = Prot::kNone;
+  enum class Source : uint8_t { kL1Tlb, kL2Tlb, kRangeTlb, kRangeTable, kPageWalk } source =
+      Source::kL1Tlb;
+  bool faulted = false;
+};
+
+class Mmu {
+ public:
+  Mmu(SimContext* ctx, PhysicalMemory* phys, const MmuConfig& config = MmuConfig());
+
+  Mmu(const Mmu&) = delete;
+  Mmu& operator=(const Mmu&) = delete;
+
+  // Translates one virtual address for `type`, invoking the address space's
+  // fault handler on a miss (at most `kMaxFaultRetries` times).
+  Result<TranslationInfo> Translate(AddressSpace& as, Vaddr vaddr, AccessType type);
+
+  // Performs an access of `len` bytes at `vaddr` without moving data
+  // (charges translation + data-touch costs). Spans page boundaries.
+  Status Touch(AddressSpace& as, Vaddr vaddr, uint64_t len, AccessType type);
+
+  // Data-moving accesses (used by examples and the OS read/write paths).
+  Status ReadVirt(AddressSpace& as, Vaddr vaddr, std::span<uint8_t> out);
+  Status WriteVirt(AddressSpace& as, Vaddr vaddr, std::span<const uint8_t> data);
+
+  // TLB maintenance: the OS calls these after unmapping/protecting.
+  // Each call charges one shootdown (the paper's "single operation to ...
+  // shoot down the entry in the TLB").
+  void ShootdownPage(Asid asid, Vaddr vaddr);
+  void ShootdownRange(Asid asid, Vaddr vaddr, uint64_t len);
+  void ShootdownAsid(Asid asid);
+  void InvalidateAll();  // e.g. on simulated power failure
+
+  PhysicalMemory& phys() { return *phys_; }
+
+ private:
+  static constexpr int kMaxFaultRetries = 2;
+
+  // One translation attempt with no fault handling; nullopt = no mapping.
+  std::optional<TranslationInfo> TryTranslate(AddressSpace& as, Vaddr vaddr);
+
+  // Charges the hardware page-walk cost for one walk (PWC-aware).
+  void ChargeWalk(AddressSpace& as, Vaddr vaddr, int levels);
+
+  // PWC: true (and refresh) if the 2 MiB region's upper levels are cached.
+  bool PwcLookupOrInsert(Asid asid, Vaddr vaddr);
+
+  void ChargeDataTouch(Paddr paddr, uint64_t len, AccessType type);
+
+  SimContext* ctx_;
+  PhysicalMemory* phys_;
+  Tlb l1_tlb_;
+  Tlb l2_tlb_;
+  RangeTlb range_tlb_;
+  int pwc_entries_;
+  uint64_t pwc_tick_ = 0;
+  std::unordered_map<uint64_t, uint64_t> pwc_;  // (asid,2MiB region) -> last-use tick
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_MMU_H_

@@ -1,0 +1,241 @@
+#include "src/sim/phys_mem.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace o1mem {
+
+PhysicalMemory::PhysicalMemory(SimContext* ctx, uint64_t dram_bytes, uint64_t nvm_bytes,
+                               PersistenceModel persistence)
+    : ctx_(ctx), dram_bytes_(dram_bytes), nvm_bytes_(nvm_bytes), persistence_(persistence) {
+  O1_CHECK(ctx != nullptr);
+  O1_CHECK(IsAligned(dram_bytes, kPageSize));
+  O1_CHECK(IsAligned(nvm_bytes, kPageSize));
+}
+
+void PhysicalMemory::ShadowBeforeWrite(Paddr paddr, uint64_t len) {
+  if (persistence_ != PersistenceModel::kExplicitFlush || len == 0 ||
+      paddr + len <= dram_bytes_) {
+    return;
+  }
+  const Paddr first = std::max(AlignDown(paddr, 64), AlignDown(dram_bytes_, 64));
+  const Paddr last = AlignDown(paddr + len - 1, 64);
+  for (Paddr line = first; line <= last; line += 64) {
+    if (line < dram_bytes_ || line_shadow_.contains(line)) {
+      continue;
+    }
+    auto& shadow = line_shadow_[line];
+    const Page* page = FindPage(line);
+    if (page == nullptr) {
+      shadow.fill(0);
+    } else {
+      std::memcpy(shadow.data(), page->data() + (line & (kPageSize - 1)), 64);
+    }
+  }
+}
+
+uint64_t PhysicalMemory::FlushLinesUncharged(Paddr paddr, uint64_t len) {
+  if (persistence_ == PersistenceModel::kAutoDurable || len == 0) {
+    return 0;
+  }
+  const Paddr first = AlignDown(paddr, 64);
+  const Paddr last = AlignDown(paddr + len - 1, 64);
+  uint64_t lines = 0;
+  for (Paddr line = first; line <= last; line += 64) {
+    line_shadow_.erase(line);  // now durable
+    ++lines;
+  }
+  return lines;
+}
+
+Status PhysicalMemory::FlushLines(Paddr paddr, uint64_t len) {
+  if (!Contains(paddr, len)) {
+    return InvalidArgument("flush out of range");
+  }
+  const CostModel& c = ctx_->cost();
+  if (persistence_ == PersistenceModel::kAutoDurable) {
+    ctx_->Charge(c.sfence_cycles);  // eADR platform: ordering only
+    return OkStatus();
+  }
+  const uint64_t lines = len == 0 ? 0 : (AlignDown(paddr + len - 1, 64) - AlignDown(paddr, 64)) / 64 + 1;
+  (void)FlushLinesUncharged(paddr, len);
+  ctx_->Charge(lines * c.clwb_cycles + c.sfence_cycles);
+  return OkStatus();
+}
+
+const PhysicalMemory::Page* PhysicalMemory::FindPage(Paddr paddr) const {
+  auto it = backing_.find(paddr >> kPageShift);
+  return it == backing_.end() ? nullptr : it->second.get();
+}
+
+PhysicalMemory::Page* PhysicalMemory::EnsurePage(Paddr paddr) {
+  auto& slot = backing_[paddr >> kPageShift];
+  if (slot == nullptr) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return slot.get();
+}
+
+void PhysicalMemory::ChargeBulk(Paddr paddr, uint64_t len, bool is_write) {
+  // Split the charge at the tier boundary if the run straddles it.
+  const uint64_t dram_part = paddr >= dram_bytes_ ? 0 : std::min(len, dram_bytes_ - paddr);
+  const uint64_t nvm_part = len - dram_part;
+  const CostModel& c = ctx_->cost();
+  uint64_t cycles = 0;
+  if (dram_part > 0) {
+    cycles += c.DramBulkCycles(dram_part);
+  }
+  if (nvm_part > 0) {
+    cycles += is_write ? c.NvmWriteBulkCycles(nvm_part) : c.NvmReadBulkCycles(nvm_part);
+  }
+  ctx_->Charge(cycles);
+}
+
+Status PhysicalMemory::Read(Paddr paddr, std::span<uint8_t> out) {
+  if (!Contains(paddr, out.size())) {
+    return InvalidArgument("physical read out of range");
+  }
+  ChargeBulk(paddr, out.size(), /*is_write=*/false);
+  return ReadUncharged(paddr, out);
+}
+
+Status PhysicalMemory::ReadUncharged(Paddr paddr, std::span<uint8_t> out) {
+  if (!Contains(paddr, out.size())) {
+    return InvalidArgument("physical read out of range");
+  }
+  uint64_t done = 0;
+  while (done < out.size()) {
+    const Paddr cur = paddr + done;
+    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)),
+                                                out.size() - done);
+    const Page* page = FindPage(cur);
+    if (page == nullptr) {
+      std::memset(out.data() + done, 0, in_page);
+    } else {
+      std::memcpy(out.data() + done, page->data() + (cur & (kPageSize - 1)), in_page);
+    }
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+Status PhysicalMemory::Write(Paddr paddr, std::span<const uint8_t> data) {
+  if (!Contains(paddr, data.size())) {
+    return InvalidArgument("physical write out of range");
+  }
+  ChargeBulk(paddr, data.size(), /*is_write=*/true);
+  return WriteUncharged(paddr, data);
+}
+
+Status PhysicalMemory::WriteUncharged(Paddr paddr, std::span<const uint8_t> data) {
+  if (!Contains(paddr, data.size())) {
+    return InvalidArgument("physical write out of range");
+  }
+  ShadowBeforeWrite(paddr, data.size());
+  uint64_t done = 0;
+  while (done < data.size()) {
+    const Paddr cur = paddr + done;
+    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)),
+                                                data.size() - done);
+    Page* page = EnsurePage(cur);
+    std::memcpy(page->data() + (cur & (kPageSize - 1)), data.data() + done, in_page);
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+Status PhysicalMemory::Zero(Paddr paddr, uint64_t len) {
+  if (!Contains(paddr, len)) {
+    return InvalidArgument("physical zero out of range");
+  }
+  ChargeBulk(paddr, len, /*is_write=*/true);
+  return ZeroUncharged(paddr, len);
+}
+
+Status PhysicalMemory::ZeroUncharged(Paddr paddr, uint64_t len) {
+  if (!Contains(paddr, len)) {
+    return InvalidArgument("physical zero out of range");
+  }
+  ShadowBeforeWrite(paddr, len);
+  ctx_->counters().bytes_zeroed += len;
+  uint64_t done = 0;
+  while (done < len) {
+    const Paddr cur = paddr + done;
+    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), len - done);
+    // Whole never-materialized pages can stay unmaterialized: they already
+    // read as zero. Partially covered or existing pages are cleared in place.
+    auto it = backing_.find(cur >> kPageShift);
+    if (it != backing_.end()) {
+      std::memset(it->second->data() + (cur & (kPageSize - 1)), 0, in_page);
+    } else if (in_page != kPageSize) {
+      Page* page = EnsurePage(cur);
+      std::memset(page->data() + (cur & (kPageSize - 1)), 0, in_page);
+    }
+    done += in_page;
+  }
+  return OkStatus();
+}
+
+Status PhysicalMemory::Copy(Paddr dst, Paddr src, uint64_t len) {
+  if (!Contains(dst, len) || !Contains(src, len)) {
+    return InvalidArgument("physical copy out of range");
+  }
+  ChargeBulk(src, len, /*is_write=*/false);
+  ChargeBulk(dst, len, /*is_write=*/true);
+  ShadowBeforeWrite(dst, len);
+  ctx_->counters().bytes_copied += len;
+  // Move bytes without further charging (charges above cover the transfer).
+  uint64_t done = 0;
+  while (done < len) {
+    const Paddr s = src + done;
+    const Paddr d = dst + done;
+    const uint64_t chunk = std::min({kPageSize - (s & (kPageSize - 1)),
+                                     kPageSize - (d & (kPageSize - 1)), len - done});
+    const Page* spage = FindPage(s);
+    if (spage == nullptr) {
+      auto it = backing_.find(d >> kPageShift);
+      if (it != backing_.end()) {
+        std::memset(it->second->data() + (d & (kPageSize - 1)), 0, chunk);
+      }
+    } else {
+      Page* dpage = EnsurePage(d);
+      std::memmove(dpage->data() + (d & (kPageSize - 1)), spage->data() + (s & (kPageSize - 1)),
+                   chunk);
+    }
+    done += chunk;
+  }
+  return OkStatus();
+}
+
+uint8_t PhysicalMemory::PeekByte(Paddr paddr) const {
+  O1_CHECK(Contains(paddr, 1));
+  const Page* page = FindPage(paddr);
+  return page == nullptr ? 0 : (*page)[paddr & (kPageSize - 1)];
+}
+
+void PhysicalMemory::PokeByte(Paddr paddr, uint8_t value) {
+  O1_CHECK(Contains(paddr, 1));
+  ShadowBeforeWrite(paddr, 1);
+  (*EnsurePage(paddr))[paddr & (kPageSize - 1)] = value;
+}
+
+void PhysicalMemory::DropVolatile() {
+  for (auto it = backing_.begin(); it != backing_.end();) {
+    const Paddr base = it->first << kPageShift;
+    if (TierOf(base) == MemTier::kDram) {
+      it = backing_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // kExplicitFlush: unflushed NVM lines were only in the (volatile) cache
+  // hierarchy; revert them to their last durable contents.
+  for (const auto& [line, shadow] : line_shadow_) {
+    Page* page = EnsurePage(line);
+    std::memcpy(page->data() + (line & (kPageSize - 1)), shadow.data(), 64);
+  }
+  line_shadow_.clear();
+}
+
+}  // namespace o1mem

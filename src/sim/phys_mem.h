@@ -1,0 +1,131 @@
+// PhysicalMemory: the machine's physical address space.
+//
+// The address space is split into two tiers:
+//   [0, dram_bytes)                        -- volatile DRAM
+//   [dram_bytes, dram_bytes + nvm_bytes)   -- persistent NVM (3D XPoint-class)
+//
+// Contents are stored sparsely (a 4 KiB host page is materialized on first
+// write), so a simulated machine can expose terabytes while benches only pay
+// for what they touch. Reads of never-written frames return zeros, matching
+// hardware that hands out zeroed lines after an erase.
+//
+// Bulk operations (Zero/Copy/Read/Write) charge the cost model's per-line
+// bulk costs for the tier they touch; single-access costs on the load/store
+// path are charged by the Mmu instead, so the two never double-charge.
+#ifndef O1MEM_SRC_SIM_PHYS_MEM_H_
+#define O1MEM_SRC_SIM_PHYS_MEM_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "src/sim/context.h"
+#include "src/support/status.h"
+#include "src/support/units.h"
+
+namespace o1mem {
+
+enum class MemTier : uint8_t {
+  kDram,
+  kNvm,
+};
+
+// How NVM stores become durable.
+enum class PersistenceModel {
+  // Every NVM write is durable the moment it lands (an idealized ADR-style
+  // platform); Crash keeps all NVM contents. The default, and what the
+  // paper implicitly assumes.
+  kAutoDurable,
+  // Writes sit in the (volatile) cache hierarchy until explicitly flushed
+  // with FlushLines (clwb + fence, charged). Crash REVERTS unflushed NVM
+  // lines to their last durable contents -- real persistent-memory
+  // semantics, which the crash-consistency tests exercise.
+  kExplicitFlush,
+};
+
+class PhysicalMemory {
+ public:
+  PhysicalMemory(SimContext* ctx, uint64_t dram_bytes, uint64_t nvm_bytes,
+                 PersistenceModel persistence = PersistenceModel::kAutoDurable);
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+
+  uint64_t dram_bytes() const { return dram_bytes_; }
+  uint64_t nvm_bytes() const { return nvm_bytes_; }
+  uint64_t total_bytes() const { return dram_bytes_ + nvm_bytes_; }
+  Paddr nvm_base() const { return dram_bytes_; }
+
+  bool Contains(Paddr paddr, uint64_t len) const {
+    return paddr + len <= total_bytes() && paddr + len >= paddr;
+  }
+  MemTier TierOf(Paddr paddr) const { return paddr < dram_bytes_ ? MemTier::kDram : MemTier::kNvm; }
+
+  // Bulk data movement; charges bulk cycles for the tier(s) touched.
+  Status Read(Paddr paddr, std::span<uint8_t> out);
+  Status Write(Paddr paddr, std::span<const uint8_t> data);
+  Status Zero(Paddr paddr, uint64_t len);
+  Status Copy(Paddr dst, Paddr src, uint64_t len);
+
+  // Uncharged data movement: used by the Mmu, which charges translation and
+  // data-touch costs itself, so the two layers never double-charge.
+  Status ReadUncharged(Paddr paddr, std::span<uint8_t> out);
+  Status WriteUncharged(Paddr paddr, std::span<const uint8_t> data);
+
+  // Zero with no clock charge: models work done off the critical path
+  // (background zeroing); the caller accounts the deferred cycles itself.
+  Status ZeroUncharged(Paddr paddr, uint64_t len);
+
+  // Uncharged byte access for checksumming / test inspection.
+  uint8_t PeekByte(Paddr paddr) const;
+  void PokeByte(Paddr paddr, uint8_t value);  // uncharged; tests only
+
+  // Persistence barrier: makes [paddr, paddr+len) durable. Charges one clwb
+  // per dirty line plus one fence. A no-op charge-wise for clean lines; in
+  // kAutoDurable mode only the fence is charged (everything is already
+  // durable).
+  Status FlushLines(Paddr paddr, uint64_t len);
+
+  // Uncharged flush for work accounted off the critical path (background
+  // zeroing). Returns the number of lines made durable.
+  uint64_t FlushLinesUncharged(Paddr paddr, uint64_t len);
+
+  // Crash semantics: DRAM contents vanish, NVM survives -- except, under
+  // kExplicitFlush, NVM lines written but never flushed, which revert to
+  // their last durable contents.
+  void DropVolatile();
+
+  PersistenceModel persistence() const { return persistence_; }
+  size_t pending_nvm_lines() const { return line_shadow_.size(); }
+
+  // Number of 4 KiB host pages currently materialized (footprint metric).
+  uint64_t materialized_pages() const { return backing_.size(); }
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+
+  // Returns backing for the page containing `paddr`, or nullptr if the page
+  // was never written (reads treat it as all-zero).
+  const Page* FindPage(Paddr paddr) const;
+  Page* EnsurePage(Paddr paddr);
+
+  void ChargeBulk(Paddr paddr, uint64_t len, bool is_write);
+
+  // kExplicitFlush bookkeeping: before the first write dirties a durable NVM
+  // line, its durable contents are shadowed so Crash can revert.
+  void ShadowBeforeWrite(Paddr paddr, uint64_t len);
+
+  SimContext* ctx_;
+  uint64_t dram_bytes_;
+  uint64_t nvm_bytes_;
+  PersistenceModel persistence_;
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> backing_;  // keyed by frame number
+  // Dirty NVM line -> last durable 64 bytes (kExplicitFlush only).
+  std::unordered_map<Paddr, std::array<uint8_t, 64>> line_shadow_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_PHYS_MEM_H_

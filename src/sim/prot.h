@@ -1,0 +1,60 @@
+// Protection flags and access types shared by the MMU, page tables, range
+// tables, and the OS layers.
+#ifndef O1MEM_SRC_SIM_PROT_H_
+#define O1MEM_SRC_SIM_PROT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace o1mem {
+
+// Bitwise-composable protection rights. The paper's file-only memory grants
+// protection at whole-file granularity; the hardware still enforces it per
+// translation entry.
+enum class Prot : uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+  kReadWrite = kRead | kWrite,
+  kReadExec = kRead | kExec,
+  kAll = kRead | kWrite | kExec,
+};
+
+constexpr Prot operator|(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<uint8_t>(a) | static_cast<uint8_t>(b));
+}
+constexpr Prot operator&(Prot a, Prot b) {
+  return static_cast<Prot>(static_cast<uint8_t>(a) & static_cast<uint8_t>(b));
+}
+constexpr bool HasProt(Prot have, Prot want) { return (have & want) == want; }
+
+enum class AccessType : uint8_t {
+  kRead,
+  kWrite,
+  kExec,
+};
+
+constexpr Prot RequiredProt(AccessType t) {
+  switch (t) {
+    case AccessType::kRead:
+      return Prot::kRead;
+    case AccessType::kWrite:
+      return Prot::kWrite;
+    case AccessType::kExec:
+      return Prot::kExec;
+  }
+  return Prot::kNone;
+}
+
+inline std::string ProtName(Prot p) {
+  std::string s;
+  s += HasProt(p, Prot::kRead) ? 'r' : '-';
+  s += HasProt(p, Prot::kWrite) ? 'w' : '-';
+  s += HasProt(p, Prot::kExec) ? 'x' : '-';
+  return s;
+}
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SIM_PROT_H_

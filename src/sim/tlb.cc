@@ -1,0 +1,172 @@
+#include "src/sim/tlb.h"
+
+#include "src/support/check.h"
+
+namespace o1mem {
+
+namespace {
+constexpr uint64_t kPageSizes[] = {kPageSize, kLargePageSize, kHugePageSize};
+}
+
+Tlb::Tlb(int entries, int ways) : ways_(ways), sets_(entries / ways) {
+  O1_CHECK(entries > 0 && ways > 0 && entries % ways == 0);
+  slots_.resize(static_cast<size_t>(entries));
+}
+
+size_t Tlb::SetBase(Vaddr vbase, uint64_t page_bytes) const {
+  // Hash in the page size so 4K and 2M arrays do not collide systematically.
+  const uint64_t vpn = vbase / page_bytes;
+  const uint64_t set = (vpn ^ (page_bytes >> kPageShift)) % static_cast<uint64_t>(sets_);
+  return static_cast<size_t>(set) * static_cast<size_t>(ways_);
+}
+
+std::optional<TlbEntry> Tlb::Lookup(Asid asid, Vaddr vaddr) {
+  ++tick_;
+  for (uint64_t page_bytes : kPageSizes) {
+    const Vaddr vbase = AlignDown(vaddr, page_bytes);
+    const size_t base = SetBase(vbase, page_bytes);
+    for (int w = 0; w < ways_; ++w) {
+      TlbEntry& e = slots_[base + static_cast<size_t>(w)];
+      if (e.valid && e.asid == asid && e.page_bytes == page_bytes && e.vbase == vbase) {
+        e.lru_tick = tick_;
+        return e;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void Tlb::Insert(Asid asid, Vaddr vbase, Paddr pbase, uint64_t page_bytes, Prot prot) {
+  ++tick_;
+  const size_t base = SetBase(vbase, page_bytes);
+  size_t victim = base;
+  uint64_t oldest = UINT64_MAX;
+  for (int w = 0; w < ways_; ++w) {
+    TlbEntry& e = slots_[base + static_cast<size_t>(w)];
+    if (e.valid && e.asid == asid && e.page_bytes == page_bytes && e.vbase == vbase) {
+      victim = base + static_cast<size_t>(w);  // refresh in place
+      break;
+    }
+    if (!e.valid) {
+      victim = base + static_cast<size_t>(w);
+      oldest = 0;
+      continue;
+    }
+    if (e.lru_tick < oldest) {
+      oldest = e.lru_tick;
+      victim = base + static_cast<size_t>(w);
+    }
+  }
+  slots_[victim] = TlbEntry{.valid = true,
+                            .asid = asid,
+                            .vbase = vbase,
+                            .pbase = pbase,
+                            .page_bytes = page_bytes,
+                            .prot = prot,
+                            .lru_tick = tick_};
+}
+
+int Tlb::InvalidatePage(Asid asid, Vaddr vaddr) {
+  int dropped = 0;
+  for (uint64_t page_bytes : kPageSizes) {
+    const Vaddr vbase = AlignDown(vaddr, page_bytes);
+    const size_t base = SetBase(vbase, page_bytes);
+    for (int w = 0; w < ways_; ++w) {
+      TlbEntry& e = slots_[base + static_cast<size_t>(w)];
+      if (e.valid && e.asid == asid && e.page_bytes == page_bytes && e.vbase == vbase) {
+        e.valid = false;
+        ++dropped;
+      }
+    }
+  }
+  return dropped;
+}
+
+int Tlb::InvalidateRange(Asid asid, Vaddr vaddr, uint64_t len) {
+  int dropped = 0;
+  for (TlbEntry& e : slots_) {
+    if (e.valid && e.asid == asid && e.vbase < vaddr + len && vaddr < e.vbase + e.page_bytes) {
+      e.valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void Tlb::InvalidateAsid(Asid asid) {
+  for (TlbEntry& e : slots_) {
+    if (e.asid == asid) {
+      e.valid = false;
+    }
+  }
+}
+
+void Tlb::InvalidateAll() {
+  for (TlbEntry& e : slots_) {
+    e.valid = false;
+  }
+}
+
+RangeTlb::RangeTlb(int entries) {
+  O1_CHECK(entries > 0);
+  slots_.resize(static_cast<size_t>(entries));
+}
+
+std::optional<RangeTlbEntry> RangeTlb::Lookup(Asid asid, Vaddr vaddr) {
+  ++tick_;
+  for (RangeTlbEntry& e : slots_) {
+    if (e.valid && e.asid == asid && vaddr >= e.vbase && vaddr < e.vbase + e.bytes) {
+      e.lru_tick = tick_;
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+void RangeTlb::Insert(Asid asid, Vaddr vbase, uint64_t bytes, Paddr pbase, Prot prot) {
+  ++tick_;
+  RangeTlbEntry* victim = &slots_[0];
+  for (RangeTlbEntry& e : slots_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru_tick < victim->lru_tick) {
+      victim = &e;
+    }
+  }
+  *victim = RangeTlbEntry{.valid = true,
+                          .asid = asid,
+                          .vbase = vbase,
+                          .bytes = bytes,
+                          .pbase = pbase,
+                          .prot = prot,
+                          .lru_tick = tick_};
+}
+
+int RangeTlb::InvalidateRange(Asid asid, Vaddr vaddr, uint64_t len) {
+  int dropped = 0;
+  for (RangeTlbEntry& e : slots_) {
+    if (e.valid && e.asid == asid && e.vbase < vaddr + len && vaddr < e.vbase + e.bytes) {
+      e.valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void RangeTlb::InvalidateAsid(Asid asid) {
+  for (RangeTlbEntry& e : slots_) {
+    if (e.asid == asid) {
+      e.valid = false;
+    }
+  }
+}
+
+void RangeTlb::InvalidateAll() {
+  for (RangeTlbEntry& e : slots_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace o1mem

@@ -1,0 +1,36 @@
+// Invariant-checking macros for the o1mem library.
+//
+// These are always-on (they guard simulator invariants, not debug-only
+// assertions): a failed check aborts with a message identifying the site.
+// Per the C++ Core Guidelines (I.5/P.7) we catch run-time errors as early and
+// loudly as possible; recoverable errors use Status/Result instead (status.h).
+#ifndef O1MEM_SRC_SUPPORT_CHECK_H_
+#define O1MEM_SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace o1mem {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace o1mem
+
+#define O1_CHECK(expr)                                 \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::o1mem::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                  \
+  } while (0)
+
+#define O1_CHECK_MSG(expr, msg)                       \
+  do {                                                \
+    if (!(expr)) {                                    \
+      ::o1mem::CheckFailed(__FILE__, __LINE__, msg);  \
+    }                                                 \
+  } while (0)
+
+#endif  // O1MEM_SRC_SUPPORT_CHECK_H_

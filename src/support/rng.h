@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generator for workloads and tests.
+//
+// The whole simulation must be reproducible run-to-run, so benches and tests
+// use this seeded xoshiro256** generator instead of std::random_device.
+#ifndef O1MEM_SRC_SUPPORT_RNG_H_
+#define O1MEM_SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+#include "src/support/check.h"
+
+namespace o1mem {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// adapted); fast, high-quality, and fully deterministic from the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to fill the state from a single word.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) {
+    O1_CHECK(bound != 0);
+    return Next() % bound;
+  }
+
+  // Uniform value in [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    O1_CHECK(lo <= hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SUPPORT_RNG_H_

@@ -1,0 +1,60 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace o1mem {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Samples::Percentile(double p) const {
+  O1_CHECK(p >= 0.0 && p <= 100.0);
+  if (values_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values_.size());
+}
+
+}  // namespace o1mem

@@ -1,0 +1,48 @@
+// Small statistics helpers used by the benchmark harness.
+#ifndef O1MEM_SRC_SUPPORT_STATS_H_
+#define O1MEM_SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace o1mem {
+
+// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // Sample variance / standard deviation (0 for fewer than two samples).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores samples and answers percentile queries; used where a bench reports
+// tail latency rather than a mean.
+class Samples {
+ public:
+  void Add(double x) { values_.push_back(x); }
+  size_t count() const { return values_.size(); }
+  double Percentile(double p) const;  // p in [0, 100]
+  double Mean() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SUPPORT_STATS_H_

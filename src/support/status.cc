@@ -1,0 +1,42 @@
+#include "src/support/status.h"
+
+namespace o1mem {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfMemory:
+      return "OUT_OF_MEMORY";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kBusy:
+      return "BUSY";
+    case StatusCode::kFault:
+      return "FAULT";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace o1mem

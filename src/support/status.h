@@ -1,0 +1,154 @@
+// Status / Result<T>: recoverable-error channel for the o1mem library.
+//
+// The library is exception-free (simulated OS code paths are hot and the
+// style guides we follow avoid exceptions in systems code), so fallible
+// operations return Status or Result<T>. Status carries a code plus a short
+// message; Result<T> is a Status-or-value sum type with the usual accessors.
+#ifndef O1MEM_SRC_SUPPORT_STATUS_H_
+#define O1MEM_SRC_SUPPORT_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/support/check.h"
+
+namespace o1mem {
+
+// Error taxonomy for the simulated OS. Mirrors the subset of POSIX errno
+// semantics the paper's mechanisms need, plus simulator-specific codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // bad size/alignment/flags (EINVAL)
+  kNotFound,          // no such file/inode/mapping (ENOENT)
+  kAlreadyExists,     // file exists (EEXIST)
+  kOutOfMemory,       // no physical frames / blocks (ENOMEM / ENOSPC)
+  kPermissionDenied,  // protection violation (EACCES)
+  kUnsupported,       // operation rejected by design (e.g. COW under FOM)
+  kBusy,              // resource still referenced (EBUSY)
+  kFault,             // unresolved hardware fault (SIGSEGV-equivalent)
+  kCorruption,        // persistent-state integrity check failed
+  kQuotaExceeded,     // file-system quota exhausted
+};
+
+// Human-readable name of a status code ("OK", "OUT_OF_MEMORY", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap, movable success-or-error value.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Formats "CODE: message" for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfMemory(std::string msg) {
+  return Status(StatusCode::kOutOfMemory, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status Unsupported(std::string msg) {
+  return Status(StatusCode::kUnsupported, std::move(msg));
+}
+inline Status Busy(std::string msg) { return Status(StatusCode::kBusy, std::move(msg)); }
+inline Status FaultError(std::string msg) { return Status(StatusCode::kFault, std::move(msg)); }
+inline Status Corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+inline Status QuotaExceeded(std::string msg) {
+  return Status(StatusCode::kQuotaExceeded, std::move(msg));
+}
+
+// Result<T>: either a value of T or a non-OK Status.
+//
+// Usage:
+//   Result<FileId> r = fs.Create(...);
+//   if (!r.ok()) return r.status();
+//   FileId id = r.value();
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT: implicit by design
+    O1_CHECK_MSG(!std::get<Status>(var_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  // Value accessors abort on error — call ok() first on fallible paths.
+  const T& value() const& {
+    O1_CHECK_MSG(ok(), "Result::value() called on error");
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    O1_CHECK_MSG(ok(), "Result::value() called on error");
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    O1_CHECK_MSG(ok(), "Result::value() called on error");
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+}  // namespace o1mem
+
+// Propagates a non-OK Status from an expression that yields Status.
+#define O1_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::o1mem::Status o1_status_ = (expr);  \
+    if (!o1_status_.ok()) {               \
+      return o1_status_;                  \
+    }                                     \
+  } while (0)
+
+// Unwraps a Result<T> into `lhs`, propagating a non-OK Status.
+#define O1_STATUS_CONCAT_INNER(a, b) a##b
+#define O1_STATUS_CONCAT(a, b) O1_STATUS_CONCAT_INNER(a, b)
+#define O1_ASSIGN_OR_RETURN(lhs, expr) \
+  O1_ASSIGN_OR_RETURN_IMPL(lhs, expr, O1_STATUS_CONCAT(o1_result_, __LINE__))
+#define O1_ASSIGN_OR_RETURN_IMPL(lhs, expr, var) \
+  auto var = (expr);                             \
+  if (!var.ok()) {                               \
+    return var.status();                         \
+  }                                              \
+  lhs = std::move(var).value()
+
+#endif  // O1MEM_SRC_SUPPORT_STATUS_H_

@@ -1,0 +1,42 @@
+// Aligned-table and CSV reporter used by the benchmark harness to print the
+// paper-figure series (one table per figure, same axes as the paper).
+#ifndef O1MEM_SRC_SUPPORT_TABLE_H_
+#define O1MEM_SRC_SUPPORT_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace o1mem {
+
+// Collects rows of string cells and renders them either as an aligned text
+// table (for the terminal) or CSV (for replotting). The first added row is
+// the header.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience for mixed numeric rows: formats doubles with
+  // 3 significant decimals and integers exactly.
+  static std::string Num(double v);
+  static std::string Int(uint64_t v);
+
+  // Renders the aligned table to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  // Renders as CSV (header first) to `out`.
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  const std::string& title() const { return title_; }
+  size_t row_count() const { return rows_.empty() ? 0 : rows_.size() - 1; }
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SUPPORT_TABLE_H_

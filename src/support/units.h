@@ -1,0 +1,40 @@
+// Size and address units shared across the simulator.
+#ifndef O1MEM_SRC_SUPPORT_UNITS_H_
+#define O1MEM_SRC_SUPPORT_UNITS_H_
+
+#include <cstdint>
+
+namespace o1mem {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+inline constexpr uint64_t kTiB = 1024 * kGiB;
+
+// Page geometry (x86-64).
+inline constexpr uint64_t kPageSize = 4 * kKiB;
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kLargePageSize = 2 * kMiB;   // PDE leaf
+inline constexpr uint64_t kLargePageShift = 21;
+inline constexpr uint64_t kHugePageSize = 1 * kGiB;    // PDPTE leaf
+inline constexpr uint64_t kHugePageShift = 30;
+
+// Simulated addresses. Distinct aliases keep intent visible at call sites;
+// the MMU and page tables are the only places that convert between them.
+using Vaddr = uint64_t;
+using Paddr = uint64_t;
+
+// Rounds `x` down/up to a multiple of `align` (power of two).
+constexpr uint64_t AlignDown(uint64_t x, uint64_t align) { return x & ~(align - 1); }
+constexpr uint64_t AlignUp(uint64_t x, uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+constexpr bool IsAligned(uint64_t x, uint64_t align) { return (x & (align - 1)) == 0; }
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Number of 4 KiB pages needed to hold `bytes`.
+constexpr uint64_t PagesFor(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SUPPORT_UNITS_H_

@@ -1,0 +1,108 @@
+// Level-2 (1 GiB) subtree splicing: gigabyte-class files map with one store
+// per GiB instead of one per 2 MiB window.
+#include <gtest/gtest.h>
+
+#include "src/fom/fom_manager.h"
+
+namespace o1mem {
+namespace {
+
+class L2SpliceTest : public ::testing::Test {
+ protected:
+  L2SpliceTest()
+      : machine_(MachineConfig{.dram_bytes = 16 * kMiB, .nvm_bytes = 6 * kGiB}),
+        pmfs_(&machine_, machine_.phys().nvm_base(), 6 * kGiB),
+        fom_(&machine_, &pmfs_),
+        proc_(fom_.CreateProcess()) {}
+
+  Machine machine_;
+  Pmfs pmfs_;
+  FomManager fom_;
+  std::unique_ptr<FomProcess> proc_;
+};
+
+TEST_F(L2SpliceTest, TablesGrowL2WrappersAtGibibyte) {
+  auto small = fom_.CreateSegment("/s", 512 * kMiB);
+  ASSERT_TRUE(small.ok());
+  auto big = fom_.CreateSegment("/b", 2 * kGiB + 4 * kMiB);
+  ASSERT_TRUE(big.ok());
+  // 2 GiB + 4 MiB = two full L2 groups + two L1 windows; the small file has
+  // no L2 wrappers.
+  EXPECT_EQ(fom_.precreated_node_count(),
+            2 * (256u /*small L1*/ + 0) + 2 * (1026u /*big L1*/ + 2 /*big L2*/));
+}
+
+TEST_F(L2SpliceTest, GigabyteMapUsesOneStorePerGib) {
+  auto seg = fom_.CreateSegment("/g", 2 * kGiB + 4 * kMiB);
+  ASSERT_TRUE(seg.ok());
+  const uint64_t splices_before = machine_.ctx().counters().subtree_splices;
+  auto vaddr = fom_.Map(*proc_, *seg, Prot::kReadWrite,
+                        MapOptions{.mechanism = MapMechanism::kPtSplice});
+  ASSERT_TRUE(vaddr.ok());
+  EXPECT_TRUE(IsAligned(*vaddr, kGiB));
+  // 2 level-2 splices + 2 level-1 windows for the 4 MiB tail.
+  EXPECT_EQ(machine_.ctx().counters().subtree_splices, splices_before + 4);
+
+  // Translation works across every region: an L2-covered byte, a window
+  // boundary inside an L2 group, and the L1 tail.
+  std::vector<uint8_t> data{1, 2, 3};
+  for (uint64_t off : {uint64_t{5}, kGiB - 3, kGiB + 512 * kMiB, 2 * kGiB + kMiB}) {
+    ASSERT_TRUE(machine_.mmu().WriteVirt(proc_->address_space(), *vaddr + off, data).ok())
+        << off;
+    std::vector<uint8_t> out(3);
+    ASSERT_TRUE(machine_.mmu().ReadVirt(proc_->address_space(), *vaddr + off, out).ok());
+    EXPECT_EQ(out, data) << off;
+  }
+}
+
+TEST_F(L2SpliceTest, MapCostPerGibIsTiny) {
+  auto seg = fom_.CreateSegment("/cost", 4 * kGiB);
+  ASSERT_TRUE(seg.ok());
+  const uint64_t t0 = machine_.ctx().now();
+  ASSERT_TRUE(fom_.Map(*proc_, *seg, Prot::kReadWrite,
+                       MapOptions{.mechanism = MapMechanism::kPtSplice})
+                  .ok());
+  // 4 splices + constant bookkeeping: well under 2 us for 4 GiB.
+  EXPECT_LT(machine_.ctx().clock().CyclesToUs(machine_.ctx().now() - t0), 2.0);
+}
+
+TEST_F(L2SpliceTest, UnmapAndProtectHandleMixedLevels) {
+  auto seg = fom_.CreateSegment("/mix", kGiB + 8 * kMiB);
+  ASSERT_TRUE(seg.ok());
+  auto vaddr = fom_.Map(*proc_, *seg, Prot::kReadWrite,
+                        MapOptions{.mechanism = MapMechanism::kPtSplice});
+  ASSERT_TRUE(vaddr.ok());
+  // Protect flips both the L2 group and the L1 tail windows.
+  ASSERT_TRUE(fom_.Protect(*proc_, *vaddr, Prot::kRead).ok());
+  EXPECT_FALSE(machine_.mmu()
+                   .Touch(proc_->address_space(), *vaddr + 5, 1, AccessType::kWrite)
+                   .ok());
+  EXPECT_FALSE(machine_.mmu()
+                   .Touch(proc_->address_space(), *vaddr + kGiB + 5, 1, AccessType::kWrite)
+                   .ok());
+  EXPECT_TRUE(machine_.mmu()
+                  .Touch(proc_->address_space(), *vaddr + kGiB + 5, 1, AccessType::kRead)
+                  .ok());
+  ASSERT_TRUE(fom_.Unmap(*proc_, *vaddr).ok());
+  EXPECT_FALSE(
+      machine_.mmu().Touch(proc_->address_space(), *vaddr, 1, AccessType::kRead).ok());
+  EXPECT_FALSE(machine_.mmu()
+                   .Touch(proc_->address_space(), *vaddr + kGiB + 5, 1, AccessType::kRead)
+                   .ok());
+}
+
+TEST_F(L2SpliceTest, TwoProcessesShareL2Nodes) {
+  auto seg = fom_.CreateSegment("/share", kGiB);
+  ASSERT_TRUE(seg.ok());
+  auto proc2 = fom_.CreateProcess();
+  auto v1 = fom_.Map(*proc_, *seg, Prot::kReadWrite,
+                     MapOptions{.mechanism = MapMechanism::kPtSplice});
+  auto v2 = fom_.Map(*proc2, *seg, Prot::kReadWrite,
+                     MapOptions{.mechanism = MapMechanism::kPtSplice});
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(proc_->address_space().page_table().GetSubtree(*v1, 2).get(),
+            proc2->address_space().page_table().GetSubtree(*v2, 2).get());
+}
+
+}  // namespace
+}  // namespace o1mem

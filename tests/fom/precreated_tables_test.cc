@@ -1,0 +1,102 @@
+#include "src/fom/precreated_tables.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+class PrecreatedTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  PhysicalMemory phys_{&ctx_, 16 * kMiB, 64 * kMiB};
+};
+
+TEST_F(PrecreatedTest, SingleExtentFileBuildsCorrectLeaves) {
+  const std::vector<FileExtentView> extents = {
+      {.file_offset = 0, .paddr = 32 * kMiB, .bytes = 4 * kMiB}};
+  auto tables = BuildPrecreatedTables(&ctx_, &phys_, extents, 4 * kMiB, false);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->window_count(), 2u);  // 4 MiB / 2 MiB
+  EXPECT_EQ(tables->node_count(), 4u);    // RO + RW
+  // Spot check: offset 3 MiB lives in window 1 at node offset 1 MiB.
+  auto t = PageTable::LookupInSubtree(tables->read_write[1], 1, kMiB + 123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->paddr, 32 * kMiB + 3 * kMiB + 123);
+  EXPECT_TRUE(HasProt(t->prot, Prot::kWrite));
+  // RO set has the same translation but read-only.
+  auto ro = PageTable::LookupInSubtree(tables->read_only[1], 1, kMiB + 123);
+  ASSERT_TRUE(ro.has_value());
+  EXPECT_EQ(ro->paddr, t->paddr);
+  EXPECT_FALSE(HasProt(ro->prot, Prot::kWrite));
+}
+
+TEST_F(PrecreatedTest, MultiExtentFileResolvesAcrossSeams) {
+  // 2 MiB file from two discontiguous 1 MiB extents.
+  const std::vector<FileExtentView> extents = {
+      {.file_offset = 0, .paddr = 20 * kMiB, .bytes = kMiB},
+      {.file_offset = kMiB, .paddr = 48 * kMiB, .bytes = kMiB}};
+  auto tables = BuildPrecreatedTables(&ctx_, &phys_, extents, 2 * kMiB, false);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->window_count(), 1u);
+  auto before = PageTable::LookupInSubtree(tables->read_write[0], 1, kMiB - kPageSize);
+  auto after = PageTable::LookupInSubtree(tables->read_write[0], 1, kMiB);
+  ASSERT_TRUE(before.has_value() && after.has_value());
+  EXPECT_EQ(before->paddr, 20 * kMiB + kMiB - kPageSize);
+  EXPECT_EQ(after->paddr, 48 * kMiB);
+}
+
+TEST_F(PrecreatedTest, PartialLastWindowLeavesTailUnmapped) {
+  const std::vector<FileExtentView> extents = {
+      {.file_offset = 0, .paddr = 20 * kMiB, .bytes = 3 * kMiB}};
+  auto tables = BuildPrecreatedTables(&ctx_, &phys_, extents, 3 * kMiB, false);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->window_count(), 2u);
+  EXPECT_TRUE(PageTable::LookupInSubtree(tables->read_write[1], 1, kMiB - 1).has_value());
+  EXPECT_FALSE(PageTable::LookupInSubtree(tables->read_write[1], 1, kMiB).has_value());
+}
+
+TEST_F(PrecreatedTest, HolesAreCorruption) {
+  const std::vector<FileExtentView> extents = {
+      {.file_offset = kPageSize, .paddr = 20 * kMiB, .bytes = kMiB}};
+  auto tables = BuildPrecreatedTables(&ctx_, &phys_, extents, kMiB, false);
+  ASSERT_FALSE(tables.ok());
+  EXPECT_EQ(tables.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PrecreatedTest, EmptyFileRejected) {
+  EXPECT_FALSE(BuildPrecreatedTables(&ctx_, &phys_, {}, 0, false).ok());
+}
+
+TEST_F(PrecreatedTest, PersistentBuildChargesNvmWrites) {
+  const std::vector<FileExtentView> extents = {
+      {.file_offset = 0, .paddr = 32 * kMiB, .bytes = 2 * kMiB}};
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(BuildPrecreatedTables(&ctx_, &phys_, extents, 2 * kMiB, false).ok());
+  const uint64_t volatile_cost = ctx_.now() - t0;
+  const uint64_t t1 = ctx_.now();
+  ASSERT_TRUE(BuildPrecreatedTables(&ctx_, &phys_, extents, 2 * kMiB, true).ok());
+  const uint64_t persistent_cost = ctx_.now() - t1;
+  EXPECT_GT(persistent_cost, volatile_cost);
+}
+
+TEST_F(PrecreatedTest, BuildIsLinearButMapIsNot) {
+  // Documents the design: building is O(pages) once...
+  const std::vector<FileExtentView> small = {
+      {.file_offset = 0, .paddr = 20 * kMiB, .bytes = 2 * kMiB}};
+  const std::vector<FileExtentView> large = {
+      {.file_offset = 0, .paddr = 20 * kMiB, .bytes = 32 * kMiB}};
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(BuildPrecreatedTables(&ctx_, &phys_, small, 2 * kMiB, false).ok());
+  const uint64_t small_cost = ctx_.now() - t0;
+  const uint64_t t1 = ctx_.now();
+  auto big = BuildPrecreatedTables(&ctx_, &phys_, large, 32 * kMiB, false);
+  ASSERT_TRUE(big.ok());
+  const uint64_t large_cost = ctx_.now() - t1;
+  EXPECT_GT(large_cost, 8 * small_cost);  // roughly 16x the pages
+  // ...while consuming the tables (splicing) is per-window, tested in
+  // fom_manager_test.cc.
+  EXPECT_EQ(big->window_count(), 16u);
+}
+
+}  // namespace
+}  // namespace o1mem

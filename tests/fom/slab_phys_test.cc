@@ -1,0 +1,109 @@
+#include "src/fom/slab_phys.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace o1mem {
+namespace {
+
+class SlabTest : public ::testing::Test {
+ protected:
+  SlabTest() : bitmap_(&ctx_, (64 * kMiB) >> kPageShift), slab_(&ctx_, &bitmap_, 0) {}
+
+  SimContext ctx_;
+  BlockBitmap bitmap_;
+  SlabPhysAllocator slab_;
+};
+
+TEST_F(SlabTest, ClassSelection) {
+  EXPECT_EQ(SlabPhysAllocator::ClassFor(1), 0);
+  EXPECT_EQ(SlabPhysAllocator::ClassFor(kPageSize), 0);
+  EXPECT_EQ(SlabPhysAllocator::ClassFor(kPageSize + 1), 1);
+  EXPECT_EQ(SlabPhysAllocator::ClassFor(64 * kKiB), 4);
+  EXPECT_EQ(SlabPhysAllocator::ClassFor(2 * kMiB), 9);
+  EXPECT_EQ(SlabPhysAllocator::ClassFor(2 * kMiB + 1), SlabPhysAllocator::kClassCount);
+}
+
+TEST_F(SlabTest, AllocFreeRoundTrip) {
+  auto a = slab_.Alloc(kPageSize);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(slab_.live_objects(), 1u);
+  ASSERT_TRUE(slab_.Free(a.value()).ok());
+  EXPECT_EQ(slab_.live_objects(), 0u);
+  EXPECT_FALSE(slab_.Free(a.value()).ok());  // double free
+}
+
+TEST_F(SlabTest, ObjectsWithinClassDoNotOverlap) {
+  std::set<Paddr> seen;
+  for (int i = 0; i < 600; ++i) {  // more than one slab of 4K objects
+    auto p = slab_.Alloc(kPageSize);
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(seen.insert(p.value()).second);
+  }
+  EXPECT_GE(slab_.slab_count(), 2u);
+}
+
+TEST_F(SlabTest, FreeListReuseIsO1NoBitmapScan) {
+  auto p = slab_.Alloc(16 * kKiB);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(slab_.Free(p.value()).ok());
+  // Re-allocation from the free list must not touch the bitmap.
+  const uint64_t free_blocks = bitmap_.free_blocks();
+  auto q = slab_.Alloc(16 * kKiB);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(bitmap_.free_blocks(), free_blocks);
+  EXPECT_EQ(q.value(), p.value());
+}
+
+TEST_F(SlabTest, CachedAllocIsCheaperThanColdExtentAlloc) {
+  auto warmup = slab_.Alloc(kPageSize);
+  ASSERT_TRUE(warmup.ok());
+  ASSERT_TRUE(slab_.Free(warmup.value()).ok());
+  const uint64_t t0 = ctx_.now();
+  auto cached = slab_.Alloc(kPageSize);
+  const uint64_t slab_cost = ctx_.now() - t0;
+  ASSERT_TRUE(cached.ok());
+  const uint64_t t1 = ctx_.now();
+  ASSERT_TRUE(bitmap_.AllocExtent(1).ok());
+  const uint64_t bitmap_cost = ctx_.now() - t1;
+  EXPECT_LT(slab_cost, bitmap_cost);
+}
+
+TEST_F(SlabTest, LargeObjectsBypassSlabs) {
+  auto big = slab_.Alloc(8 * kMiB);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(slab_.slab_count(), 0u);
+  ASSERT_TRUE(slab_.Free(big.value()).ok());
+  EXPECT_EQ(bitmap_.free_blocks(), (64 * kMiB) >> kPageShift);
+}
+
+TEST_F(SlabTest, ReleaseEmptySlabsReturnsMemory) {
+  std::vector<Paddr> objs;
+  for (int i = 0; i < 512; ++i) {
+    auto p = slab_.Alloc(kPageSize);
+    ASSERT_TRUE(p.ok());
+    objs.push_back(p.value());
+  }
+  for (Paddr p : objs) {
+    ASSERT_TRUE(slab_.Free(p).ok());
+  }
+  ASSERT_TRUE(slab_.ReleaseEmptySlabs().ok());
+  EXPECT_EQ(slab_.slab_count(), 0u);
+  EXPECT_EQ(bitmap_.free_blocks(), (64 * kMiB) >> kPageShift);
+}
+
+TEST_F(SlabTest, ReleaseKeepsLiveSlabs) {
+  auto live = slab_.Alloc(kPageSize);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(slab_.ReleaseEmptySlabs().ok());
+  EXPECT_EQ(slab_.slab_count(), 1u);
+  ASSERT_TRUE(slab_.Free(live.value()).ok());
+}
+
+TEST_F(SlabTest, ZeroByteAllocRejected) {
+  EXPECT_FALSE(slab_.Alloc(0).ok());
+}
+
+}  // namespace
+}  // namespace o1mem

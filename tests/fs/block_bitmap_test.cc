@@ -1,0 +1,128 @@
+#include "src/fs/block_bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+class BitmapTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  BlockBitmap bitmap_{&ctx_, 1024};
+};
+
+TEST_F(BitmapTest, StartsEmpty) {
+  EXPECT_EQ(bitmap_.free_blocks(), 1024u);
+  EXPECT_EQ(bitmap_.LargestFreeRun(), 1024u);
+  EXPECT_FALSE(bitmap_.IsAllocated(0));
+}
+
+TEST_F(BitmapTest, AllocMarksBlocks) {
+  auto e = bitmap_.AllocExtent(16);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->count, 16u);
+  for (uint64_t b = e->start; b < e->start + 16; ++b) {
+    EXPECT_TRUE(bitmap_.IsAllocated(b));
+  }
+  EXPECT_EQ(bitmap_.free_blocks(), 1024u - 16);
+}
+
+TEST_F(BitmapTest, SequentialAllocationsAreContiguousWhenEmpty) {
+  auto a = bitmap_.AllocExtent(8);
+  auto b = bitmap_.AllocExtent(8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(b->start, a->start + 8);  // next-fit packs forward
+}
+
+TEST_F(BitmapTest, FreeRestores) {
+  auto e = bitmap_.AllocExtent(100);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(bitmap_.FreeExtent(*e).ok());
+  EXPECT_EQ(bitmap_.free_blocks(), 1024u);
+  EXPECT_FALSE(bitmap_.IsAllocated(e->start));
+}
+
+TEST_F(BitmapTest, DoubleFreeRejected) {
+  auto e = bitmap_.AllocExtent(4);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(bitmap_.FreeExtent(*e).ok());
+  EXPECT_FALSE(bitmap_.FreeExtent(*e).ok());
+}
+
+TEST_F(BitmapTest, WrapAroundFindsFreedSpace) {
+  // Fill nearly everything, free a hole at the start, then allocate: the
+  // next-fit pointer must wrap and find it.
+  auto big = bitmap_.AllocExtent(1000);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(bitmap_.FreeExtent(BlockExtent{.start = big->start, .count = 50}).ok());
+  ASSERT_TRUE(bitmap_.AllocExtent(24).ok());  // consumes the tail
+  auto wrapped = bitmap_.AllocExtent(50);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped->start, big->start);
+}
+
+TEST_F(BitmapTest, FragmentedRequestFails) {
+  // Allocate all, free every other block: max run = 1.
+  auto all = bitmap_.AllocExtent(1024);
+  ASSERT_TRUE(all.ok());
+  for (uint64_t b = 0; b < 1024; b += 2) {
+    ASSERT_TRUE(bitmap_.FreeExtent(BlockExtent{.start = b, .count = 1}).ok());
+  }
+  EXPECT_EQ(bitmap_.LargestFreeRun(), 1u);
+  EXPECT_FALSE(bitmap_.AllocExtent(2).ok());
+  EXPECT_TRUE(bitmap_.AllocExtent(1).ok());
+}
+
+TEST_F(BitmapTest, AllocAtMostReturnsBestRun) {
+  auto all = bitmap_.AllocExtent(1024);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(bitmap_.FreeExtent(BlockExtent{.start = 100, .count = 10}).ok());
+  ASSERT_TRUE(bitmap_.FreeExtent(BlockExtent{.start = 300, .count = 30}).ok());
+  auto best = bitmap_.AllocExtentAtMost(100, 1);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->start, 300u);
+  EXPECT_EQ(best->count, 30u);
+}
+
+TEST_F(BitmapTest, AllocAtMostHonorsMinimum) {
+  auto all = bitmap_.AllocExtent(1024);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(bitmap_.FreeExtent(BlockExtent{.start = 0, .count = 3}).ok());
+  EXPECT_FALSE(bitmap_.AllocExtentAtMost(100, 4).ok());
+  EXPECT_TRUE(bitmap_.AllocExtentAtMost(100, 3).ok());
+}
+
+TEST_F(BitmapTest, InvalidRequestsRejected) {
+  EXPECT_FALSE(bitmap_.AllocExtent(0).ok());
+  EXPECT_FALSE(bitmap_.AllocExtent(4096).ok());
+  EXPECT_FALSE(bitmap_.FreeExtent(BlockExtent{.start = 1020, .count = 10}).ok());
+  EXPECT_FALSE(bitmap_.AllocExtentAtMost(10, 20).ok());
+}
+
+TEST_F(BitmapTest, ResetRebuildsState) {
+  ASSERT_TRUE(bitmap_.AllocExtent(500).ok());
+  std::vector<bool> rebuilt(1024, false);
+  rebuilt[7] = true;
+  ASSERT_TRUE(bitmap_.Reset(rebuilt).ok());
+  EXPECT_EQ(bitmap_.free_blocks(), 1023u);
+  EXPECT_TRUE(bitmap_.IsAllocated(7));
+  EXPECT_FALSE(bitmap_.IsAllocated(100));
+  EXPECT_FALSE(bitmap_.Reset(std::vector<bool>(10)).ok());
+}
+
+TEST_F(BitmapTest, AllocationChargesCycles) {
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(bitmap_.AllocExtent(512).ok());
+  const uint64_t one_big = ctx_.now() - t0;
+  // The same space as 512 singles costs far more than one extent.
+  BlockBitmap other(&ctx_, 1024);
+  const uint64_t t1 = ctx_.now();
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_TRUE(other.AllocExtent(1).ok());
+  }
+  const uint64_t many_small = ctx_.now() - t1;
+  EXPECT_GT(many_small, 100 * one_big);
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,124 @@
+// Directory operations, hard links, and rename through the two file systems
+// and the System syscall layer.
+#include <gtest/gtest.h>
+
+#include "src/os/system.h"
+
+namespace o1mem {
+namespace {
+
+SystemConfig DirConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 128 * kMiB;
+  config.machine.nvm_bytes = 128 * kMiB;
+  return config;
+}
+
+class DirOpsTest : public ::testing::Test {
+ protected:
+  DirOpsTest() : sys_(DirConfig()) {
+    auto proc = sys_.Launch(Backend::kBaseline);
+    O1_CHECK(proc.ok());
+    proc_ = *proc;
+  }
+
+  System sys_;
+  Process* proc_ = nullptr;
+};
+
+TEST_F(DirOpsTest, MkdirListRmdirThroughSyscalls) {
+  ASSERT_TRUE(sys_.Mkdir(sys_.pmfs(), "/projects").ok());
+  ASSERT_TRUE(sys_.Mkdir(sys_.pmfs(), "/projects/alpha").ok());
+  ASSERT_TRUE(sys_.Creat(*proc_, sys_.pmfs(), "/projects/alpha/data", FileFlags{}).ok());
+  auto entries = sys_.List(sys_.pmfs(), "/projects");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "alpha");
+  EXPECT_TRUE((*entries)[0].is_dir);
+  EXPECT_EQ(sys_.Rmdir(sys_.pmfs(), "/projects/alpha").code(), StatusCode::kBusy);
+  ASSERT_TRUE(sys_.Unlink("/projects/alpha/data").ok());
+  EXPECT_TRUE(sys_.Rmdir(sys_.pmfs(), "/projects/alpha").ok());
+}
+
+TEST_F(DirOpsTest, RenamePreservesFileContents) {
+  auto fd = sys_.Creat(*proc_, sys_.pmfs(), "/logs/app.log", FileFlags{.persistent = true});
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(100, 0x2f);
+  ASSERT_TRUE(sys_.Write(*proc_, *fd, data).ok());
+  ASSERT_TRUE(sys_.Close(*proc_, *fd).ok());
+  ASSERT_TRUE(sys_.Rename("/logs/app.log", "/logs/app.log.1").ok());
+  EXPECT_FALSE(sys_.Open(*proc_, "/logs/app.log").ok());
+  auto fd2 = sys_.Open(*proc_, "/logs/app.log.1");
+  ASSERT_TRUE(fd2.ok());
+  std::vector<uint8_t> out(100);
+  ASSERT_TRUE(sys_.Pread(*proc_, *fd2, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(DirOpsTest, RenameDirectoryOfSegments) {
+  ASSERT_TRUE(sys_.fom().CreateSegment("/app/v1/code", kMiB).ok());
+  ASSERT_TRUE(sys_.fom().CreateSegment("/app/v1/data", kMiB).ok());
+  ASSERT_TRUE(sys_.Rename("/app/v1", "/app/v2").ok());
+  EXPECT_TRUE(sys_.fom().OpenSegment("/app/v2/code").ok());
+  EXPECT_TRUE(sys_.fom().OpenSegment("/app/v2/data").ok());
+  EXPECT_FALSE(sys_.fom().OpenSegment("/app/v1/code").ok());
+}
+
+TEST_F(DirOpsTest, HardLinksShareStorageUntilLastUnlink) {
+  auto fd = sys_.Creat(*proc_, sys_.tmpfs(), "/a/orig", FileFlags{});
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(kPageSize, 0x44);
+  ASSERT_TRUE(sys_.Write(*proc_, *fd, data).ok());
+  ASSERT_TRUE(sys_.Close(*proc_, *fd).ok());
+  ASSERT_TRUE(sys_.Link(sys_.tmpfs(), "/a/orig", "/a/alias").ok());
+  // One inode, two names.
+  EXPECT_EQ(sys_.tmpfs().LookupPath("/a/orig").value(),
+            sys_.tmpfs().LookupPath("/a/alias").value());
+  EXPECT_EQ(sys_.tmpfs().Stat(*sys_.tmpfs().LookupPath("/a/orig"))->link_count, 2u);
+  ASSERT_TRUE(sys_.Unlink("/a/orig").ok());
+  // Still readable through the alias.
+  auto fd2 = sys_.Open(*proc_, "/a/alias");
+  ASSERT_TRUE(fd2.ok());
+  std::vector<uint8_t> out(kPageSize);
+  ASSERT_TRUE(sys_.Pread(*proc_, *fd2, 0, out).ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(sys_.Close(*proc_, *fd2).ok());
+  const uint64_t free_before = sys_.phys_manager().free_bytes();
+  ASSERT_TRUE(sys_.Unlink("/a/alias").ok());
+  EXPECT_EQ(sys_.phys_manager().free_bytes(), free_before + kPageSize);
+}
+
+TEST_F(DirOpsTest, LinkedSegmentSurvivesEitherName) {
+  auto seg = sys_.fom().CreateSegment(
+      "/segs/primary", 2 * kMiB, SegmentOptions{.flags = FileFlags{.persistent = true}});
+  ASSERT_TRUE(seg.ok());
+  ASSERT_TRUE(sys_.Link(sys_.pmfs(), "/segs/primary", "/segs/backup-name").ok());
+  ASSERT_TRUE(sys_.Unlink("/segs/primary").ok());
+  auto found = sys_.fom().OpenSegment("/segs/backup-name");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *seg);
+}
+
+TEST_F(DirOpsTest, PersistentDirectoryStructureSurvivesCrash) {
+  ASSERT_TRUE(sys_.Mkdir(sys_.pmfs(), "/db").ok());
+  ASSERT_TRUE(sys_.fom()
+                  .CreateSegment("/db/tables/users", kMiB,
+                                 SegmentOptions{.flags = FileFlags{.persistent = true}})
+                  .ok());
+  ASSERT_TRUE(sys_.Crash().ok());
+  auto entries = sys_.List(sys_.pmfs(), "/db/tables");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "users");
+}
+
+TEST_F(DirOpsTest, ListTmpfsRoot) {
+  ASSERT_TRUE(sys_.Creat(*proc_, sys_.tmpfs(), "/one", FileFlags{}).ok());
+  ASSERT_TRUE(sys_.Mkdir(sys_.tmpfs(), "/two").ok());
+  auto entries = sys_.List(sys_.tmpfs(), "/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,95 @@
+#include "src/fs/extent_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+class ExtentTreeTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  ExtentTree tree_{&ctx_};
+};
+
+TEST_F(ExtentTreeTest, InsertAndLookup) {
+  ASSERT_TRUE(tree_.Insert(0, 0x10000, 8 * kPageSize).ok());
+  auto e = tree_.Lookup(3 * kPageSize + 5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->paddr + (3 * kPageSize + 5 - e->file_offset), 0x10000u + 3 * kPageSize + 5);
+  EXPECT_FALSE(tree_.Lookup(8 * kPageSize).has_value());
+}
+
+TEST_F(ExtentTreeTest, RejectsOverlap) {
+  ASSERT_TRUE(tree_.Insert(kPageSize, 0, kPageSize).ok());
+  EXPECT_FALSE(tree_.Insert(0, 0x100000, 2 * kPageSize).ok());
+  EXPECT_FALSE(tree_.Insert(kPageSize, 0x100000, kPageSize).ok());
+  EXPECT_FALSE(tree_.Insert(0, 0, 0).ok());
+}
+
+TEST_F(ExtentTreeTest, MergesContiguousRuns) {
+  // Logically and physically adjacent: one extent results.
+  ASSERT_TRUE(tree_.Insert(0, 0x10000, kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(kPageSize, 0x10000 + kPageSize, kPageSize).ok());
+  EXPECT_EQ(tree_.extent_count(), 1u);
+  EXPECT_EQ(tree_.mapped_bytes(), 2 * kPageSize);
+}
+
+TEST_F(ExtentTreeTest, NoMergeAcrossPhysicalDiscontinuity) {
+  ASSERT_TRUE(tree_.Insert(0, 0x10000, kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(kPageSize, 0x90000, kPageSize).ok());
+  EXPECT_EQ(tree_.extent_count(), 2u);
+}
+
+TEST_F(ExtentTreeTest, MergeBridgesBothSides) {
+  ASSERT_TRUE(tree_.Insert(0, 0x10000, kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(2 * kPageSize, 0x10000 + 2 * kPageSize, kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(kPageSize, 0x10000 + kPageSize, kPageSize).ok());
+  EXPECT_EQ(tree_.extent_count(), 1u);
+  auto e = tree_.Lookup(0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->bytes, 3 * kPageSize);
+}
+
+TEST_F(ExtentTreeTest, TruncateRemovesTail) {
+  ASSERT_TRUE(tree_.Insert(0, 0x10000, 4 * kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(4 * kPageSize, 0x90000, 4 * kPageSize).ok());
+  auto released = tree_.TruncateFrom(6 * kPageSize);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].paddr, 0x90000u + 2 * kPageSize);
+  EXPECT_EQ(released[0].bytes, 2 * kPageSize);
+  EXPECT_EQ(tree_.mapped_bytes(), 6 * kPageSize);
+  EXPECT_TRUE(tree_.Lookup(5 * kPageSize).has_value());
+  EXPECT_FALSE(tree_.Lookup(6 * kPageSize).has_value());
+}
+
+TEST_F(ExtentTreeTest, TruncateToZeroReleasesEverything) {
+  ASSERT_TRUE(tree_.Insert(0, 0x10000, 4 * kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(4 * kPageSize, 0x90000, kPageSize).ok());
+  auto released = tree_.TruncateFrom(0);
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_EQ(tree_.extent_count(), 0u);
+  EXPECT_EQ(tree_.mapped_bytes(), 0u);
+}
+
+TEST_F(ExtentTreeTest, ExtentsReturnedInFileOrder) {
+  ASSERT_TRUE(tree_.Insert(8 * kPageSize, 0x40000, kPageSize).ok());
+  ASSERT_TRUE(tree_.Insert(0, 0x90000, kPageSize).ok());
+  auto extents = tree_.Extents();
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0].file_offset, 0u);
+  EXPECT_EQ(extents[1].file_offset, 8 * kPageSize);
+}
+
+TEST_F(ExtentTreeTest, WellAllocatedFileStaysOneExtentRegardlessOfSize) {
+  // The property FOM relies on for O(1) mapping.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(tree_.Insert(static_cast<uint64_t>(i) * kMiB,
+                             0x100000 + static_cast<uint64_t>(i) * kMiB, kMiB)
+                    .ok());
+  }
+  EXPECT_EQ(tree_.extent_count(), 1u);
+  EXPECT_EQ(tree_.mapped_bytes(), 64 * kMiB);
+}
+
+}  // namespace
+}  // namespace o1mem

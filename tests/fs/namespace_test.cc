@@ -1,0 +1,115 @@
+#include "src/fs/namespace.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TEST(NamespaceTest, NormalizeAcceptsAndRejects) {
+  EXPECT_EQ(Namespace::Normalize("/a/b").value(), "/a/b");
+  EXPECT_EQ(Namespace::Normalize("/a/b/").value(), "/a/b");
+  EXPECT_EQ(Namespace::Normalize("/").value(), "/");
+  EXPECT_FALSE(Namespace::Normalize("").ok());
+  EXPECT_FALSE(Namespace::Normalize("relative").ok());
+  EXPECT_FALSE(Namespace::Normalize("/a//b").ok());
+  EXPECT_FALSE(Namespace::Normalize("/a/./b").ok());
+  EXPECT_FALSE(Namespace::Normalize("/a/../b").ok());
+}
+
+TEST(NamespaceTest, AddFileAutoCreatesParents) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/proc/42/heap", 7).ok());
+  EXPECT_TRUE(ns.DirExists("/proc"));
+  EXPECT_TRUE(ns.DirExists("/proc/42"));
+  EXPECT_EQ(ns.LookupFile("/proc/42/heap").value(), 7u);
+  EXPECT_FALSE(ns.LookupFile("/proc/42").ok());  // a directory, not a file
+}
+
+TEST(NamespaceTest, FileCannotBePathComponent) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/data", 1).ok());
+  EXPECT_FALSE(ns.AddFile("/data/child", 2).ok());
+  EXPECT_FALSE(ns.Mkdir("/data").ok());
+}
+
+TEST(NamespaceTest, MkdirRequiresParentRmdirRequiresEmpty) {
+  Namespace ns;
+  EXPECT_FALSE(ns.Mkdir("/a/b").ok());  // parent missing
+  ASSERT_TRUE(ns.Mkdir("/a").ok());
+  ASSERT_TRUE(ns.Mkdir("/a/b").ok());
+  EXPECT_FALSE(ns.Mkdir("/a/b").ok());  // exists
+  ASSERT_TRUE(ns.AddFile("/a/b/f", 1).ok());
+  EXPECT_EQ(ns.Rmdir("/a/b").code(), StatusCode::kBusy);
+  ASSERT_TRUE(ns.RemoveFile("/a/b/f").ok());
+  EXPECT_TRUE(ns.Rmdir("/a/b").ok());
+  EXPECT_FALSE(ns.DirExists("/a/b"));
+}
+
+TEST(NamespaceTest, ListOneLevel) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/d/one", 1).ok());
+  ASSERT_TRUE(ns.AddFile("/d/two", 2).ok());
+  ASSERT_TRUE(ns.AddFile("/d/sub/deep", 3).ok());
+  auto entries = ns.List("/d").value();
+  ASSERT_EQ(entries.size(), 3u);  // one, sub, two (sorted)
+  EXPECT_EQ(entries[0].name, "one");
+  EXPECT_FALSE(entries[0].is_dir);
+  EXPECT_EQ(entries[1].name, "sub");
+  EXPECT_TRUE(entries[1].is_dir);
+  EXPECT_EQ(entries[2].name, "two");
+  auto root = ns.List("/").value();
+  ASSERT_EQ(root.size(), 1u);
+  EXPECT_EQ(root[0].name, "d");
+  EXPECT_FALSE(ns.List("/missing").ok());
+}
+
+TEST(NamespaceTest, RenameFile) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/a/f", 9).ok());
+  ASSERT_TRUE(ns.Mkdir("/b").ok());
+  ASSERT_TRUE(ns.Rename("/a/f", "/b/g").ok());
+  EXPECT_FALSE(ns.LookupFile("/a/f").ok());
+  EXPECT_EQ(ns.LookupFile("/b/g").value(), 9u);
+  // Destination parent must exist.
+  EXPECT_FALSE(ns.Rename("/b/g", "/nope/x").ok());
+  // Destination must not exist.
+  ASSERT_TRUE(ns.AddFile("/b/h", 10).ok());
+  EXPECT_FALSE(ns.Rename("/b/g", "/b/h").ok());
+}
+
+TEST(NamespaceTest, RenameDirectoryMovesSubtree) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/old/x/one", 1).ok());
+  ASSERT_TRUE(ns.AddFile("/old/x/two", 2).ok());
+  ASSERT_TRUE(ns.AddFile("/old/top", 3).ok());
+  ASSERT_TRUE(ns.Rename("/old", "/new").ok());
+  EXPECT_EQ(ns.LookupFile("/new/x/one").value(), 1u);
+  EXPECT_EQ(ns.LookupFile("/new/x/two").value(), 2u);
+  EXPECT_EQ(ns.LookupFile("/new/top").value(), 3u);
+  EXPECT_FALSE(ns.DirExists("/old"));
+  // Cannot move a directory into its own subtree.
+  EXPECT_FALSE(ns.Rename("/new", "/new/x/inside").ok());
+}
+
+TEST(NamespaceTest, AllFilesAndCount) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/z", 1).ok());
+  ASSERT_TRUE(ns.AddFile("/a/b", 2).ok());
+  ASSERT_TRUE(ns.Mkdir("/empty").ok());
+  auto files = ns.AllFiles();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].first, "/a/b");  // sorted
+  EXPECT_EQ(files[1].first, "/z");
+  EXPECT_EQ(ns.file_count(), 2u);
+}
+
+TEST(NamespaceTest, DuplicateBindingsRejected) {
+  Namespace ns;
+  ASSERT_TRUE(ns.AddFile("/f", 1).ok());
+  EXPECT_FALSE(ns.AddFile("/f", 2).ok());
+  EXPECT_FALSE(ns.Mkdir("/f").ok());
+  EXPECT_FALSE(ns.AddFile("/", 3).ok());
+}
+
+}  // namespace
+}  // namespace o1mem

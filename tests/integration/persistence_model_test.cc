@@ -1,0 +1,187 @@
+// PersistenceModel::kExplicitFlush: NVM stores are durable only after a
+// clwb/fence barrier; a crash reverts unflushed lines. These tests cover the
+// hardware model, the DAX mapping path (UserFlush/Msync), the file API's
+// durability-on-return guarantee, and the persistent heap's crash
+// consistency on a strict machine.
+#include <gtest/gtest.h>
+
+#include "src/os/system.h"
+#include "src/runtime/persistent_heap.h"
+
+namespace o1mem {
+namespace {
+
+SystemConfig StrictConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 128 * kMiB;
+  config.machine.nvm_bytes = 256 * kMiB;
+  config.machine.persistence = PersistenceModel::kExplicitFlush;
+  return config;
+}
+
+TEST(PhysPersistenceTest, UnflushedLineRevertsFlushedSurvives) {
+  SimContext ctx;
+  PhysicalMemory mem(&ctx, 4 * kMiB, 4 * kMiB, PersistenceModel::kExplicitFlush);
+  const Paddr a = mem.nvm_base();         // will be flushed
+  const Paddr b = mem.nvm_base() + 4096;  // will not
+  std::vector<uint8_t> data(64, 0x77);
+  ASSERT_TRUE(mem.Write(a, data).ok());
+  ASSERT_TRUE(mem.Write(b, data).ok());
+  EXPECT_EQ(mem.pending_nvm_lines(), 2u);
+  ASSERT_TRUE(mem.FlushLines(a, 64).ok());
+  EXPECT_EQ(mem.pending_nvm_lines(), 1u);
+  mem.DropVolatile();
+  EXPECT_EQ(mem.PeekByte(a), 0x77);
+  EXPECT_EQ(mem.PeekByte(b), 0);  // reverted to durable zero
+  EXPECT_EQ(mem.pending_nvm_lines(), 0u);
+}
+
+TEST(PhysPersistenceTest, RevertRestoresPriorDurableContentsNotZero) {
+  SimContext ctx;
+  PhysicalMemory mem(&ctx, 0, 4 * kMiB, PersistenceModel::kExplicitFlush);
+  std::vector<uint8_t> old_data(64, 0xAA);
+  ASSERT_TRUE(mem.Write(0, old_data).ok());
+  ASSERT_TRUE(mem.FlushLines(0, 64).ok());  // 0xAA is durable
+  std::vector<uint8_t> new_data(64, 0xBB);
+  ASSERT_TRUE(mem.Write(0, new_data).ok());  // not flushed
+  mem.DropVolatile();
+  EXPECT_EQ(mem.PeekByte(0), 0xAA);
+}
+
+TEST(PhysPersistenceTest, DramWritesNeverShadowed) {
+  SimContext ctx;
+  PhysicalMemory mem(&ctx, 4 * kMiB, 4 * kMiB, PersistenceModel::kExplicitFlush);
+  std::vector<uint8_t> data(4096, 1);
+  ASSERT_TRUE(mem.Write(0, data).ok());
+  EXPECT_EQ(mem.pending_nvm_lines(), 0u);
+}
+
+TEST(PhysPersistenceTest, AutoModeHasNoPendingLines) {
+  SimContext ctx;
+  PhysicalMemory mem(&ctx, 0, 4 * kMiB, PersistenceModel::kAutoDurable);
+  std::vector<uint8_t> data(4096, 1);
+  ASSERT_TRUE(mem.Write(0, data).ok());
+  EXPECT_EQ(mem.pending_nvm_lines(), 0u);
+  mem.DropVolatile();
+  EXPECT_EQ(mem.PeekByte(0), 1);
+}
+
+TEST(PhysPersistenceTest, FlushChargesPerLine) {
+  SimContext ctx;
+  PhysicalMemory mem(&ctx, 0, 4 * kMiB, PersistenceModel::kExplicitFlush);
+  std::vector<uint8_t> data(kPageSize, 1);
+  ASSERT_TRUE(mem.Write(0, data).ok());
+  const uint64_t t0 = ctx.now();
+  ASSERT_TRUE(mem.FlushLines(0, kPageSize).ok());
+  const uint64_t cost = ctx.now() - t0;
+  EXPECT_EQ(cost, 64 * ctx.cost().clwb_cycles + ctx.cost().sfence_cycles);
+}
+
+class StrictSystemTest : public ::testing::Test {
+ protected:
+  StrictSystemTest() : sys_(StrictConfig()) {}
+  System sys_;
+};
+
+TEST_F(StrictSystemTest, DaxStoreWithoutFlushIsLostWithFlushSurvives) {
+  auto proc = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc.ok());
+  auto seg = sys_.fom().CreateSegment(
+      "/strict/seg", 2 * kMiB, SegmentOptions{.flags = FileFlags{.persistent = true}});
+  ASSERT_TRUE(seg.ok());
+  auto vaddr = sys_.fom().Map((*proc)->fom(), *seg, Prot::kReadWrite);
+  ASSERT_TRUE(vaddr.ok());
+  std::vector<uint8_t> durable(64, 0x11);
+  std::vector<uint8_t> lost(64, 0x22);
+  ASSERT_TRUE(sys_.UserWrite(**proc, *vaddr, durable).ok());
+  ASSERT_TRUE(sys_.Msync(**proc, *vaddr, 64).ok());
+  ASSERT_TRUE(sys_.UserWrite(**proc, *vaddr + kPageSize, lost).ok());  // no flush
+
+  ASSERT_TRUE(sys_.Crash().ok());
+  auto proc2 = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc2.ok());
+  auto seg2 = sys_.fom().OpenSegment("/strict/seg");
+  ASSERT_TRUE(seg2.ok());
+  auto v2 = sys_.fom().Map((*proc2)->fom(), *seg2, Prot::kRead);
+  ASSERT_TRUE(v2.ok());
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(sys_.UserRead(**proc2, *v2, out).ok());
+  EXPECT_EQ(out, durable);
+  ASSERT_TRUE(sys_.UserRead(**proc2, *v2 + kPageSize, out).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);  // unflushed store evaporated
+  }
+}
+
+TEST_F(StrictSystemTest, FileWriteApiIsDurableOnReturn) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  auto fd = sys_.Creat(**proc, sys_.pmfs(), "/strict/file", FileFlags{.persistent = true});
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(1000, 0x5d);
+  ASSERT_TRUE(sys_.Write(**proc, *fd, data).ok());
+  ASSERT_TRUE(sys_.Crash().ok());
+  auto proc2 = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc2.ok());
+  auto fd2 = sys_.Open(**proc2, "/strict/file");
+  ASSERT_TRUE(fd2.ok());
+  std::vector<uint8_t> out(1000);
+  ASSERT_TRUE(sys_.Pread(**proc2, *fd2, 0, out).ok());
+  EXPECT_EQ(out, data);  // write(2) flushed internally
+}
+
+TEST_F(StrictSystemTest, PersistentHeapIsCrashConsistentOnStrictHardware) {
+  uint64_t off = 0;
+  {
+    auto proc = sys_.Launch(Backend::kFom);
+    ASSERT_TRUE(proc.ok());
+    auto heap = PersistentHeap::OpenOrCreate(&sys_, *proc, "/strict/heap", 4 * kMiB);
+    ASSERT_TRUE(heap.ok());
+    auto alloc = heap->Allocate(128);
+    ASSERT_TRUE(alloc.ok());
+    off = *alloc;
+    std::vector<uint8_t> data(128, 0x3e);
+    ASSERT_TRUE(heap->WriteObject(off, data).ok());
+    ASSERT_TRUE(heap->SetRoot("obj", off).ok());
+    // A raw UserWrite that the heap user forgot to flush: should vanish
+    // without corrupting the heap.
+    std::vector<uint8_t> sloppy(64, 0x99);
+    ASSERT_TRUE(sys_.UserWrite(**proc, heap->AddressOf(off) + 4096 - 64, sloppy).ok());
+  }
+  ASSERT_TRUE(sys_.Crash().ok());
+  auto proc2 = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc2.ok());
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, *proc2, "/strict/heap", 4 * kMiB);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_TRUE(heap->recovered());
+  auto root = heap->GetRoot("obj");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, off);
+  std::vector<uint8_t> out(128);
+  ASSERT_TRUE(heap->ReadObject(*root, out).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0x3e);
+  }
+  // The cursor survived too: fresh allocations do not overlap.
+  auto fresh = heap->Allocate(64);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GE(*fresh, off + 128);
+}
+
+TEST_F(StrictSystemTest, UserFlushCostsScaleWithLines) {
+  auto proc = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc.ok());
+  auto vaddr = sys_.Mmap(**proc, MmapArgs{.length = kMiB});
+  ASSERT_TRUE(vaddr.ok());
+  ASSERT_TRUE(sys_.UserTouch(**proc, *vaddr, kMiB, AccessType::kWrite).ok());
+  const uint64_t t0 = sys_.ctx().now();
+  ASSERT_TRUE(sys_.UserFlush(**proc, *vaddr, 64).ok());
+  const uint64_t one_line = sys_.ctx().now() - t0;
+  const uint64_t t1 = sys_.ctx().now();
+  ASSERT_TRUE(sys_.UserFlush(**proc, *vaddr, kMiB).ok());
+  const uint64_t whole_mb = sys_.ctx().now() - t1;
+  EXPECT_GT(whole_mb, 100 * one_line);
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,192 @@
+// Integration tests: multiple processes, mixed backends, shared files,
+// pressure and crashes interacting on one machine.
+#include <gtest/gtest.h>
+
+#include "src/os/malloc.h"
+#include "src/os/system.h"
+#include "src/support/rng.h"
+
+namespace o1mem {
+namespace {
+
+SystemConfig IntegrationConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 256 * kMiB;
+  config.machine.nvm_bytes = 512 * kMiB;
+  return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : sys_(IntegrationConfig()) {}
+  System sys_;
+};
+
+TEST_F(IntegrationTest, MixedBackendProcessesShareAPmfsFile) {
+  // A FOM producer fills a PMFS file through a mapping; a baseline consumer
+  // reads it through demand-paged mmap; a second baseline consumer reads it
+  // through read(2). All three views agree.
+  auto producer = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(producer.ok());
+  auto seg = sys_.fom().CreateSegment("/shared/blob", 8 * kMiB);
+  ASSERT_TRUE(seg.ok());
+  auto pbase = sys_.fom().Map((*producer)->fom(), *seg, Prot::kReadWrite);
+  ASSERT_TRUE(pbase.ok());
+  std::vector<uint8_t> payload(kMiB);
+  Rng rng(9);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(sys_.UserWrite(**producer, *pbase + 3 * kMiB, payload).ok());
+
+  auto consumer = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(consumer.ok());
+  auto fd = sys_.Open(**consumer, "/shared/blob");
+  ASSERT_TRUE(fd.ok());
+  auto cbase = sys_.Mmap(**consumer, MmapArgs{.length = 8 * kMiB, .prot = Prot::kRead,
+                                              .fd = *fd});
+  ASSERT_TRUE(cbase.ok());
+  std::vector<uint8_t> via_map(payload.size());
+  ASSERT_TRUE(sys_.UserRead(**consumer, *cbase + 3 * kMiB, via_map).ok());
+  EXPECT_EQ(via_map, payload);
+
+  auto reader = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(reader.ok());
+  auto fd2 = sys_.Open(**reader, "/shared/blob");
+  ASSERT_TRUE(fd2.ok());
+  std::vector<uint8_t> via_read(payload.size());
+  ASSERT_TRUE(sys_.Pread(**reader, *fd2, 3 * kMiB, via_read).ok());
+  EXPECT_EQ(via_read, payload);
+
+  // Writes through the consumer's shared mapping are visible to the
+  // producer immediately (DAX: one copy of the data).
+  ASSERT_TRUE(sys_.Munmap(**consumer, *cbase, 8 * kMiB).ok());
+}
+
+TEST_F(IntegrationTest, ManyProcessesManyMappings) {
+  std::vector<Process*> procs;
+  for (int i = 0; i < 8; ++i) {
+    auto proc = sys_.Launch(i % 2 == 0 ? Backend::kBaseline : Backend::kFom);
+    ASSERT_TRUE(proc.ok());
+    procs.push_back(*proc);
+  }
+  // Each process maps private memory and stamps it with its pid.
+  std::vector<Vaddr> bases(procs.size());
+  for (size_t i = 0; i < procs.size(); ++i) {
+    auto vaddr = sys_.Mmap(*procs[i], MmapArgs{.length = 2 * kMiB});
+    ASSERT_TRUE(vaddr.ok());
+    bases[i] = *vaddr;
+    std::vector<uint8_t> stamp(512, static_cast<uint8_t>(procs[i]->pid()));
+    ASSERT_TRUE(sys_.UserWrite(*procs[i], bases[i] + kPageSize, stamp).ok());
+  }
+  // No cross-contamination.
+  for (size_t i = 0; i < procs.size(); ++i) {
+    std::vector<uint8_t> out(512);
+    ASSERT_TRUE(sys_.UserRead(*procs[i], bases[i] + kPageSize, out).ok());
+    for (uint8_t b : out) {
+      ASSERT_EQ(b, procs[i]->pid());
+    }
+  }
+  // Exit half of them; the rest keep working.
+  for (size_t i = 0; i < procs.size(); i += 2) {
+    ASSERT_TRUE(sys_.Exit(procs[i]).ok());
+  }
+  for (size_t i = 1; i < procs.size(); i += 2) {
+    EXPECT_TRUE(sys_.UserTouch(*procs[i], bases[i], 1, AccessType::kRead).ok());
+  }
+}
+
+TEST_F(IntegrationTest, BaselinePressureWithFilePagesAndAnonPages) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  // Anonymous working set + a file mapping.
+  auto anon = sys_.Mmap(**proc, MmapArgs{.length = 32 * kMiB, .populate = true});
+  ASSERT_TRUE(anon.ok());
+  auto fd = sys_.Creat(**proc, sys_.tmpfs(), "/t/file", FileFlags{});
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.Ftruncate(**proc, *fd, 8 * kMiB).ok());
+  auto file_map =
+      sys_.Mmap(**proc, MmapArgs{.length = 8 * kMiB, .populate = true, .fd = *fd});
+  ASSERT_TRUE(file_map.ok());
+
+  for (uint64_t off = 0; off < 32 * kMiB; off += kPageSize) {
+    (*proc)->pager().TestAndClearReferenced(*anon + off);
+  }
+  auto stats = sys_.ReclaimBaseline(**proc, 1024, System::ReclaimPolicy::kTwoQueue);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->reclaimed, 1024u);
+  // Everything still readable (faults bring anon pages back from swap).
+  EXPECT_TRUE(sys_.UserTouch(**proc, *anon, 32 * kMiB, AccessType::kRead).ok());
+  EXPECT_TRUE(sys_.UserTouch(**proc, *file_map, 8 * kMiB, AccessType::kRead).ok());
+}
+
+TEST_F(IntegrationTest, CrashDuringMixedActivityRecoversConsistently) {
+  // Persistent state, volatile state, live mappings, open fds -- then crash.
+  auto fom_proc = sys_.Launch(Backend::kFom);
+  auto base_proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(fom_proc.ok());
+  ASSERT_TRUE(base_proc.ok());
+
+  auto keep = sys_.fom().CreateSegment(
+      "/db/keep", 4 * kMiB, SegmentOptions{.flags = FileFlags{.persistent = true}});
+  ASSERT_TRUE(keep.ok());
+  auto keep_map = sys_.fom().Map((*fom_proc)->fom(), *keep, Prot::kReadWrite);
+  ASSERT_TRUE(keep_map.ok());
+  std::vector<uint8_t> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 3);
+  }
+  ASSERT_TRUE(sys_.UserWrite(**fom_proc, *keep_map + kMiB, data).ok());
+
+  ASSERT_TRUE(sys_.fom().CreateSegment("/tmp/volatile", kMiB).ok());
+  ASSERT_TRUE(sys_.Creat(**base_proc, sys_.tmpfs(), "/t/scratch", FileFlags{}).ok());
+
+  ASSERT_TRUE(sys_.Crash().ok());
+
+  // Recovery: persistent file intact with data; everything else gone.
+  ASSERT_TRUE(sys_.pmfs().VerifyIntegrity().ok());
+  auto survivor = sys_.fom().OpenSegment("/db/keep");
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_FALSE(sys_.fom().OpenSegment("/tmp/volatile").ok());
+  auto proc2 = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc2.ok());
+  EXPECT_FALSE(sys_.Open(**proc2, "/t/scratch").ok());
+  auto remap = sys_.fom().Map((*proc2)->fom(), *survivor, Prot::kRead);
+  ASSERT_TRUE(remap.ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(sys_.UserRead(**proc2, *remap + kMiB, out).ok());
+  EXPECT_EQ(out, data);
+
+  // Repeated crashes are harmless (idempotent recovery).
+  ASSERT_TRUE(sys_.Crash().ok());
+  ASSERT_TRUE(sys_.pmfs().VerifyIntegrity().ok());
+  EXPECT_TRUE(sys_.fom().OpenSegment("/db/keep").ok());
+}
+
+TEST_F(IntegrationTest, MallocWorkloadOnFomSurvivesSystemPressure) {
+  auto proc = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc.ok());
+  SizeClassAllocator alloc(&sys_, *proc);
+  // Fill discardable caches until the PM pool is nearly exhausted.
+  int cache_count = 0;
+  while (sys_.pmfs().free_bytes() >= 24 * kMiB) {
+    auto seg = sys_.fom().CreateSegment(
+        "/cache/c" + std::to_string(cache_count++), 16 * kMiB,
+        SegmentOptions{.flags = FileFlags{.discardable = true}});
+    ASSERT_TRUE(seg.ok());
+  }
+  ASSERT_GT(cache_count, 4);
+  // A big allocation no longer fits...
+  auto blocked = alloc.Malloc(64 * kMiB);
+  ASSERT_FALSE(blocked.ok());
+  // ...until pressure handling deletes caches, after which it succeeds.
+  ASSERT_TRUE(sys_.ReclaimFom(64 * kMiB).ok());
+  auto p = alloc.Malloc(64 * kMiB);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(sys_.UserTouch(**proc, *p + 63 * kMiB, 1, AccessType::kWrite).ok());
+  ASSERT_TRUE(alloc.Free(*p).ok());
+  EXPECT_GT(sys_.ctx().counters().files_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace o1mem

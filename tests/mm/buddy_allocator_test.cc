@@ -1,0 +1,146 @@
+#include "src/mm/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace o1mem {
+namespace {
+
+class BuddyTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  BuddyAllocator buddy_{&ctx_, /*base=*/0, /*bytes=*/16 * kMiB};
+};
+
+TEST_F(BuddyTest, StartsFullyFree) {
+  EXPECT_EQ(buddy_.free_bytes(), 16 * kMiB);
+  EXPECT_GE(buddy_.LargestFreeOrder(), 12);  // 16 MiB = order 12
+}
+
+TEST_F(BuddyTest, AllocFrameReturnsAlignedOwnedFrames) {
+  auto a = buddy_.AllocFrame();
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(IsAligned(a.value(), kPageSize));
+  EXPECT_TRUE(buddy_.Owns(a.value()));
+  EXPECT_EQ(buddy_.free_bytes(), 16 * kMiB - kPageSize);
+}
+
+TEST_F(BuddyTest, DistinctAllocationsDoNotOverlap) {
+  std::set<Paddr> seen;
+  for (int i = 0; i < 256; ++i) {
+    auto frame = buddy_.AllocFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(seen.insert(frame.value()).second);
+  }
+}
+
+TEST_F(BuddyTest, HigherOrderAlignment) {
+  auto block = buddy_.AllocOrder(9);  // 2 MiB
+  ASSERT_TRUE(block.ok());
+  EXPECT_TRUE(IsAligned(block.value(), kLargePageSize));
+  EXPECT_EQ(buddy_.free_bytes(), 16 * kMiB - 2 * kMiB);
+}
+
+TEST_F(BuddyTest, ExhaustionReturnsOutOfMemory) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(buddy_.AllocOrder(9).ok());
+  }
+  EXPECT_EQ(buddy_.free_bytes(), 0u);
+  auto r = buddy_.AllocFrame();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(BuddyTest, FreeRestoresAndMerges) {
+  std::vector<Paddr> frames;
+  for (int i = 0; i < 512; ++i) {  // 2 MiB worth of single frames
+    auto f = buddy_.AllocFrame();
+    ASSERT_TRUE(f.ok());
+    frames.push_back(f.value());
+  }
+  for (Paddr f : frames) {
+    ASSERT_TRUE(buddy_.FreeFrame(f).ok());
+  }
+  EXPECT_EQ(buddy_.free_bytes(), 16 * kMiB);
+  // All singles merged back: a full-size block must be allocatable again.
+  EXPECT_TRUE(buddy_.AllocOrder(12).ok());
+}
+
+TEST_F(BuddyTest, InvalidFreesRejected) {
+  EXPECT_FALSE(buddy_.FreeFrame(16 * kMiB).ok());            // outside
+  EXPECT_FALSE(buddy_.FreeOrder(kPageSize, 9).ok());         // misaligned for order
+  EXPECT_FALSE(buddy_.FreeOrder(0, -1).ok());
+  EXPECT_FALSE(buddy_.FreeOrder(0, BuddyAllocator::kMaxOrder).ok());
+}
+
+TEST_F(BuddyTest, FragmentationBlocksLargeAllocations) {
+  // Allocate everything as frames, free every other one: no order-1 blocks.
+  std::vector<Paddr> frames;
+  while (true) {
+    auto f = buddy_.AllocFrame();
+    if (!f.ok()) {
+      break;
+    }
+    frames.push_back(f.value());
+  }
+  for (size_t i = 0; i < frames.size(); i += 2) {
+    ASSERT_TRUE(buddy_.FreeFrame(frames[i]).ok());
+  }
+  EXPECT_EQ(buddy_.LargestFreeOrder(), 0);
+  EXPECT_FALSE(buddy_.AllocOrder(1).ok());
+  EXPECT_TRUE(buddy_.AllocFrame().ok());
+}
+
+TEST_F(BuddyTest, ChargesCycles) {
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(buddy_.AllocFrame().ok());
+  EXPECT_GT(ctx_.now(), t0);
+  EXPECT_EQ(ctx_.counters().frames_allocated, 1u);
+}
+
+TEST_F(BuddyTest, NonPowerOfTwoRegionFullyUsable) {
+  BuddyAllocator odd(&ctx_, 0, 3 * kMiB + 64 * kPageSize);
+  uint64_t allocated = 0;
+  while (odd.AllocFrame().ok()) {
+    allocated += kPageSize;
+  }
+  EXPECT_EQ(allocated, 3 * kMiB + 64 * kPageSize);
+}
+
+// Property-style randomized check: alloc/free churn preserves the invariant
+// that free_bytes matches the outstanding set and never double-allocates.
+TEST_F(BuddyTest, RandomChurnPreservesInvariants) {
+  Rng rng(1234);
+  std::vector<std::pair<Paddr, int>> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const int order = static_cast<int>(rng.NextBelow(5));
+      auto r = buddy_.AllocOrder(order);
+      if (r.ok()) {
+        // No overlap with any live block.
+        for (const auto& [base, o] : live) {
+          const bool disjoint = r.value() + (kPageSize << order) <= base ||
+                                base + (kPageSize << o) <= r.value();
+          ASSERT_TRUE(disjoint);
+        }
+        live.emplace_back(r.value(), order);
+      }
+    } else {
+      const size_t pick = rng.NextBelow(live.size());
+      ASSERT_TRUE(buddy_.FreeOrder(live[pick].first, live[pick].second).ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  uint64_t live_bytes = 0;
+  for (const auto& [base, o] : live) {
+    live_bytes += kPageSize << o;
+  }
+  EXPECT_EQ(buddy_.free_bytes(), 16 * kMiB - live_bytes);
+}
+
+}  // namespace
+}  // namespace o1mem

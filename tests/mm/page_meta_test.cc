@@ -1,0 +1,71 @@
+#include "src/mm/page_meta.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TEST(PageMetaTest, SixtyFourByteFootprint) {
+  EXPECT_EQ(sizeof(PageMeta), 64u);
+}
+
+TEST(PageMetaTest, FlagSetTestClear) {
+  PageMeta m;
+  EXPECT_FALSE(m.Test(PageFlag::kDirty));
+  m.Set(PageFlag::kDirty);
+  m.Set(PageFlag::kLru);
+  EXPECT_TRUE(m.Test(PageFlag::kDirty));
+  EXPECT_TRUE(m.Test(PageFlag::kLru));
+  m.Clear(PageFlag::kDirty);
+  EXPECT_FALSE(m.Test(PageFlag::kDirty));
+  EXPECT_TRUE(m.Test(PageFlag::kLru));
+}
+
+TEST(PageMetaTest, TwentyFiveDistinctFlags) {
+  // The paper: "the Linux PAGE structure has 25 separate flags".
+  PageMeta m;
+  int count = 0;
+  for (uint32_t bit = 0; bit < 32; ++bit) {
+    const auto flag = static_cast<PageFlag>(1u << bit);
+    if (bit <= 24) {
+      m.Set(flag);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 25);
+  EXPECT_EQ(m.flags, (1u << 25) - 1);
+}
+
+TEST(PageMetaArrayTest, InitCostIsLinearInMemorySize) {
+  SimContext ctx;
+  PageMetaArray small(&ctx, 0, 16 * kMiB);
+  PageMetaArray big(&ctx, 0, 64 * kMiB);
+  EXPECT_EQ(big.init_cycles(), 4 * small.init_cycles());
+  EXPECT_EQ(small.frame_count(), 16 * kMiB / kPageSize);
+  EXPECT_EQ(small.metadata_bytes(), small.frame_count() * 64);
+}
+
+TEST(PageMetaArrayTest, OfChargesPeekDoesNot) {
+  SimContext ctx;
+  PageMetaArray arr(&ctx, 0, kMiB);
+  const uint64_t t0 = ctx.now();
+  arr.Of(kPageSize).Set(PageFlag::kDirty);
+  EXPECT_GT(ctx.now(), t0);
+  const uint64_t t1 = ctx.now();
+  EXPECT_TRUE(arr.Peek(kPageSize).Test(PageFlag::kDirty));
+  EXPECT_EQ(ctx.now(), t1);
+}
+
+TEST(PageMetaArrayTest, DistinctFramesDistinctMeta) {
+  SimContext ctx;
+  PageMetaArray arr(&ctx, 0, kMiB);
+  arr.Of(0).refcount = 3;
+  arr.Of(kPageSize).refcount = 7;
+  EXPECT_EQ(arr.Peek(0).refcount, 3);
+  EXPECT_EQ(arr.Peek(kPageSize).refcount, 7);
+  // Same frame, any offset within it.
+  EXPECT_EQ(arr.Peek(kPageSize + 123).refcount, 7);
+}
+
+}  // namespace
+}  // namespace o1mem

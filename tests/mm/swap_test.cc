@@ -1,0 +1,66 @@
+#include "src/mm/swap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/units.h"
+
+namespace o1mem {
+namespace {
+
+class SwapTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  PhysicalMemory phys_{&ctx_, 4 * kMiB, 0};
+  SwapDevice swap_{&ctx_, &phys_, /*capacity_pages=*/4};
+};
+
+TEST_F(SwapTest, RoundTripPreservesContents) {
+  std::vector<uint8_t> data(kPageSize);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(phys_.Write(0, data).ok());
+  auto slot = swap_.SwapOut(0);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(phys_.Zero(0, kPageSize).ok());
+  ASSERT_TRUE(swap_.SwapIn(slot.value(), 0).ok());
+  std::vector<uint8_t> out(kPageSize);
+  ASSERT_TRUE(phys_.Read(0, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(swap_.used_slots(), 0u);
+}
+
+TEST_F(SwapTest, SlotConsumedBySwapIn) {
+  auto slot = swap_.SwapOut(0);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(swap_.SwapIn(slot.value(), kPageSize).ok());
+  EXPECT_FALSE(swap_.SwapIn(slot.value(), kPageSize).ok());
+}
+
+TEST_F(SwapTest, CapacityEnforced) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(swap_.SwapOut(static_cast<Paddr>(i) * kPageSize).ok());
+  }
+  auto r = swap_.SwapOut(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(SwapTest, DiscardFreesSlot) {
+  auto slot = swap_.SwapOut(0);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(swap_.Discard(slot.value()).ok());
+  EXPECT_EQ(swap_.used_slots(), 0u);
+  EXPECT_FALSE(swap_.Discard(slot.value()).ok());
+}
+
+TEST_F(SwapTest, SwapIsSlow) {
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(swap_.SwapOut(0).ok());
+  // Swapping one page costs on the order of 100 microseconds, vastly more
+  // than any in-memory operation.
+  EXPECT_GT(ctx_.now() - t0, 100000u);
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,153 @@
+#include "src/mm/vma.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+class VmaTest : public ::testing::Test {
+ protected:
+  static Vma Anon(Vaddr start, Vaddr end, Prot prot = Prot::kReadWrite) {
+    return Vma{.start = start, .end = end, .prot = prot};
+  }
+
+  SimContext ctx_;
+  VmaTree tree_{&ctx_};
+};
+
+TEST_F(VmaTest, InsertAndFind) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  auto v = tree_.Find(kMiB + 100);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->start, kMiB);
+  EXPECT_FALSE(tree_.Find(2 * kMiB).has_value());
+  EXPECT_FALSE(tree_.Find(kMiB - 1).has_value());
+}
+
+TEST_F(VmaTest, RejectsBadGeometry) {
+  EXPECT_FALSE(tree_.Insert(Anon(kMiB, kMiB)).ok());               // empty
+  EXPECT_FALSE(tree_.Insert(Anon(2 * kMiB, kMiB)).ok());           // inverted
+  EXPECT_FALSE(tree_.Insert(Anon(kMiB + 1, 2 * kMiB)).ok());       // misaligned
+}
+
+TEST_F(VmaTest, RejectsOverlap) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  EXPECT_FALSE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  EXPECT_FALSE(tree_.Insert(Anon(kMiB + kPageSize, kMiB + 2 * kPageSize)).ok());
+  EXPECT_FALSE(tree_.Insert(Anon(kMiB / 2, kMiB + kPageSize)).ok());
+}
+
+TEST_F(VmaTest, MergesAdjacentAnonymousRegions) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  ASSERT_TRUE(tree_.Insert(Anon(2 * kMiB, 3 * kMiB)).ok());
+  EXPECT_EQ(tree_.size(), 1u);
+  auto v = tree_.Find(2 * kMiB);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->start, kMiB);
+  EXPECT_EQ(v->end, 3 * kMiB);
+}
+
+TEST_F(VmaTest, MergeBridgesBothNeighbors) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  ASSERT_TRUE(tree_.Insert(Anon(3 * kMiB, 4 * kMiB)).ok());
+  ASSERT_TRUE(tree_.Insert(Anon(2 * kMiB, 3 * kMiB)).ok());
+  EXPECT_EQ(tree_.size(), 1u);
+}
+
+TEST_F(VmaTest, NoMergeAcrossDifferentProtection) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB, Prot::kRead)).ok());
+  ASSERT_TRUE(tree_.Insert(Anon(2 * kMiB, 3 * kMiB, Prot::kReadWrite)).ok());
+  EXPECT_EQ(tree_.size(), 2u);
+}
+
+class FakeBacking : public BackingProvider {
+ public:
+  Result<Paddr> GetBackingPage(uint64_t offset, bool) override { return Paddr{offset}; }
+  uint64_t backing_id() const override { return 99; }
+};
+
+TEST_F(VmaTest, NoMergeForFileBackedRegions) {
+  FakeBacking backing;
+  Vma a = Anon(kMiB, 2 * kMiB);
+  a.backing = &backing;
+  Vma b = Anon(2 * kMiB, 3 * kMiB);
+  b.backing = &backing;
+  ASSERT_TRUE(tree_.Insert(a).ok());
+  ASSERT_TRUE(tree_.Insert(b).ok());
+  EXPECT_EQ(tree_.size(), 2u);
+}
+
+TEST_F(VmaTest, RemoveWholeRegion) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  auto removed = tree_.RemoveRange(kMiB, kMiB);
+  ASSERT_TRUE(removed.ok());
+  ASSERT_EQ(removed->size(), 1u);
+  EXPECT_EQ(tree_.size(), 0u);
+}
+
+TEST_F(VmaTest, RemoveMiddleSplits) {
+  ASSERT_TRUE(tree_.Insert(Anon(0, 10 * kPageSize)).ok());
+  auto removed = tree_.RemoveRange(4 * kPageSize, 2 * kPageSize);
+  ASSERT_TRUE(removed.ok());
+  ASSERT_EQ(removed->size(), 1u);
+  EXPECT_EQ((*removed)[0].start, 4 * kPageSize);
+  EXPECT_EQ((*removed)[0].end, 6 * kPageSize);
+  EXPECT_EQ(tree_.size(), 2u);
+  EXPECT_TRUE(tree_.Find(0).has_value());
+  EXPECT_FALSE(tree_.Find(4 * kPageSize).has_value());
+  EXPECT_TRUE(tree_.Find(6 * kPageSize).has_value());
+}
+
+TEST_F(VmaTest, RemoveSpanningMultipleRegions) {
+  FakeBacking backing;
+  Vma file = Anon(2 * kMiB, 3 * kMiB, Prot::kRead);
+  file.backing = &backing;
+  file.file_offset = 0;
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  ASSERT_TRUE(tree_.Insert(file).ok());
+  auto removed = tree_.RemoveRange(kMiB + kPageSize, 2 * kMiB - 2 * kPageSize);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->size(), 2u);
+  // The file piece keeps a consistent file_offset.
+  EXPECT_EQ((*removed)[1].file_offset, 0u);
+  EXPECT_EQ((*removed)[1].start, 2 * kMiB);
+  // Right remainder of the file VMA has an advanced file offset.
+  auto right = tree_.Find(3 * kMiB - kPageSize);
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->file_offset, kMiB - kPageSize);
+}
+
+TEST_F(VmaTest, FindFreeRegionSkipsOccupied) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB)).ok());
+  auto free = tree_.FindFreeRegion(kMiB, kMiB, kPageSize, kGiB);
+  ASSERT_TRUE(free.ok());
+  EXPECT_GE(free.value(), 2 * kMiB);
+  ASSERT_TRUE(tree_.Insert(Anon(free.value(), free.value() + kMiB)).ok());
+}
+
+TEST_F(VmaTest, FindFreeRegionRespectsAlignmentAndLimit) {
+  auto free = tree_.FindFreeRegion(kPageSize, kMiB, kLargePageSize, kGiB);
+  ASSERT_TRUE(free.ok());
+  EXPECT_TRUE(IsAligned(free.value(), kLargePageSize));
+  EXPECT_FALSE(tree_.FindFreeRegion(0, 2 * kGiB, kPageSize, kGiB).ok());
+}
+
+TEST_F(VmaTest, FindFreeRegionFillsGapBetweenRegions) {
+  ASSERT_TRUE(tree_.Insert(Anon(kMiB, 2 * kMiB, Prot::kRead)).ok());
+  ASSERT_TRUE(tree_.Insert(Anon(3 * kMiB, 4 * kMiB, Prot::kRead)).ok());
+  auto free = tree_.FindFreeRegion(kMiB, kMiB, kPageSize, kGiB);
+  ASSERT_TRUE(free.ok());
+  EXPECT_EQ(free.value(), 2 * kMiB);
+}
+
+TEST_F(VmaTest, ProtectSplitsRegion) {
+  ASSERT_TRUE(tree_.Insert(Anon(0, 8 * kPageSize)).ok());
+  ASSERT_TRUE(tree_.Protect(2 * kPageSize, 2 * kPageSize, Prot::kRead).ok());
+  EXPECT_EQ(tree_.Find(0)->prot, Prot::kReadWrite);
+  EXPECT_EQ(tree_.Find(2 * kPageSize)->prot, Prot::kRead);
+  EXPECT_EQ(tree_.Find(4 * kPageSize)->prot, Prot::kReadWrite);
+  EXPECT_EQ(tree_.size(), 3u);
+}
+
+}  // namespace
+}  // namespace o1mem

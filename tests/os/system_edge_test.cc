@@ -1,0 +1,169 @@
+// Edge and error paths of the System syscall layer.
+#include <gtest/gtest.h>
+
+#include "src/os/system.h"
+
+namespace o1mem {
+namespace {
+
+SystemConfig EdgeConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 128 * kMiB;
+  config.machine.nvm_bytes = 128 * kMiB;
+  return config;
+}
+
+class SystemEdgeTest : public ::testing::Test {
+ protected:
+  SystemEdgeTest() : sys_(EdgeConfig()) {}
+  System sys_;
+};
+
+TEST_F(SystemEdgeTest, BadFdOperationsRejected) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  std::vector<uint8_t> buf(8);
+  EXPECT_FALSE(sys_.Read(**proc, 42, buf).ok());
+  EXPECT_FALSE(sys_.Write(**proc, 42, buf).ok());
+  EXPECT_FALSE(sys_.Close(**proc, 42).ok());
+  EXPECT_FALSE(sys_.Ftruncate(**proc, 42, 100).ok());
+  EXPECT_FALSE(sys_.Mmap(**proc, MmapArgs{.length = kPageSize, .fd = 42}).ok());
+}
+
+TEST_F(SystemEdgeTest, DoubleCloseRejected) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  auto fd = sys_.Creat(**proc, sys_.tmpfs(), "/x", FileFlags{});
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(sys_.Close(**proc, *fd).ok());
+  EXPECT_FALSE(sys_.Close(**proc, *fd).ok());
+}
+
+TEST_F(SystemEdgeTest, ZeroLengthMmapRejected) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  EXPECT_FALSE(sys_.Mmap(**proc, MmapArgs{.length = 0}).ok());
+}
+
+TEST_F(SystemEdgeTest, MunmapOfNothing) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  // Baseline munmap of an empty range is a successful no-op (POSIX-like);
+  // FOM requires an existing mapping.
+  EXPECT_TRUE(sys_.Munmap(**proc, 64 * kGiB, kPageSize).ok());
+  auto fom_proc = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(fom_proc.ok());
+  EXPECT_FALSE(sys_.Munmap(**fom_proc, 64 * kGiB, kPageSize).ok());
+}
+
+TEST_F(SystemEdgeTest, CreatDuplicatePathFails) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(sys_.Creat(**proc, sys_.pmfs(), "/dup", FileFlags{}).ok());
+  EXPECT_FALSE(sys_.Creat(**proc, sys_.pmfs(), "/dup", FileFlags{}).ok());
+}
+
+TEST_F(SystemEdgeTest, UnlinkResolvesEitherFs) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  ASSERT_TRUE(sys_.Creat(**proc, sys_.pmfs(), "/in-pm", FileFlags{}).ok());
+  ASSERT_TRUE(sys_.Creat(**proc, sys_.tmpfs(), "/in-tmp", FileFlags{}).ok());
+  EXPECT_TRUE(sys_.Unlink("/in-pm").ok());
+  EXPECT_TRUE(sys_.Unlink("/in-tmp").ok());
+  EXPECT_FALSE(sys_.Unlink("/nowhere").ok());
+}
+
+TEST_F(SystemEdgeTest, ExitClosesDescriptors) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  auto fd = sys_.Creat(**proc, sys_.pmfs(), "/held", FileFlags{});
+  ASSERT_TRUE(fd.ok());
+  const InodeId inode = sys_.pmfs().LookupPath("/held").value();
+  ASSERT_TRUE(sys_.Unlink("/held").ok());
+  // Alive because of the open ref.
+  EXPECT_TRUE(sys_.pmfs().Stat(inode).ok());
+  ASSERT_TRUE(sys_.Exit(*proc).ok());
+  EXPECT_FALSE(sys_.pmfs().Stat(inode).ok());
+}
+
+TEST_F(SystemEdgeTest, MprotectOnUnmappedRange) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  // Baseline mprotect over a hole succeeds vacuously (nothing to change);
+  // FOM requires a mapping base.
+  EXPECT_TRUE(sys_.Mprotect(**proc, 64 * kGiB, kPageSize, Prot::kRead).ok());
+  auto fom_proc = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(fom_proc.ok());
+  EXPECT_FALSE(sys_.Mprotect(**fom_proc, 64 * kGiB, kPageSize, Prot::kRead).ok());
+}
+
+TEST_F(SystemEdgeTest, ReadAtEofAndShortReads) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  auto fd = sys_.Creat(**proc, sys_.tmpfs(), "/short", FileFlags{});
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> data(10, 1);
+  ASSERT_TRUE(sys_.Write(**proc, *fd, data).ok());
+  std::vector<uint8_t> big(100, 0);
+  auto n = sys_.Pread(**proc, *fd, 5, big);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  auto eof = sys_.Pread(**proc, *fd, 10, big);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);
+}
+
+TEST_F(SystemEdgeTest, SequentialReadWriteAdvanceTogether) {
+  auto proc = sys_.Launch(Backend::kBaseline);
+  ASSERT_TRUE(proc.ok());
+  auto fd = sys_.Creat(**proc, sys_.tmpfs(), "/seq", FileFlags{});
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> a{1, 2}, b{3, 4};
+  ASSERT_TRUE(sys_.Write(**proc, *fd, a).ok());
+  ASSERT_TRUE(sys_.Write(**proc, *fd, b).ok());
+  // Reopen-like: pread whole file.
+  std::vector<uint8_t> out(4);
+  ASSERT_TRUE(sys_.Pread(**proc, *fd, 0, out).ok());
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+TEST_F(SystemEdgeTest, CrashInvalidatesFomMapRefsCleanly) {
+  auto proc = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc.ok());
+  auto seg = sys_.fom().CreateSegment(
+      "/persist/mapped", 2 * kMiB, SegmentOptions{.flags = FileFlags{.persistent = true}});
+  ASSERT_TRUE(seg.ok());
+  ASSERT_TRUE(sys_.fom().Map((*proc)->fom(), *seg, Prot::kReadWrite).ok());
+  EXPECT_EQ(sys_.pmfs().Stat(*seg)->map_count, 1u);
+  ASSERT_TRUE(sys_.Crash().ok());
+  // The mapping died with the process; refcount must be clean, and the file
+  // must be mappable again.
+  auto found = sys_.fom().OpenSegment("/persist/mapped");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(sys_.pmfs().Stat(*found)->map_count, 0u);
+  auto proc2 = sys_.Launch(Backend::kFom);
+  ASSERT_TRUE(proc2.ok());
+  EXPECT_TRUE(sys_.fom().Map((*proc2)->fom(), *found, Prot::kRead).ok());
+}
+
+TEST_F(SystemEdgeTest, TmpfsQuotaDefaultsToHalfOfDram) {
+  EXPECT_EQ(sys_.tmpfs().quota_bytes(), 64 * kMiB);
+}
+
+TEST_F(SystemEdgeTest, ManySmallProcessesLaunchAndExit) {
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Process*> procs;
+    for (int i = 0; i < 10; ++i) {
+      auto proc = sys_.Launch(i % 2 == 0 ? Backend::kBaseline : Backend::kFom);
+      ASSERT_TRUE(proc.ok());
+      procs.push_back(*proc);
+    }
+    for (Process* p : procs) {
+      ASSERT_TRUE(sys_.Exit(p).ok());
+    }
+  }
+  EXPECT_EQ(sys_.process_count(), 0u);
+}
+
+}  // namespace
+}  // namespace o1mem

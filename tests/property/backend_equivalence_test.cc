@@ -1,0 +1,102 @@
+// Property test: the two memory backends are observationally equivalent.
+//
+// The same random workload -- mmap, user writes, user reads, munmap -- runs
+// on a baseline process and on a FOM process. Every read must return the
+// same bytes on both; afterwards, FOM must have taken zero demand faults
+// while the baseline took at least one per touched page, and exits must
+// return both systems to their initial free-memory levels.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/os/system.h"
+#include "src/support/rng.h"
+
+namespace o1mem {
+namespace {
+
+SystemConfig EquivConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 256 * kMiB;
+  config.machine.nvm_bytes = 256 * kMiB;
+  return config;
+}
+
+// Applies one scripted workload to a process; appends every byte observed by
+// reads (the observable behaviour) to *observed. Void so gtest ASSERTs work.
+void RunWorkload(System& sys, Process* proc, uint64_t seed, std::vector<uint8_t>* observed_out) {
+  Rng rng(seed);
+  std::vector<uint8_t>& observed = *observed_out;
+  struct Region {
+    Vaddr base;
+    uint64_t bytes;
+  };
+  std::vector<Region> regions;
+
+  for (int step = 0; step < 200; ++step) {
+    const uint64_t dice = rng.NextBelow(100);
+    if (dice < 25 && regions.size() < 12) {
+      const uint64_t bytes = rng.NextInRange(1, 64) * kPageSize;
+      auto vaddr = sys.Mmap(*proc, MmapArgs{.length = bytes});
+      ASSERT_TRUE(vaddr.ok()) << vaddr.status().ToString();
+      regions.push_back(Region{.base = *vaddr, .bytes = bytes});
+    } else if (dice < 60 && !regions.empty()) {
+      const Region& r = regions[rng.NextBelow(regions.size())];
+      std::vector<uint8_t> data(rng.NextInRange(1, 4096));
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      const uint64_t off = rng.NextBelow(r.bytes - data.size() + 1);
+      ASSERT_TRUE(sys.UserWrite(*proc, r.base + off, data).ok());
+    } else if (dice < 90 && !regions.empty()) {
+      const Region& r = regions[rng.NextBelow(regions.size())];
+      std::vector<uint8_t> out(rng.NextInRange(1, 4096));
+      const uint64_t off = rng.NextBelow(r.bytes - out.size() + 1);
+      ASSERT_TRUE(sys.UserRead(*proc, r.base + off, out).ok());
+      observed.insert(observed.end(), out.begin(), out.end());
+    } else if (!regions.empty()) {
+      const size_t pick = rng.NextBelow(regions.size());
+      ASSERT_TRUE(sys.Munmap(*proc, regions[pick].base, regions[pick].bytes).ok());
+      regions.erase(regions.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendEquivalence, SameObservableBytes) {
+  System baseline_sys(EquivConfig());
+  System fom_sys(EquivConfig());
+  const uint64_t baseline_free = baseline_sys.phys_manager().free_bytes();
+  const uint64_t fom_free = fom_sys.pmfs().free_bytes();
+  auto baseline_proc = baseline_sys.Launch(Backend::kBaseline);
+  auto fom_proc = fom_sys.Launch(Backend::kFom);
+  ASSERT_TRUE(baseline_proc.ok());
+  ASSERT_TRUE(fom_proc.ok());
+
+  std::vector<uint8_t> baseline_observed;
+  std::vector<uint8_t> fom_observed;
+  RunWorkload(baseline_sys, *baseline_proc, GetParam(), &baseline_observed);
+  RunWorkload(fom_sys, *fom_proc, GetParam(), &fom_observed);
+
+  // Identical observable behaviour.
+  ASSERT_EQ(baseline_observed.size(), fom_observed.size());
+  EXPECT_EQ(baseline_observed, fom_observed);
+
+  // Backend-characteristic invariants.
+  EXPECT_GT(baseline_sys.ctx().counters().minor_faults, 0u);
+  EXPECT_EQ(fom_sys.ctx().counters().minor_faults, 0u);
+
+  // Exit returns both to their starting free levels.
+  ASSERT_TRUE(baseline_sys.Exit(*baseline_proc).ok());
+  ASSERT_TRUE(fom_sys.Exit(*fom_proc).ok());
+  EXPECT_EQ(baseline_sys.phys_manager().free_bytes(), baseline_free);
+  EXPECT_EQ(fom_sys.pmfs().free_bytes(), fom_free);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,142 @@
+#include "src/runtime/persistent_heap.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+SystemConfig HeapConfig() {
+  SystemConfig config;
+  config.machine.dram_bytes = 128 * kMiB;
+  config.machine.nvm_bytes = 256 * kMiB;
+  return config;
+}
+
+class PersistentHeapTest : public ::testing::Test {
+ protected:
+  PersistentHeapTest() : sys_(HeapConfig()) { NewProcess(); }
+
+  void NewProcess() {
+    auto proc = sys_.Launch(Backend::kFom);
+    O1_CHECK(proc.ok());
+    proc_ = *proc;
+  }
+
+  System sys_;
+  Process* proc_ = nullptr;
+};
+
+TEST_F(PersistentHeapTest, FreshHeapAllocatesAndStoresObjects) {
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/h", 8 * kMiB);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_FALSE(heap->recovered());
+  auto off = heap->Allocate(256);
+  ASSERT_TRUE(off.ok());
+  std::vector<uint8_t> data(256, 0x3b);
+  ASSERT_TRUE(heap->WriteObject(*off, data).ok());
+  std::vector<uint8_t> out(256);
+  ASSERT_TRUE(heap->ReadObject(*off, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(PersistentHeapTest, OffsetsStableAndDisjoint) {
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/d", 8 * kMiB);
+  ASSERT_TRUE(heap.ok());
+  auto a = heap->Allocate(100);
+  auto b = heap->Allocate(100);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(*b, *a + 100);
+  EXPECT_TRUE(IsAligned(heap->AddressOf(0), 1));  // smoke: address math works
+}
+
+TEST_F(PersistentHeapTest, RootsRoundTripAndOverwrite) {
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/r", 8 * kMiB);
+  ASSERT_TRUE(heap.ok());
+  auto off = heap->Allocate(64);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(heap->SetRoot("index", *off).ok());
+  EXPECT_EQ(heap->GetRoot("index").value(), *off);
+  EXPECT_FALSE(heap->GetRoot("missing").ok());
+  auto off2 = heap->Allocate(64);
+  ASSERT_TRUE(off2.ok());
+  ASSERT_TRUE(heap->SetRoot("index", *off2).ok());
+  EXPECT_EQ(heap->GetRoot("index").value(), *off2);
+}
+
+TEST_F(PersistentHeapTest, EverythingSurvivesCrash) {
+  uint64_t obj_offset = 0;
+  {
+    auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/p", 8 * kMiB);
+    ASSERT_TRUE(heap.ok());
+    auto off = heap->Allocate(128);
+    ASSERT_TRUE(off.ok());
+    obj_offset = *off;
+    std::vector<uint8_t> data(128);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(i ^ 0x5a);
+    }
+    ASSERT_TRUE(heap->WriteObject(obj_offset, data).ok());
+    ASSERT_TRUE(heap->SetRoot("the-object", obj_offset).ok());
+  }
+  ASSERT_TRUE(sys_.Crash().ok());
+  NewProcess();
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/p", 8 * kMiB);
+  ASSERT_TRUE(heap.ok());
+  EXPECT_TRUE(heap->recovered());
+  auto root = heap->GetRoot("the-object");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, obj_offset);
+  std::vector<uint8_t> out(128);
+  ASSERT_TRUE(heap->ReadObject(*root, out).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>(i ^ 0x5a)) << i;
+  }
+  // The cursor was persisted: new allocations never overlap old objects.
+  auto fresh = heap->Allocate(64);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GE(*fresh, obj_offset + 128);
+}
+
+TEST_F(PersistentHeapTest, CorruptHeaderDetectedNotReformatted) {
+  {
+    auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/c", kMiB);
+    ASSERT_TRUE(heap.ok());
+    ASSERT_TRUE(heap->Allocate(64).ok());
+  }
+  // Smash the magic through the file API.
+  auto inode = sys_.fom().OpenSegment("/heap/c");
+  ASSERT_TRUE(inode.ok());
+  std::vector<uint8_t> garbage(8, 0xFF);
+  ASSERT_TRUE(sys_.pmfs().WriteAt(*inode, 0, garbage).ok());
+  auto reopened = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/c", kMiB);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistentHeapTest, ExhaustionAndBoundsChecking) {
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/x", kMiB);
+  ASSERT_TRUE(heap.ok());
+  auto off = heap->Allocate(64);
+  ASSERT_TRUE(off.ok());
+  std::vector<uint8_t> big(128);
+  EXPECT_FALSE(heap->WriteObject(*off, big).ok());  // beyond allocation
+  EXPECT_FALSE(heap->ReadObject(*off + 32, big).ok());
+  EXPECT_FALSE(heap->Allocate(2 * kMiB).ok());      // larger than heap
+  EXPECT_FALSE(heap->SetRoot("r", 2 * kMiB).ok());  // offset outside heap
+}
+
+TEST_F(PersistentHeapTest, RootTableCapacityEnforced) {
+  auto heap = PersistentHeap::OpenOrCreate(&sys_, proc_, "/heap/full", kMiB);
+  ASSERT_TRUE(heap.ok());
+  for (int i = 0; i < PersistentHeap::kMaxRoots; ++i) {
+    ASSERT_TRUE(heap->SetRoot("root" + std::to_string(i), 0).ok()) << i;
+  }
+  auto overflow = heap->SetRoot("one-too-many", 0);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.code(), StatusCode::kOutOfMemory);
+  // Updating an existing root still works.
+  EXPECT_TRUE(heap->SetRoot("root0", 16).ok());
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,108 @@
+#include "src/sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TEST(SimClockTest, Conversions) {
+  SimClock clock(2.0);  // 2 GHz
+  clock.Advance(2000);
+  EXPECT_DOUBLE_EQ(clock.CyclesToUs(2000), 1.0);
+  EXPECT_DOUBLE_EQ(clock.CyclesToNs(2000), 1000.0);
+  EXPECT_EQ(clock.now(), 2000u);
+  EXPECT_DOUBLE_EQ(clock.ElapsedUs(0), 1.0);
+}
+
+TEST(SimClockTest, FrequencyMatters) {
+  SimClock slow(1.0);
+  slow.Advance(1000);
+  EXPECT_DOUBLE_EQ(slow.CyclesToUs(1000), 1.0);
+}
+
+TEST(CostModelTest, BulkCyclesScaleByLine) {
+  CostModel cost;
+  EXPECT_EQ(cost.DramBulkCycles(64), cost.dram_line_copy_cycles);
+  EXPECT_EQ(cost.DramBulkCycles(65), 2 * cost.dram_line_copy_cycles);
+  EXPECT_EQ(cost.DramBulkCycles(kPageSize), 64 * cost.dram_line_copy_cycles);
+  EXPECT_GT(cost.NvmWriteBulkCycles(kPageSize), cost.NvmReadBulkCycles(kPageSize));
+  EXPECT_GT(cost.NvmReadBulkCycles(kPageSize), cost.DramBulkCycles(kPageSize));
+}
+
+TEST(CostModelTest, WalkRefs) {
+  CostModel cost;
+  EXPECT_EQ(cost.WalkRefs(4), 4u);
+  EXPECT_EQ(cost.WalkRefs(5), 5u);
+  cost.virtualized_walks = true;
+  EXPECT_EQ(cost.WalkRefs(4), 24u);
+  EXPECT_EQ(cost.WalkRefs(5), 35u);
+}
+
+TEST(MachineTest, AsidsAreUnique) {
+  Machine machine(MachineConfig{.dram_bytes = 16 * kMiB, .nvm_bytes = 0});
+  auto a = machine.CreateAddressSpace();
+  auto b = machine.CreateAddressSpace();
+  auto c = machine.CreateAddressSpace();
+  EXPECT_NE(a->asid(), b->asid());
+  EXPECT_NE(b->asid(), c->asid());
+}
+
+TEST(MachineTest, CrashCountsAndCharges) {
+  Machine machine(MachineConfig{.dram_bytes = 16 * kMiB, .nvm_bytes = 16 * kMiB});
+  const uint64_t t0 = machine.ctx().now();
+  machine.Crash();
+  machine.Crash();
+  EXPECT_EQ(machine.crash_count(), 2u);
+  EXPECT_GT(machine.ctx().now(), t0);
+}
+
+TEST(MachineTest, ConfiguredDepthPropagates) {
+  Machine machine(MachineConfig{.dram_bytes = 16 * kMiB, .nvm_bytes = 0,
+                                .page_table_depth = 5});
+  auto as = machine.CreateAddressSpace();
+  EXPECT_EQ(as->page_table().depth(), 5);
+}
+
+TEST(CountersTest, DeltaSubtractsFieldwise) {
+  EventCounters before;
+  before.minor_faults = 5;
+  before.ptes_written = 100;
+  EventCounters after = before;
+  after.minor_faults = 12;
+  after.ptes_written = 150;
+  after.tlb_misses = 9;
+  const EventCounters delta = after.Delta(before);
+  EXPECT_EQ(delta.minor_faults, 7u);
+  EXPECT_EQ(delta.ptes_written, 50u);
+  EXPECT_EQ(delta.tlb_misses, 9u);
+  EXPECT_EQ(delta.major_faults, 0u);
+}
+
+TEST(ProtTest, BitOperations) {
+  EXPECT_TRUE(HasProt(Prot::kReadWrite, Prot::kRead));
+  EXPECT_TRUE(HasProt(Prot::kReadWrite, Prot::kWrite));
+  EXPECT_FALSE(HasProt(Prot::kRead, Prot::kWrite));
+  EXPECT_TRUE(HasProt(Prot::kAll, Prot::kReadExec));
+  EXPECT_EQ(ProtName(Prot::kReadExec), "r-x");
+  EXPECT_EQ(ProtName(Prot::kNone), "---");
+  EXPECT_EQ(RequiredProt(AccessType::kWrite), Prot::kWrite);
+  EXPECT_EQ(RequiredProt(AccessType::kExec), Prot::kExec);
+}
+
+TEST(UnitsTest, AlignmentHelpers) {
+  EXPECT_EQ(AlignDown(4097, kPageSize), kPageSize);
+  EXPECT_EQ(AlignUp(4097, kPageSize), 2 * kPageSize);
+  EXPECT_EQ(AlignUp(4096, kPageSize), kPageSize);
+  EXPECT_TRUE(IsAligned(kLargePageSize, kPageSize));
+  EXPECT_FALSE(IsAligned(kPageSize + 1, kPageSize));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+  EXPECT_EQ(PagesFor(1), 1u);
+  EXPECT_EQ(PagesFor(kPageSize), 1u);
+  EXPECT_EQ(PagesFor(kPageSize + 1), 2u);
+  EXPECT_EQ(PagesFor(0), 0u);
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,197 @@
+#include "src/sim/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/context.h"
+
+namespace o1mem {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  SimContext ctx_;
+  PageTable pt_{&ctx_, 4};
+};
+
+TEST_F(PageTableTest, GeometryConstants) {
+  EXPECT_EQ(BytesPerEntry(1), kPageSize);
+  EXPECT_EQ(BytesPerEntry(2), kLargePageSize);
+  EXPECT_EQ(BytesPerEntry(3), kHugePageSize);
+  EXPECT_EQ(BytesPerNode(1), kLargePageSize);
+  EXPECT_EQ(BytesPerNode(2), kHugePageSize);
+  EXPECT_EQ(pt_.va_limit(), 256 * kTiB);
+}
+
+TEST_F(PageTableTest, MapAndLookup4K) {
+  ASSERT_TRUE(pt_.MapPage(0x200000, 0x5000, kPageSize, Prot::kReadWrite).ok());
+  auto t = pt_.Lookup(0x200123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->paddr, 0x5123u);
+  EXPECT_EQ(t->page_bytes, kPageSize);
+  EXPECT_EQ(t->leaf_level, 1);
+  EXPECT_EQ(t->levels_walked, 4);
+  EXPECT_TRUE(HasProt(t->prot, Prot::kWrite));
+}
+
+TEST_F(PageTableTest, LookupMissReturnsNullopt) {
+  EXPECT_FALSE(pt_.Lookup(0x1000).has_value());
+  ASSERT_TRUE(pt_.MapPage(0x1000, 0x2000, kPageSize, Prot::kRead).ok());
+  EXPECT_FALSE(pt_.Lookup(0x2000).has_value());  // adjacent page unmapped
+}
+
+TEST_F(PageTableTest, Map2MLeaf) {
+  ASSERT_TRUE(pt_.MapPage(2 * kLargePageSize, 4 * kLargePageSize, kLargePageSize,
+                          Prot::kRead).ok());
+  auto t = pt_.Lookup(2 * kLargePageSize + 0x12345);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->page_bytes, kLargePageSize);
+  EXPECT_EQ(t->paddr, 4 * kLargePageSize + 0x12345);
+  EXPECT_EQ(t->leaf_level, 2);
+  EXPECT_EQ(t->levels_walked, 3);  // large pages walk one level less
+}
+
+TEST_F(PageTableTest, Map1GLeaf) {
+  ASSERT_TRUE(pt_.MapPage(kHugePageSize, 0, kHugePageSize, Prot::kRead).ok());
+  auto t = pt_.Lookup(kHugePageSize + 123);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->page_bytes, kHugePageSize);
+  EXPECT_EQ(t->levels_walked, 2);
+}
+
+TEST_F(PageTableTest, MisalignedMapRejected) {
+  EXPECT_FALSE(pt_.MapPage(0x1001, 0x2000, kPageSize, Prot::kRead).ok());
+  EXPECT_FALSE(pt_.MapPage(kPageSize, kPageSize, kLargePageSize, Prot::kRead).ok());
+  EXPECT_FALSE(pt_.MapPage(0x1000, 0x2000, 12345, Prot::kRead).ok());
+}
+
+TEST_F(PageTableTest, ConflictingPageSizesRejected) {
+  ASSERT_TRUE(pt_.MapPage(0, 0, kLargePageSize, Prot::kRead).ok());
+  // A 4K map under an existing 2M leaf must fail.
+  EXPECT_FALSE(pt_.MapPage(kPageSize, 0x10000, kPageSize, Prot::kRead).ok());
+  // And a 2M leaf over existing 4K pages must fail.
+  ASSERT_TRUE(pt_.MapPage(kLargePageSize, 0x20000, kPageSize, Prot::kRead).ok());
+  EXPECT_FALSE(pt_.MapPage(kLargePageSize, 0, kLargePageSize, Prot::kRead).ok());
+}
+
+TEST_F(PageTableTest, UnmapRemovesTranslation) {
+  ASSERT_TRUE(pt_.MapPage(0x4000, 0x8000, kPageSize, Prot::kRead).ok());
+  ASSERT_TRUE(pt_.UnmapPage(0x4000, kPageSize).ok());
+  EXPECT_FALSE(pt_.Lookup(0x4000).has_value());
+  EXPECT_FALSE(pt_.UnmapPage(0x4000, kPageSize).ok());
+}
+
+TEST_F(PageTableTest, RemapUpdatesInPlace) {
+  ASSERT_TRUE(pt_.MapPage(0x4000, 0x8000, kPageSize, Prot::kRead).ok());
+  ASSERT_TRUE(pt_.MapPage(0x4000, 0xA000, kPageSize, Prot::kReadWrite).ok());
+  auto t = pt_.Lookup(0x4000);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->paddr, 0xA000u);
+}
+
+TEST_F(PageTableTest, MappingChargesPerPage) {
+  const uint64_t t0 = ctx_.now();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pt_.MapPage(static_cast<Vaddr>(i) * kPageSize, static_cast<Paddr>(i) * kPageSize,
+                            kPageSize, Prot::kRead)
+                    .ok());
+  }
+  const uint64_t c64 = ctx_.now() - t0;
+  const uint64_t t1 = ctx_.now();
+  for (int i = 64; i < 192; ++i) {
+    ASSERT_TRUE(pt_.MapPage(static_cast<Vaddr>(i) * kPageSize, static_cast<Paddr>(i) * kPageSize,
+                            kPageSize, Prot::kRead)
+                    .ok());
+  }
+  const uint64_t c128 = ctx_.now() - t1;
+  // Twice the pages ~ twice the cost (node allocations amortize away).
+  EXPECT_GT(c128, c64);
+  EXPECT_EQ(ctx_.counters().ptes_written, 192u);
+}
+
+TEST_F(PageTableTest, BuildExtentSubtreeAndSplice) {
+  // Build a 2 MiB pre-created subtree for a contiguous 1 MiB extent.
+  NodeRef subtree = PageTable::BuildExtentSubtree(&ctx_, 1, /*paddr=*/8 * kMiB,
+                                                  /*bytes=*/1 * kMiB, Prot::kReadWrite);
+  ASSERT_NE(subtree, nullptr);
+  EXPECT_EQ(subtree->live_entries, 256);  // 1 MiB / 4 KiB
+
+  const uint64_t ptes_before = ctx_.counters().ptes_written;
+  ASSERT_TRUE(pt_.SpliceSubtree(4 * kLargePageSize, 1, subtree).ok());
+  // Splice writes no leaf PTEs -- that is the O(1) property.
+  EXPECT_EQ(ctx_.counters().ptes_written, ptes_before);
+  EXPECT_EQ(ctx_.counters().subtree_splices, 1u);
+
+  auto t = pt_.Lookup(4 * kLargePageSize + 3 * kPageSize + 7);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->paddr, 8 * kMiB + 3 * kPageSize + 7);
+  // Beyond the extent within the node: unmapped.
+  EXPECT_FALSE(pt_.Lookup(4 * kLargePageSize + 1 * kMiB).has_value());
+}
+
+TEST_F(PageTableTest, SpliceRejectsMisalignmentAndOccupiedSlots) {
+  NodeRef subtree = PageTable::BuildExtentSubtree(&ctx_, 1, 0, kPageSize, Prot::kRead);
+  EXPECT_FALSE(pt_.SpliceSubtree(kPageSize, 1, subtree).ok());  // not 2M-aligned
+  ASSERT_TRUE(pt_.SpliceSubtree(kLargePageSize, 1, subtree).ok());
+  EXPECT_FALSE(pt_.SpliceSubtree(kLargePageSize, 1, subtree).ok());  // occupied
+}
+
+TEST_F(PageTableTest, SharedSubtreeVisibleInTwoTables) {
+  PageTable other(&ctx_, 4);
+  NodeRef subtree = PageTable::BuildExtentSubtree(&ctx_, 1, 16 * kMiB, 64 * kPageSize,
+                                                  Prot::kRead);
+  ASSERT_TRUE(pt_.SpliceSubtree(0, 1, subtree).ok());
+  ASSERT_TRUE(other.SpliceSubtree(6 * kLargePageSize, 1, subtree).ok());
+  auto a = pt_.Lookup(5 * kPageSize);
+  auto b = other.Lookup(6 * kLargePageSize + 5 * kPageSize);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->paddr, b->paddr);
+  // The node is physically shared, so it is counted once per table but is
+  // the same object.
+  EXPECT_EQ(pt_.GetSubtree(0, 1).get(), other.GetSubtree(6 * kLargePageSize, 1).get());
+}
+
+TEST_F(PageTableTest, UnspliceDetachesSharedNodeWithoutDestroyingIt) {
+  NodeRef subtree = PageTable::BuildExtentSubtree(&ctx_, 1, 0, 8 * kPageSize, Prot::kRead);
+  ASSERT_TRUE(pt_.SpliceSubtree(0, 1, subtree).ok());
+  ASSERT_TRUE(pt_.UnspliceSubtree(0, 1).ok());
+  EXPECT_FALSE(pt_.Lookup(0).has_value());
+  EXPECT_EQ(subtree->live_entries, 8);  // still intact for the next mapper
+}
+
+TEST_F(PageTableTest, ProtectRangeRewritesLeaves) {
+  ASSERT_TRUE(pt_.MapPage(0, 0, kPageSize, Prot::kReadWrite).ok());
+  ASSERT_TRUE(pt_.MapPage(kPageSize, kPageSize, kPageSize, Prot::kReadWrite).ok());
+  ASSERT_TRUE(pt_.ProtectRange(0, 2 * kPageSize, Prot::kRead).ok());
+  EXPECT_EQ(pt_.Lookup(0)->prot, Prot::kRead);
+  EXPECT_EQ(pt_.Lookup(kPageSize)->prot, Prot::kRead);
+}
+
+TEST_F(PageTableTest, CountNodesCountsSharedOnce) {
+  NodeRef subtree = PageTable::BuildExtentSubtree(&ctx_, 1, 0, kPageSize, Prot::kRead);
+  ASSERT_TRUE(pt_.SpliceSubtree(0, 1, subtree).ok());
+  ASSERT_TRUE(pt_.SpliceSubtree(kLargePageSize, 1, subtree).ok());
+  // root + PDPT + PD + one shared PT = 4.
+  EXPECT_EQ(pt_.CountNodes(), 4u);
+}
+
+TEST(PageTable5Level, WalksFiveLevels) {
+  SimContext ctx;
+  PageTable pt(&ctx, 5);
+  EXPECT_EQ(pt.va_limit(), uint64_t{1} << 57);  // 128 PiB of VA
+  const Vaddr high = 300 * kTiB;                       // beyond 4-level reach
+  ASSERT_TRUE(pt.MapPage(high, 0x1000, kPageSize, Prot::kRead).ok());
+  auto t = pt.Lookup(high + 5);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->paddr, 0x1005u);
+  EXPECT_EQ(t->levels_walked, 5);
+}
+
+TEST(PageTable5Level, FourLevelRejectsHighAddresses) {
+  SimContext ctx;
+  PageTable pt(&ctx, 4);
+  EXPECT_FALSE(pt.MapPage(300 * kTiB, 0x1000, kPageSize, Prot::kRead).ok());
+}
+
+}  // namespace
+}  // namespace o1mem

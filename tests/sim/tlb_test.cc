@@ -1,0 +1,118 @@
+#include "src/sim/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TEST(TlbTest, MissThenHitAfterInsert) {
+  Tlb tlb(64, 4);
+  EXPECT_FALSE(tlb.Lookup(1, 0x1000).has_value());
+  tlb.Insert(1, 0x1000, 0x8000, kPageSize, Prot::kRead);
+  auto e = tlb.Lookup(1, 0x1abc);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->pbase, 0x8000u);
+  EXPECT_EQ(e->page_bytes, kPageSize);
+}
+
+TEST(TlbTest, AsidIsolation) {
+  Tlb tlb(64, 4);
+  tlb.Insert(1, 0x1000, 0x8000, kPageSize, Prot::kRead);
+  EXPECT_FALSE(tlb.Lookup(2, 0x1000).has_value());
+}
+
+TEST(TlbTest, LargePageEntryCoversWholePage) {
+  Tlb tlb(64, 4);
+  tlb.Insert(1, kLargePageSize, 0, kLargePageSize, Prot::kReadWrite);
+  auto e = tlb.Lookup(1, kLargePageSize + 12345);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->page_bytes, kLargePageSize);
+}
+
+TEST(TlbTest, LruEvictionWithinSet) {
+  Tlb tlb(4, 4);  // one set, four ways
+  for (int i = 0; i < 4; ++i) {
+    tlb.Insert(1, static_cast<Vaddr>(i) * 4 * kPageSize, 0, kPageSize, Prot::kRead);
+  }
+  // Touch entry 0 so it is most recently used.
+  ASSERT_TRUE(tlb.Lookup(1, 0).has_value());
+  // Insert a fifth entry: the LRU (entry for page 1*4) must be evicted.
+  tlb.Insert(1, 100 * kPageSize, 0, kPageSize, Prot::kRead);
+  EXPECT_TRUE(tlb.Lookup(1, 0).has_value());
+  EXPECT_FALSE(tlb.Lookup(1, 4 * kPageSize).has_value());
+}
+
+TEST(TlbTest, ReinsertionRefreshesInPlace) {
+  Tlb tlb(4, 4);
+  tlb.Insert(1, 0, 0x1000, kPageSize, Prot::kRead);
+  tlb.Insert(1, 0, 0x2000, kPageSize, Prot::kReadWrite);
+  auto e = tlb.Lookup(1, 0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->pbase, 0x2000u);
+  EXPECT_EQ(e->prot, Prot::kReadWrite);
+}
+
+TEST(TlbTest, InvalidatePage) {
+  Tlb tlb(64, 4);
+  tlb.Insert(1, 0x1000, 0x8000, kPageSize, Prot::kRead);
+  EXPECT_EQ(tlb.InvalidatePage(1, 0x1fff), 1);
+  EXPECT_FALSE(tlb.Lookup(1, 0x1000).has_value());
+  EXPECT_EQ(tlb.InvalidatePage(1, 0x1000), 0);
+}
+
+TEST(TlbTest, InvalidateRangeDropsOverlapsOnly) {
+  Tlb tlb(64, 4);
+  tlb.Insert(1, 0, 0, kPageSize, Prot::kRead);
+  tlb.Insert(1, kPageSize, 0, kPageSize, Prot::kRead);
+  tlb.Insert(1, 10 * kPageSize, 0, kPageSize, Prot::kRead);
+  EXPECT_EQ(tlb.InvalidateRange(1, 0, 2 * kPageSize), 2);
+  EXPECT_TRUE(tlb.Lookup(1, 10 * kPageSize).has_value());
+}
+
+TEST(TlbTest, InvalidateAsidKeepsOthers) {
+  Tlb tlb(64, 4);
+  tlb.Insert(1, 0, 0, kPageSize, Prot::kRead);
+  tlb.Insert(2, 0, 0, kPageSize, Prot::kRead);
+  tlb.InvalidateAsid(1);
+  EXPECT_FALSE(tlb.Lookup(1, 0).has_value());
+  EXPECT_TRUE(tlb.Lookup(2, 0).has_value());
+}
+
+TEST(RangeTlbTest, OneEntryCoversArbitrarilyLargeRange) {
+  RangeTlb rtlb(4);
+  rtlb.Insert(1, kGiB, 64 * kGiB, /*pbase=*/0, Prot::kReadWrite);
+  EXPECT_TRUE(rtlb.Lookup(1, kGiB).has_value());
+  EXPECT_TRUE(rtlb.Lookup(1, kGiB + 63 * kGiB).has_value());
+  EXPECT_FALSE(rtlb.Lookup(1, kGiB + 64 * kGiB).has_value());
+  EXPECT_FALSE(rtlb.Lookup(1, kGiB - 1).has_value());
+}
+
+TEST(RangeTlbTest, OffsetTranslationIsLinear) {
+  RangeTlb rtlb(4);
+  rtlb.Insert(1, 0x10000, 0x1000, 0x90000, Prot::kRead);
+  auto e = rtlb.Lookup(1, 0x10abc);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->pbase + (0x10abcu - e->vbase), 0x90abcu);
+}
+
+TEST(RangeTlbTest, LruEviction) {
+  RangeTlb rtlb(2);
+  rtlb.Insert(1, 0, kPageSize, 0, Prot::kRead);
+  rtlb.Insert(1, kMiB, kPageSize, 0, Prot::kRead);
+  ASSERT_TRUE(rtlb.Lookup(1, 0).has_value());  // refresh first entry
+  rtlb.Insert(1, kGiB, kPageSize, 0, Prot::kRead);
+  EXPECT_TRUE(rtlb.Lookup(1, 0).has_value());
+  EXPECT_FALSE(rtlb.Lookup(1, kMiB).has_value());
+}
+
+TEST(RangeTlbTest, InvalidateRange) {
+  RangeTlb rtlb(4);
+  rtlb.Insert(1, 0, kMiB, 0, Prot::kRead);
+  rtlb.Insert(1, 2 * kMiB, kMiB, 0, Prot::kRead);
+  EXPECT_EQ(rtlb.InvalidateRange(1, kMiB / 2, kMiB), 1);
+  EXPECT_FALSE(rtlb.Lookup(1, kMiB / 2).has_value());
+  EXPECT_TRUE(rtlb.Lookup(1, 2 * kMiB).has_value());
+}
+
+}  // namespace
+}  // namespace o1mem

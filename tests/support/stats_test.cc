@@ -1,0 +1,72 @@
+#include "src/support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/table.h"
+
+namespace o1mem {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MeanMinMax) {
+  RunningStat s;
+  for (double x : {3.0, 1.0, 2.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatTest, VarianceMatchesClosedForm) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(SamplesTest, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
+}
+
+TEST(SamplesTest, PercentileAfterLateAddRestoresOrder) {
+  Samples s;
+  s.Add(10);
+  s.Add(1);
+  EXPECT_NEAR(s.Percentile(100), 10.0, 1e-9);
+  s.Add(20);
+  EXPECT_NEAR(s.Percentile(100), 20.0, 1e-9);
+}
+
+TEST(TableTest, FormatsNumbers) {
+  EXPECT_EQ(Table::Int(12345), "12345");
+  EXPECT_EQ(Table::Num(2.0), "2.0");
+  EXPECT_EQ(Table::Num(0.125), "0.125");
+}
+
+TEST(TableTest, RowCountExcludesHeader) {
+  Table t("demo");
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace o1mem

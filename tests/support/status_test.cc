@@ -1,0 +1,97 @@
+#include "src/support/status.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = OutOfMemory("no frames left");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(s.message(), "no frames left");
+  EXPECT_EQ(s.ToString(), "OUT_OF_MEMORY: no frames left");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDenied("").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(Unsupported("").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Busy("").code(), StatusCode::kBusy);
+  EXPECT_EQ(FaultError("").code(), StatusCode::kFault);
+  EXPECT_EQ(Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(QuotaExceeded("").code(), StatusCode::kQuotaExceeded);
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_NE(StatusCodeName(StatusCode::kOutOfMemory), StatusCodeName(StatusCode::kNotFound));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) {
+    return InvalidArgument("negative");
+  }
+  return OkStatus();
+}
+
+Status Propagates(int x) {
+  O1_RETURN_IF_ERROR(FailIfNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_EQ(Propagates(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgument("odd");
+  }
+  return x / 2;
+}
+
+Status UsesAssign(int x, int* out) {
+  O1_ASSIGN_OR_RETURN(*out, Half(x));
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssign(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UsesAssign(7, &out).ok());
+}
+
+}  // namespace
+}  // namespace o1mem

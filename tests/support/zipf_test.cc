@@ -1,0 +1,55 @@
+#include "src/support/zipf.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 300);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnHotItems) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(2);
+  std::vector<int> counts(1000, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  // Item 0 dominates and the head carries most of the mass.
+  EXPECT_GT(counts[0], counts[100] * 10);
+  int head = 0;
+  for (int i = 0; i < 100; ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, kDraws / 2);
+}
+
+TEST(ZipfTest, AllDrawsInRange) {
+  ZipfGenerator zipf(7, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 7u);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfGenerator zipf(100, 0.8);
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Next(a), zipf.Next(b));
+  }
+}
+
+}  // namespace
+}  // namespace o1mem
