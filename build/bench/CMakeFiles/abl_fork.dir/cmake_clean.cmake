@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fork.dir/abl_fork.cc.o"
+  "CMakeFiles/abl_fork.dir/abl_fork.cc.o.d"
+  "abl_fork"
+  "abl_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hugepages.dir/abl_hugepages.cc.o"
+  "CMakeFiles/abl_hugepages.dir/abl_hugepages.cc.o.d"
+  "abl_hugepages"
+  "abl_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

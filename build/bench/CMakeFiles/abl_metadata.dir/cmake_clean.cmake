@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_metadata.dir/abl_metadata.cc.o"
+  "CMakeFiles/abl_metadata.dir/abl_metadata.cc.o.d"
+  "abl_metadata"
+  "abl_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pinning.dir/abl_pinning.cc.o"
+  "CMakeFiles/abl_pinning.dir/abl_pinning.cc.o.d"
+  "abl_pinning"
+  "abl_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

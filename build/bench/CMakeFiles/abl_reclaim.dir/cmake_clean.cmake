@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reclaim.dir/abl_reclaim.cc.o"
+  "CMakeFiles/abl_reclaim.dir/abl_reclaim.cc.o.d"
+  "abl_reclaim"
+  "abl_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_runtime.dir/abl_runtime.cc.o"
+  "CMakeFiles/abl_runtime.dir/abl_runtime.cc.o.d"
+  "abl_runtime"
+  "abl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

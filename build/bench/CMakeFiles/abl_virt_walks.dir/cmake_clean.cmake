@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_virt_walks.dir/abl_virt_walks.cc.o"
+  "CMakeFiles/abl_virt_walks.dir/abl_virt_walks.cc.o.d"
+  "abl_virt_walks"
+  "abl_virt_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_virt_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

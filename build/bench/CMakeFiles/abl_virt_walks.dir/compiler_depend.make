@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_virt_walks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_zeroing.dir/abl_zeroing.cc.o"
+  "CMakeFiles/abl_zeroing.dir/abl_zeroing.cc.o.d"
+  "abl_zeroing"
+  "abl_zeroing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_zeroing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

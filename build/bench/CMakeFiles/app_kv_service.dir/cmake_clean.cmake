@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_kv_service.dir/app_kv_service.cc.o"
+  "CMakeFiles/app_kv_service.dir/app_kv_service.cc.o.d"
+  "app_kv_service"
+  "app_kv_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_kv_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for app_kv_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_mmap_cost.dir/fig1a_mmap_cost.cc.o"
+  "CMakeFiles/fig1a_mmap_cost.dir/fig1a_mmap_cost.cc.o.d"
+  "fig1a_mmap_cost"
+  "fig1a_mmap_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_mmap_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1a_mmap_cost.
+# This may be replaced when dependencies are built.

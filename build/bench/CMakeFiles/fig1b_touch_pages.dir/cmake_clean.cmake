@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_touch_pages.dir/fig1b_touch_pages.cc.o"
+  "CMakeFiles/fig1b_touch_pages.dir/fig1b_touch_pages.cc.o.d"
+  "fig1b_touch_pages"
+  "fig1b_touch_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_touch_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1b_touch_pages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1b_touch_pages.
+# This may be replaced when dependencies are built.

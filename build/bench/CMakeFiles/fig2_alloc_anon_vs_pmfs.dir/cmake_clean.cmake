@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_alloc_anon_vs_pmfs.dir/fig2_alloc_anon_vs_pmfs.cc.o"
+  "CMakeFiles/fig2_alloc_anon_vs_pmfs.dir/fig2_alloc_anon_vs_pmfs.cc.o.d"
+  "fig2_alloc_anon_vs_pmfs"
+  "fig2_alloc_anon_vs_pmfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_alloc_anon_vs_pmfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_alloc_anon_vs_pmfs.
+# This may be replaced when dependencies are built.

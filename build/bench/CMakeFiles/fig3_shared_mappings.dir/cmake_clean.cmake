@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_shared_mappings.dir/fig3_shared_mappings.cc.o"
+  "CMakeFiles/fig3_shared_mappings.dir/fig3_shared_mappings.cc.o.d"
+  "fig3_shared_mappings"
+  "fig3_shared_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_shared_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

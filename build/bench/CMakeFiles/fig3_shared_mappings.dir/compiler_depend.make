@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_shared_mappings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pbm.dir/fig8_pbm.cc.o"
+  "CMakeFiles/fig8_pbm.dir/fig8_pbm.cc.o.d"
+  "fig8_pbm"
+  "fig8_pbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_range_translation.dir/fig9_range_translation.cc.o"
+  "CMakeFiles/fig9_range_translation.dir/fig9_range_translation.cc.o.d"
+  "fig9_range_translation"
+  "fig9_range_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_range_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

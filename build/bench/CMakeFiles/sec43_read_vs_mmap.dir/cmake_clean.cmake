@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_read_vs_mmap.dir/sec43_read_vs_mmap.cc.o"
+  "CMakeFiles/sec43_read_vs_mmap.dir/sec43_read_vs_mmap.cc.o.d"
+  "sec43_read_vs_mmap"
+  "sec43_read_vs_mmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_read_vs_mmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

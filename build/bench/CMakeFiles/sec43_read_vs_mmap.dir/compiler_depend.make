@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec43_read_vs_mmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discardable_cache.dir/discardable_cache.cpp.o"
+  "CMakeFiles/discardable_cache.dir/discardable_cache.cpp.o.d"
+  "discardable_cache"
+  "discardable_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discardable_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

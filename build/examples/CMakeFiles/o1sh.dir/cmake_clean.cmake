@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1sh.dir/o1sh.cpp.o"
+  "CMakeFiles/o1sh.dir/o1sh.cpp.o.d"
+  "o1sh"
+  "o1sh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1sh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for o1sh.
+# This may be replaced when dependencies are built.

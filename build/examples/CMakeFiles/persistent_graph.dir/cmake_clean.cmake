@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_graph.dir/persistent_graph.cpp.o"
+  "CMakeFiles/persistent_graph.dir/persistent_graph.cpp.o.d"
+  "persistent_graph"
+  "persistent_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

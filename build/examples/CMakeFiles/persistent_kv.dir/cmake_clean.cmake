@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_kv.dir/persistent_kv.cpp.o"
+  "CMakeFiles/persistent_kv.dir/persistent_kv.cpp.o.d"
+  "persistent_kv"
+  "persistent_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

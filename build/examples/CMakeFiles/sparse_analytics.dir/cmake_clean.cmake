@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_analytics.dir/sparse_analytics.cpp.o"
+  "CMakeFiles/sparse_analytics.dir/sparse_analytics.cpp.o.d"
+  "sparse_analytics"
+  "sparse_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_fom.dir/fom_manager.cc.o"
+  "CMakeFiles/o1_fom.dir/fom_manager.cc.o.d"
+  "CMakeFiles/o1_fom.dir/precreated_tables.cc.o"
+  "CMakeFiles/o1_fom.dir/precreated_tables.cc.o.d"
+  "CMakeFiles/o1_fom.dir/slab_phys.cc.o"
+  "CMakeFiles/o1_fom.dir/slab_phys.cc.o.d"
+  "libo1_fom.a"
+  "libo1_fom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_fom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

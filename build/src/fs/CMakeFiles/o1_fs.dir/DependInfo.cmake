@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/block_bitmap.cc" "src/fs/CMakeFiles/o1_fs.dir/block_bitmap.cc.o" "gcc" "src/fs/CMakeFiles/o1_fs.dir/block_bitmap.cc.o.d"
+  "/root/repo/src/fs/extent_tree.cc" "src/fs/CMakeFiles/o1_fs.dir/extent_tree.cc.o" "gcc" "src/fs/CMakeFiles/o1_fs.dir/extent_tree.cc.o.d"
+  "/root/repo/src/fs/namespace.cc" "src/fs/CMakeFiles/o1_fs.dir/namespace.cc.o" "gcc" "src/fs/CMakeFiles/o1_fs.dir/namespace.cc.o.d"
+  "/root/repo/src/fs/pmfs.cc" "src/fs/CMakeFiles/o1_fs.dir/pmfs.cc.o" "gcc" "src/fs/CMakeFiles/o1_fs.dir/pmfs.cc.o.d"
+  "/root/repo/src/fs/tmpfs.cc" "src/fs/CMakeFiles/o1_fs.dir/tmpfs.cc.o" "gcc" "src/fs/CMakeFiles/o1_fs.dir/tmpfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/o1_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/o1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

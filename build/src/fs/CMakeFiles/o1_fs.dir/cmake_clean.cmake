@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_fs.dir/block_bitmap.cc.o"
+  "CMakeFiles/o1_fs.dir/block_bitmap.cc.o.d"
+  "CMakeFiles/o1_fs.dir/extent_tree.cc.o"
+  "CMakeFiles/o1_fs.dir/extent_tree.cc.o.d"
+  "CMakeFiles/o1_fs.dir/namespace.cc.o"
+  "CMakeFiles/o1_fs.dir/namespace.cc.o.d"
+  "CMakeFiles/o1_fs.dir/pmfs.cc.o"
+  "CMakeFiles/o1_fs.dir/pmfs.cc.o.d"
+  "CMakeFiles/o1_fs.dir/tmpfs.cc.o"
+  "CMakeFiles/o1_fs.dir/tmpfs.cc.o.d"
+  "libo1_fs.a"
+  "libo1_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/buddy_allocator.cc" "src/mm/CMakeFiles/o1_mm.dir/buddy_allocator.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/buddy_allocator.cc.o.d"
+  "/root/repo/src/mm/demand_pager.cc" "src/mm/CMakeFiles/o1_mm.dir/demand_pager.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/demand_pager.cc.o.d"
+  "/root/repo/src/mm/page_meta.cc" "src/mm/CMakeFiles/o1_mm.dir/page_meta.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/page_meta.cc.o.d"
+  "/root/repo/src/mm/phys_manager.cc" "src/mm/CMakeFiles/o1_mm.dir/phys_manager.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/phys_manager.cc.o.d"
+  "/root/repo/src/mm/reclaim.cc" "src/mm/CMakeFiles/o1_mm.dir/reclaim.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/reclaim.cc.o.d"
+  "/root/repo/src/mm/swap.cc" "src/mm/CMakeFiles/o1_mm.dir/swap.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/swap.cc.o.d"
+  "/root/repo/src/mm/vma.cc" "src/mm/CMakeFiles/o1_mm.dir/vma.cc.o" "gcc" "src/mm/CMakeFiles/o1_mm.dir/vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/o1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/o1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_mm.dir/buddy_allocator.cc.o"
+  "CMakeFiles/o1_mm.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/o1_mm.dir/demand_pager.cc.o"
+  "CMakeFiles/o1_mm.dir/demand_pager.cc.o.d"
+  "CMakeFiles/o1_mm.dir/page_meta.cc.o"
+  "CMakeFiles/o1_mm.dir/page_meta.cc.o.d"
+  "CMakeFiles/o1_mm.dir/phys_manager.cc.o"
+  "CMakeFiles/o1_mm.dir/phys_manager.cc.o.d"
+  "CMakeFiles/o1_mm.dir/reclaim.cc.o"
+  "CMakeFiles/o1_mm.dir/reclaim.cc.o.d"
+  "CMakeFiles/o1_mm.dir/swap.cc.o"
+  "CMakeFiles/o1_mm.dir/swap.cc.o.d"
+  "CMakeFiles/o1_mm.dir/vma.cc.o"
+  "CMakeFiles/o1_mm.dir/vma.cc.o.d"
+  "libo1_mm.a"
+  "libo1_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

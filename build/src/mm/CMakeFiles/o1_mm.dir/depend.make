@@ -1,0 +1,2 @@
+# Empty dependencies file for o1_mm.
+# This may be replaced when dependencies are built.

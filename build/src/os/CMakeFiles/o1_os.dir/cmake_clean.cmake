@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_os.dir/malloc.cc.o"
+  "CMakeFiles/o1_os.dir/malloc.cc.o.d"
+  "CMakeFiles/o1_os.dir/system.cc.o"
+  "CMakeFiles/o1_os.dir/system.cc.o.d"
+  "libo1_os.a"
+  "libo1_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

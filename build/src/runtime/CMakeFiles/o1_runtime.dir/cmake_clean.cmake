@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_runtime.dir/arena.cc.o"
+  "CMakeFiles/o1_runtime.dir/arena.cc.o.d"
+  "CMakeFiles/o1_runtime.dir/persistent_heap.cc.o"
+  "CMakeFiles/o1_runtime.dir/persistent_heap.cc.o.d"
+  "libo1_runtime.a"
+  "libo1_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libo1_runtime.a"
+)

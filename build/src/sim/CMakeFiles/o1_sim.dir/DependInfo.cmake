@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/o1_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/o1_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/mmu.cc" "src/sim/CMakeFiles/o1_sim.dir/mmu.cc.o" "gcc" "src/sim/CMakeFiles/o1_sim.dir/mmu.cc.o.d"
+  "/root/repo/src/sim/page_table.cc" "src/sim/CMakeFiles/o1_sim.dir/page_table.cc.o" "gcc" "src/sim/CMakeFiles/o1_sim.dir/page_table.cc.o.d"
+  "/root/repo/src/sim/phys_mem.cc" "src/sim/CMakeFiles/o1_sim.dir/phys_mem.cc.o" "gcc" "src/sim/CMakeFiles/o1_sim.dir/phys_mem.cc.o.d"
+  "/root/repo/src/sim/range_table.cc" "src/sim/CMakeFiles/o1_sim.dir/range_table.cc.o" "gcc" "src/sim/CMakeFiles/o1_sim.dir/range_table.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/o1_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/o1_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/o1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

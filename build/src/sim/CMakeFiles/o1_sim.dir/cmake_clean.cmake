@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_sim.dir/machine.cc.o"
+  "CMakeFiles/o1_sim.dir/machine.cc.o.d"
+  "CMakeFiles/o1_sim.dir/mmu.cc.o"
+  "CMakeFiles/o1_sim.dir/mmu.cc.o.d"
+  "CMakeFiles/o1_sim.dir/page_table.cc.o"
+  "CMakeFiles/o1_sim.dir/page_table.cc.o.d"
+  "CMakeFiles/o1_sim.dir/phys_mem.cc.o"
+  "CMakeFiles/o1_sim.dir/phys_mem.cc.o.d"
+  "CMakeFiles/o1_sim.dir/range_table.cc.o"
+  "CMakeFiles/o1_sim.dir/range_table.cc.o.d"
+  "CMakeFiles/o1_sim.dir/tlb.cc.o"
+  "CMakeFiles/o1_sim.dir/tlb.cc.o.d"
+  "libo1_sim.a"
+  "libo1_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_support.dir/stats.cc.o"
+  "CMakeFiles/o1_support.dir/stats.cc.o.d"
+  "CMakeFiles/o1_support.dir/status.cc.o"
+  "CMakeFiles/o1_support.dir/status.cc.o.d"
+  "CMakeFiles/o1_support.dir/table.cc.o"
+  "CMakeFiles/o1_support.dir/table.cc.o.d"
+  "libo1_support.a"
+  "libo1_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

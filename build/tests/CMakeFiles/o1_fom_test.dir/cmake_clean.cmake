@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_fom_test.dir/fom/fom_edge_test.cc.o"
+  "CMakeFiles/o1_fom_test.dir/fom/fom_edge_test.cc.o.d"
+  "CMakeFiles/o1_fom_test.dir/fom/fom_manager_test.cc.o"
+  "CMakeFiles/o1_fom_test.dir/fom/fom_manager_test.cc.o.d"
+  "CMakeFiles/o1_fom_test.dir/fom/l2_splice_test.cc.o"
+  "CMakeFiles/o1_fom_test.dir/fom/l2_splice_test.cc.o.d"
+  "CMakeFiles/o1_fom_test.dir/fom/precreated_tables_test.cc.o"
+  "CMakeFiles/o1_fom_test.dir/fom/precreated_tables_test.cc.o.d"
+  "CMakeFiles/o1_fom_test.dir/fom/slab_phys_test.cc.o"
+  "CMakeFiles/o1_fom_test.dir/fom/slab_phys_test.cc.o.d"
+  "o1_fom_test"
+  "o1_fom_test.pdb"
+  "o1_fom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_fom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_fs_test.dir/fs/block_bitmap_test.cc.o"
+  "CMakeFiles/o1_fs_test.dir/fs/block_bitmap_test.cc.o.d"
+  "CMakeFiles/o1_fs_test.dir/fs/dirops_test.cc.o"
+  "CMakeFiles/o1_fs_test.dir/fs/dirops_test.cc.o.d"
+  "CMakeFiles/o1_fs_test.dir/fs/extent_tree_test.cc.o"
+  "CMakeFiles/o1_fs_test.dir/fs/extent_tree_test.cc.o.d"
+  "CMakeFiles/o1_fs_test.dir/fs/namespace_test.cc.o"
+  "CMakeFiles/o1_fs_test.dir/fs/namespace_test.cc.o.d"
+  "CMakeFiles/o1_fs_test.dir/fs/pmfs_test.cc.o"
+  "CMakeFiles/o1_fs_test.dir/fs/pmfs_test.cc.o.d"
+  "CMakeFiles/o1_fs_test.dir/fs/tmpfs_test.cc.o"
+  "CMakeFiles/o1_fs_test.dir/fs/tmpfs_test.cc.o.d"
+  "o1_fs_test"
+  "o1_fs_test.pdb"
+  "o1_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

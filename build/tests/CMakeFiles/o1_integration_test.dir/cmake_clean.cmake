@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_integration_test.dir/integration/misc_coverage_test.cc.o"
+  "CMakeFiles/o1_integration_test.dir/integration/misc_coverage_test.cc.o.d"
+  "CMakeFiles/o1_integration_test.dir/integration/persistence_model_test.cc.o"
+  "CMakeFiles/o1_integration_test.dir/integration/persistence_model_test.cc.o.d"
+  "CMakeFiles/o1_integration_test.dir/integration/system_integration_test.cc.o"
+  "CMakeFiles/o1_integration_test.dir/integration/system_integration_test.cc.o.d"
+  "o1_integration_test"
+  "o1_integration_test.pdb"
+  "o1_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_mm_test.dir/mm/buddy_allocator_test.cc.o"
+  "CMakeFiles/o1_mm_test.dir/mm/buddy_allocator_test.cc.o.d"
+  "CMakeFiles/o1_mm_test.dir/mm/demand_pager_test.cc.o"
+  "CMakeFiles/o1_mm_test.dir/mm/demand_pager_test.cc.o.d"
+  "CMakeFiles/o1_mm_test.dir/mm/page_meta_test.cc.o"
+  "CMakeFiles/o1_mm_test.dir/mm/page_meta_test.cc.o.d"
+  "CMakeFiles/o1_mm_test.dir/mm/reclaim_test.cc.o"
+  "CMakeFiles/o1_mm_test.dir/mm/reclaim_test.cc.o.d"
+  "CMakeFiles/o1_mm_test.dir/mm/swap_test.cc.o"
+  "CMakeFiles/o1_mm_test.dir/mm/swap_test.cc.o.d"
+  "CMakeFiles/o1_mm_test.dir/mm/vma_test.cc.o"
+  "CMakeFiles/o1_mm_test.dir/mm/vma_test.cc.o.d"
+  "o1_mm_test"
+  "o1_mm_test.pdb"
+  "o1_mm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_mm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

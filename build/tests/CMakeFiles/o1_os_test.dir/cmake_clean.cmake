@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_os_test.dir/os/features_test.cc.o"
+  "CMakeFiles/o1_os_test.dir/os/features_test.cc.o.d"
+  "CMakeFiles/o1_os_test.dir/os/fork_test.cc.o"
+  "CMakeFiles/o1_os_test.dir/os/fork_test.cc.o.d"
+  "CMakeFiles/o1_os_test.dir/os/malloc_test.cc.o"
+  "CMakeFiles/o1_os_test.dir/os/malloc_test.cc.o.d"
+  "CMakeFiles/o1_os_test.dir/os/system_edge_test.cc.o"
+  "CMakeFiles/o1_os_test.dir/os/system_edge_test.cc.o.d"
+  "CMakeFiles/o1_os_test.dir/os/system_test.cc.o"
+  "CMakeFiles/o1_os_test.dir/os/system_test.cc.o.d"
+  "o1_os_test"
+  "o1_os_test.pdb"
+  "o1_os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

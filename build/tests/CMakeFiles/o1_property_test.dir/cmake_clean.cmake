@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_property_test.dir/property/backend_equivalence_test.cc.o"
+  "CMakeFiles/o1_property_test.dir/property/backend_equivalence_test.cc.o.d"
+  "CMakeFiles/o1_property_test.dir/property/crash_property_test.cc.o"
+  "CMakeFiles/o1_property_test.dir/property/crash_property_test.cc.o.d"
+  "CMakeFiles/o1_property_test.dir/property/fs_property_test.cc.o"
+  "CMakeFiles/o1_property_test.dir/property/fs_property_test.cc.o.d"
+  "CMakeFiles/o1_property_test.dir/property/namespace_property_test.cc.o"
+  "CMakeFiles/o1_property_test.dir/property/namespace_property_test.cc.o.d"
+  "CMakeFiles/o1_property_test.dir/property/translation_property_test.cc.o"
+  "CMakeFiles/o1_property_test.dir/property/translation_property_test.cc.o.d"
+  "o1_property_test"
+  "o1_property_test.pdb"
+  "o1_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

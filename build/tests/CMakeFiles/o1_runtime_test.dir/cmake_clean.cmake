@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_runtime_test.dir/runtime/arena_test.cc.o"
+  "CMakeFiles/o1_runtime_test.dir/runtime/arena_test.cc.o.d"
+  "CMakeFiles/o1_runtime_test.dir/runtime/persistent_heap_test.cc.o"
+  "CMakeFiles/o1_runtime_test.dir/runtime/persistent_heap_test.cc.o.d"
+  "o1_runtime_test"
+  "o1_runtime_test.pdb"
+  "o1_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

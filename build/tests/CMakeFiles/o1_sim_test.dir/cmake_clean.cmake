@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_sim_test.dir/sim/machine_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/machine_test.cc.o.d"
+  "CMakeFiles/o1_sim_test.dir/sim/mmu_cache_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/mmu_cache_test.cc.o.d"
+  "CMakeFiles/o1_sim_test.dir/sim/mmu_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/mmu_test.cc.o.d"
+  "CMakeFiles/o1_sim_test.dir/sim/page_table_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/page_table_test.cc.o.d"
+  "CMakeFiles/o1_sim_test.dir/sim/phys_mem_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/phys_mem_test.cc.o.d"
+  "CMakeFiles/o1_sim_test.dir/sim/range_table_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/range_table_test.cc.o.d"
+  "CMakeFiles/o1_sim_test.dir/sim/tlb_test.cc.o"
+  "CMakeFiles/o1_sim_test.dir/sim/tlb_test.cc.o.d"
+  "o1_sim_test"
+  "o1_sim_test.pdb"
+  "o1_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

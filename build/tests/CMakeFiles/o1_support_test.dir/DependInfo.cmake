@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/rng_test.cc" "tests/CMakeFiles/o1_support_test.dir/support/rng_test.cc.o" "gcc" "tests/CMakeFiles/o1_support_test.dir/support/rng_test.cc.o.d"
+  "/root/repo/tests/support/stats_test.cc" "tests/CMakeFiles/o1_support_test.dir/support/stats_test.cc.o" "gcc" "tests/CMakeFiles/o1_support_test.dir/support/stats_test.cc.o.d"
+  "/root/repo/tests/support/status_test.cc" "tests/CMakeFiles/o1_support_test.dir/support/status_test.cc.o" "gcc" "tests/CMakeFiles/o1_support_test.dir/support/status_test.cc.o.d"
+  "/root/repo/tests/support/zipf_test.cc" "tests/CMakeFiles/o1_support_test.dir/support/zipf_test.cc.o" "gcc" "tests/CMakeFiles/o1_support_test.dir/support/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/o1_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/o1_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fom/CMakeFiles/o1_fom.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/o1_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/o1_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/o1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/o1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

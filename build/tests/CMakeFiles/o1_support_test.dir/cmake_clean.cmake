@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/o1_support_test.dir/support/rng_test.cc.o"
+  "CMakeFiles/o1_support_test.dir/support/rng_test.cc.o.d"
+  "CMakeFiles/o1_support_test.dir/support/stats_test.cc.o"
+  "CMakeFiles/o1_support_test.dir/support/stats_test.cc.o.d"
+  "CMakeFiles/o1_support_test.dir/support/status_test.cc.o"
+  "CMakeFiles/o1_support_test.dir/support/status_test.cc.o.d"
+  "CMakeFiles/o1_support_test.dir/support/zipf_test.cc.o"
+  "CMakeFiles/o1_support_test.dir/support/zipf_test.cc.o.d"
+  "o1_support_test"
+  "o1_support_test.pdb"
+  "o1_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/o1_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/o1_support_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_mm_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_fom_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_os_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_property_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/o1_runtime_test[1]_include.cmake")
