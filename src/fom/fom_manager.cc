@@ -1,8 +1,39 @@
 #include "src/fom/fom_manager.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "src/support/crc32.h"
 
 namespace o1mem {
+
+namespace {
+
+// Sidecar wire format: header + one u64 backing paddr per 4 KiB page.
+//   off  0  u64  magic
+//   off  8  u64  inode
+//   off 16  u64  file_bytes
+//   off 24  u64  page_count
+//   off 32  u32  crc   (CRC-32 of the paddr payload)
+//   off 36  u32  reserved
+constexpr uint64_t kSidecarMagic = 0x4f31464f4d545331ull;  // "O1FOMTS1"
+constexpr uint64_t kSidecarHeaderBytes = 40;
+
+void PutU64At(std::vector<uint8_t>& v, size_t off, uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    v[off + static_cast<size_t>(i)] = static_cast<uint8_t>(x >> (8 * i));
+  }
+}
+
+uint64_t GetU64At(const std::vector<uint8_t>& v, size_t off) {
+  uint64_t x = 0;
+  for (int i = 7; i >= 0; --i) {
+    x = (x << 8) | v[off + static_cast<size_t>(i)];
+  }
+  return x;
+}
+
+}  // namespace
 
 FomManager::FomManager(Machine* machine, Pmfs* pmfs, const FomConfig& config)
     : machine_(machine), pmfs_(pmfs), config_(config) {
@@ -60,8 +91,96 @@ Status FomManager::DeleteSegment(std::string_view path) {
   auto inode = pmfs_->LookupPath(path);
   if (inode.ok()) {
     tables_.erase(*inode);
+    (void)pmfs_->Unlink(SidecarPath(*inode));  // best-effort; may not exist
   }
   return pmfs_->Unlink(path);
+}
+
+std::string FomManager::SidecarPath(InodeId inode) {
+  return "/.fom/tables/" + std::to_string(inode);
+}
+
+void FomManager::WriteSidecar(InodeId inode, const PrecreatedTables& tables) {
+  auto extents = pmfs_->Extents(inode);
+  if (!extents.ok()) {
+    return;
+  }
+  const uint64_t pages = PagesFor(tables.file_bytes);
+  std::vector<uint8_t> buf(kSidecarHeaderBytes + pages * 8, 0);
+  PutU64At(buf, 0, kSidecarMagic);
+  PutU64At(buf, 8, inode);
+  PutU64At(buf, 16, tables.file_bytes);
+  PutU64At(buf, 24, pages);
+  size_t page = 0;
+  for (const FileExtentView& e : *extents) {
+    for (uint64_t off = 0; off < e.bytes && page < pages; off += kPageSize) {
+      PutU64At(buf, kSidecarHeaderBytes + page * 8, e.paddr + off);
+      ++page;
+    }
+  }
+  const uint32_t crc = Crc32(std::span<const uint8_t>(buf).subspan(kSidecarHeaderBytes));
+  buf[32] = static_cast<uint8_t>(crc);
+  buf[33] = static_cast<uint8_t>(crc >> 8);
+  buf[34] = static_cast<uint8_t>(crc >> 16);
+  buf[35] = static_cast<uint8_t>(crc >> 24);
+  // Best-effort persistence: a degraded (read-only) mount or full device
+  // just means the next boot rebuilds the tables from extents.
+  const std::string path = SidecarPath(inode);
+  auto sidecar = pmfs_->LookupPath(path);
+  if (!sidecar.ok()) {
+    sidecar = pmfs_->Create(path, FileFlags{.persistent = true, .discardable = false});
+    if (!sidecar.ok()) {
+      return;
+    }
+  }
+  if (Status sized = pmfs_->Resize(*sidecar, buf.size()); !sized.ok()) {
+    (void)pmfs_->Unlink(path);
+    return;
+  }
+  if (auto wrote = pmfs_->WriteAt(*sidecar, 0, buf); !wrote.ok()) {
+    (void)pmfs_->Unlink(path);
+  }
+}
+
+Result<PrecreatedTables> FomManager::LoadSidecar(InodeId inode, uint64_t file_bytes,
+                                                 std::span<const FileExtentView> extents) {
+  O1_ASSIGN_OR_RETURN(const InodeId sidecar, pmfs_->LookupPath(SidecarPath(inode)));
+  const uint64_t pages = PagesFor(file_bytes);
+  std::vector<uint8_t> buf(kSidecarHeaderBytes + pages * 8);
+  O1_ASSIGN_OR_RETURN(const uint64_t got, pmfs_->ReadAt(sidecar, 0, buf));
+  if (got != buf.size()) {
+    return Corruption("fom table sidecar truncated");
+  }
+  if (GetU64At(buf, 0) != kSidecarMagic || GetU64At(buf, 8) != inode ||
+      GetU64At(buf, 16) != file_bytes || GetU64At(buf, 24) != pages) {
+    return Corruption("fom table sidecar header mismatch");
+  }
+  const uint32_t stored_crc = static_cast<uint32_t>(buf[32]) |
+                              (static_cast<uint32_t>(buf[33]) << 8) |
+                              (static_cast<uint32_t>(buf[34]) << 16) |
+                              (static_cast<uint32_t>(buf[35]) << 24);
+  if (Crc32(std::span<const uint8_t>(buf).subspan(kSidecarHeaderBytes)) != stored_crc) {
+    return Corruption("fom table sidecar checksum mismatch");
+  }
+  // The paddrs must agree with the file's current extents: a stale sidecar
+  // (file re-created at a different location) would splice translations to
+  // someone else's frames.
+  std::vector<Paddr> page_paddrs(pages);
+  size_t page = 0;
+  for (const FileExtentView& e : extents) {
+    for (uint64_t off = 0; off < e.bytes && page < pages; off += kPageSize) {
+      const Paddr expect = e.paddr + off;
+      if (GetU64At(buf, kSidecarHeaderBytes + page * 8) != expect) {
+        return Corruption("fom table sidecar does not match file extents");
+      }
+      page_paddrs[page] = expect;
+      ++page;
+    }
+  }
+  if (page != pages) {
+    return Corruption("fom table sidecar does not cover the file");
+  }
+  return RehydratePrecreatedTables(page_paddrs, file_bytes);
 }
 
 Result<const PrecreatedTables*> FomManager::TablesFor(InodeId inode) {
@@ -77,13 +196,25 @@ Result<const PrecreatedTables*> FomManager::TablesFor(InodeId inode) {
   if (!stat.ok()) {
     return stat.status();
   }
+  const uint64_t file_bytes = AlignUp(stat->size, kPageSize);
+  if (stat->persistent) {
+    // O(1) first map after reboot: rehydrate the NVM-resident tables.
+    if (auto loaded = LoadSidecar(inode, file_bytes, *extents); loaded.ok()) {
+      auto [inserted, ok] = tables_.emplace(inode, std::move(loaded).value());
+      O1_CHECK(ok);
+      return const_cast<const PrecreatedTables*>(&inserted->second);
+    }
+  }
   auto tables = BuildPrecreatedTables(&machine_->ctx(), &machine_->phys(), *extents,
-                                      AlignUp(stat->size, kPageSize), stat->persistent);
+                                      file_bytes, stat->persistent);
   if (!tables.ok()) {
     return tables.status();
   }
   auto [inserted, ok] = tables_.emplace(inode, std::move(tables).value());
   O1_CHECK(ok);
+  if (stat->persistent) {
+    WriteSidecar(inode, inserted->second);
+  }
   return const_cast<const PrecreatedTables*>(&inserted->second);
 }
 
@@ -359,15 +490,54 @@ Result<uint64_t> FomManager::HandlePressure(uint64_t bytes_needed) {
 }
 
 Status FomManager::OnCrash() {
-  // Processes are gone; volatile files were dropped by Pmfs::OnCrash. Keep
-  // pre-created tables only for files that still exist (persistent ones) --
-  // those were stored in NVM and are what makes the first map after reboot
-  // O(1).
-  for (auto it = tables_.begin(); it != tables_.end();) {
-    if (!pmfs_->Stat(it->first).ok()) {
-      it = tables_.erase(it);
-    } else {
-      ++it;
+  // Processes are gone; volatile files were dropped by Pmfs::OnCrash. The
+  // DRAM-side cache died with the machine: every surviving table set must
+  // come back from its NVM sidecar (or a rebuild).
+  tables_.clear();
+  // Validate every sidecar on the device against its segment. Orphans
+  // (segment gone) are unlinked; corrupt or stale ones are rebuilt from the
+  // extent tree and rewritten. A degraded (read-only) mount skips the
+  // cleanup writes but still serves validated sidecars.
+  auto listing = pmfs_->List("/.fom/tables");
+  if (!listing.ok()) {
+    return OkStatus();  // no sidecars ever written
+  }
+  const bool read_only = pmfs_->mount_mode() == MountMode::kDegraded;
+  for (const DirEntry& entry : *listing) {
+    if (entry.is_dir) {
+      continue;
+    }
+    char* end = nullptr;
+    const InodeId segment = std::strtoull(entry.name.c_str(), &end, 10);
+    const bool parsed = end != nullptr && *end == '\0' && segment != kInvalidInode;
+    if (!parsed || !pmfs_->Stat(segment).ok()) {
+      if (!read_only) {
+        (void)pmfs_->Unlink("/.fom/tables/" + entry.name);
+      }
+      continue;
+    }
+    auto stat = pmfs_->Stat(segment);
+    auto extents = pmfs_->Extents(segment);
+    if (!stat.ok() || !extents.ok()) {
+      continue;
+    }
+    const uint64_t file_bytes = AlignUp(stat->size, kPageSize);
+    if (auto loaded = LoadSidecar(segment, file_bytes, *extents); loaded.ok()) {
+      tables_.emplace(segment, std::move(loaded).value());
+      continue;
+    }
+    // Checksum or extent mismatch: rebuild transparently. The rebuilt set
+    // is correct either way; persisting it again just restores the O(1)
+    // next-boot path.
+    auto rebuilt = BuildPrecreatedTables(&machine_->ctx(), &machine_->phys(), *extents,
+                                         file_bytes, stat->persistent);
+    if (!rebuilt.ok()) {
+      continue;
+    }
+    auto [inserted, ok] = tables_.emplace(segment, std::move(rebuilt).value());
+    O1_CHECK(ok);
+    if (!read_only) {
+      WriteSidecar(segment, inserted->second);
     }
   }
   return OkStatus();

@@ -146,7 +146,9 @@ class FomManager {
 
   // After Machine::Crash + Pmfs::OnCrash: drops table caches for files that
   // no longer exist; persistent files keep their NVM-resident tables (the
-  // O(1) first-map-after-reboot property).
+  // O(1) first-map-after-reboot property). Each surviving sidecar is
+  // checksum-validated against the file's extents; a corrupt or stale one is
+  // transparently rebuilt (and rewritten, unless the mount is degraded).
   Status OnCrash();
 
   // --- Metrics -------------------------------------------------------------
@@ -156,6 +158,18 @@ class FomManager {
 
  private:
   Result<const PrecreatedTables*> TablesFor(InodeId inode);
+
+  // --- NVM table sidecars --------------------------------------------------
+  // A persistent segment's pre-created tables are serialized into a
+  // persistent PMFS file ("/.fom/tables/<inode>"): a CRC-protected header
+  // plus one backing paddr per 4 KiB page. After a crash the sidecar is
+  // validated and rehydrated without rebuilding (no per-PTE work); a failed
+  // checksum falls back to a rebuild from the extent tree.
+  static std::string SidecarPath(InodeId inode);
+  // Best-effort: a degraded (read-only) mount simply skips the write.
+  void WriteSidecar(InodeId inode, const PrecreatedTables& tables);
+  Result<PrecreatedTables> LoadSidecar(InodeId inode, uint64_t file_bytes,
+                                       std::span<const FileExtentView> extents);
 
   Result<Vaddr> PickVaddr(FomProcess& proc, uint64_t bytes, const MapOptions& options,
                           MapMechanism mech, InodeId inode);

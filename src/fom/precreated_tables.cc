@@ -89,4 +89,48 @@ Result<PrecreatedTables> BuildPrecreatedTables(SimContext* ctx, PhysicalMemory* 
   return tables;
 }
 
+Result<PrecreatedTables> RehydratePrecreatedTables(std::span<const Paddr> page_paddrs,
+                                                   uint64_t file_bytes) {
+  if (file_bytes == 0 || page_paddrs.size() != PagesFor(file_bytes)) {
+    return InvalidArgument("sidecar page list does not match the file size");
+  }
+  PrecreatedTables tables;
+  tables.file_bytes = file_bytes;
+  auto rehydrate_set = [&](Prot prot) {
+    std::vector<NodeRef> nodes;
+    for (uint64_t window = 0; window < file_bytes; window += BytesPerNode(1)) {
+      auto node = std::make_shared<PageTableNode>();
+      const uint64_t window_end = std::min(window + BytesPerNode(1), file_bytes);
+      for (uint64_t off = window; off < window_end; off += kPageSize) {
+        PtEntry& entry = node->at(static_cast<int>((off - window) >> kPageShift));
+        entry.kind = PtEntry::Kind::kLeaf;
+        entry.paddr = page_paddrs[off >> kPageShift];
+        entry.prot = prot;
+        node->live_entries++;
+      }
+      nodes.push_back(std::move(node));
+    }
+    return nodes;
+  };
+  tables.read_only = rehydrate_set(Prot::kRead);
+  tables.read_write = rehydrate_set(Prot::kReadWrite);
+  const size_t groups = tables.read_write.size() / kPtEntriesPerNode;
+  for (size_t g = 0; g < groups; ++g) {
+    auto ro_l2 = std::make_shared<PageTableNode>();
+    auto rw_l2 = std::make_shared<PageTableNode>();
+    for (int i = 0; i < kPtEntriesPerNode; ++i) {
+      const size_t child = g * kPtEntriesPerNode + static_cast<size_t>(i);
+      ro_l2->at(i) = PtEntry{.kind = PtEntry::Kind::kTable,
+                             .child = tables.read_only[child]};
+      rw_l2->at(i) = PtEntry{.kind = PtEntry::Kind::kTable,
+                             .child = tables.read_write[child]};
+    }
+    ro_l2->live_entries = kPtEntriesPerNode;
+    rw_l2->live_entries = kPtEntriesPerNode;
+    tables.read_only_l2.push_back(std::move(ro_l2));
+    tables.read_write_l2.push_back(std::move(rw_l2));
+  }
+  return tables;
+}
+
 }  // namespace o1mem

@@ -57,6 +57,15 @@ Result<PrecreatedTables> BuildPrecreatedTables(SimContext* ctx, PhysicalMemory* 
                                                std::span<const FileExtentView> extents,
                                                uint64_t file_bytes, bool persist_in_nvm);
 
+// Rehydrates a table set from a validated NVM sidecar: one backing paddr per
+// 4 KiB page of the file. The nodes already exist in NVM -- nothing is
+// allocated or written in the model's accounting (no pt_node/pte charges),
+// which is precisely the O(1)-after-reboot property; the caller pays only
+// for reading the sidecar. `page_paddrs` must have ceil(file_bytes/4K)
+// entries.
+Result<PrecreatedTables> RehydratePrecreatedTables(std::span<const Paddr> page_paddrs,
+                                                   uint64_t file_bytes);
+
 }  // namespace o1mem
 
 #endif  // O1MEM_SRC_FOM_PRECREATED_TABLES_H_

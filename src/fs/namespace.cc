@@ -231,6 +231,16 @@ std::vector<std::pair<std::string, InodeId>> Namespace::AllFiles() const {
   return out;
 }
 
+std::vector<std::string> Namespace::AllDirs() const {
+  std::vector<std::string> out;
+  for (const auto& [path, entry] : entries_) {
+    if (entry.is_dir) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
 size_t Namespace::file_count() const {
   size_t n = 0;
   for (const auto& [path, entry] : entries_) {

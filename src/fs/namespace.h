@@ -57,6 +57,10 @@ class Namespace {
   // Every file path, in sorted order (reclaim scans, ListPaths).
   std::vector<std::pair<std::string, InodeId>> AllFiles() const;
 
+  // Every directory path except "/", in sorted order (so parents precede
+  // children). Used to snapshot the namespace into a journal checkpoint.
+  std::vector<std::string> AllDirs() const;
+
   size_t file_count() const;
   void Clear();
 

@@ -6,13 +6,35 @@
 //     a file costs O(extents), not O(pages);
 //   * DAX: file data lives directly in NVM and is mapped into processes
 //     without a page cache;
-//   * a metadata journal: every namespace/size mutation appends a record
-//     (charged as an NVM write); crash recovery replays the journal,
-//     drops volatile files, reclaims leaked blocks, and verifies extent
-//     integrity;
+//   * a real on-NVM metadata journal: every namespace/size mutation appends
+//     a CRC-protected record to a journal slot carved out of the region
+//     (written and flushed through PhysicalMemory, so crash-point sweeps
+//     can cut it anywhere); crash recovery re-reads the superblock, replays
+//     the valid journal prefix, drops volatile files, reclaims leaked
+//     blocks, and compacts the journal into the other slot;
 //   * per-file persistence: files created persistent survive Machine::Crash,
 //     volatile (temporary) files do not -- Sec. 3.1's "marked at any time as
 //     volatile or persistent".
+//
+// On-media layout (all inside [region_base, region_base + region_bytes)):
+//   block 0                          superblock (one CRC'd 64 B line)
+//   blocks [1, 1+S)                  journal slot 0
+//   blocks [1+S, 1+2S)               journal slot 1
+//   blocks [1+2S, region_blocks)    data
+// The superblock names the active slot and a generation number; a
+// checkpoint serializes live metadata into the inactive slot and flips the
+// superblock in one flushed line write, so a crash always finds one fully
+// valid slot. Records carry the generation, which terminates parsing at
+// stale bytes from the slot's previous life; a CRC mismatch or unreadable
+// line terminates it at a torn/decayed tail.
+//
+// Fault handling: Scrub() is an online fsck -- it revalidates the
+// superblock and journal, walks extents, consults the platform bad-line
+// list (FaultInjector poison), quarantines files whose data or structure is
+// unrepairable, and rebuilds the bitmap. When the superblock or both
+// journal slots cannot be made durable and readable, the mount degrades to
+// read-only (MountMode::kDegraded): reads still work, every mutating op
+// returns kReadOnly, and nothing CHECK-fails.
 //
 // Zeroing policy: kEagerZero clears new extents at allocation time (the
 // linear-time foreground cost Sec. 3.1 complains about); kZeroEpoch zeroes
@@ -20,17 +42,20 @@
 // accounted separately), so allocation finds pre-zeroed blocks and is
 // O(extents) in the foreground -- one realization of the "new techniques to
 // efficiently erase memory in constant time" the paper calls for. Freshly
-// formatted devices hand out zeroed blocks either way, and because zeroing
-// happens before a block can be reallocated, directly mapped (DAX) access
-// never observes another file's stale data.
+// formatted devices hand out zeroed blocks either way; after a crash,
+// recovery under kZeroEpoch re-zeroes free space in the background before
+// it can be reallocated, so DAX access never observes another file's stale
+// data even when a crash interrupted a free.
 #ifndef O1MEM_SRC_FS_PMFS_H_
 #define O1MEM_SRC_FS_PMFS_H_
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/fs/block_bitmap.h"
 #include "src/fs/extent_tree.h"
@@ -44,9 +69,28 @@ enum class ZeroPolicy {
   kZeroEpoch,  // zero blocks at free time in the background (O(1) foreground)
 };
 
+enum class MountMode {
+  kReadWrite,  // healthy
+  kDegraded,   // metadata cannot be committed durably: read-only
+};
+
+// What Scrub() found and fixed. All counts are per call.
+struct ScrubReport {
+  uint64_t journal_records_checked = 0;
+  uint64_t journal_truncated_bytes = 0;  // torn/corrupt tail dropped
+  uint64_t files_quarantined = 0;
+  uint64_t media_errors_found = 0;   // poisoned lines encountered
+  uint64_t blocks_repaired = 0;      // transient poison healed by rewrite
+  uint64_t bad_blocks_retired = 0;   // sticky poison fenced off in the bitmap
+  bool superblock_rewritten = false;
+  bool journal_compacted = false;
+  bool degraded = false;  // mount state after the scrub
+};
+
 class Pmfs : public FileSystem {
  public:
   // Manages the NVM range [region_base, region_base + region_bytes).
+  // Construction formats the region (fresh superblock + empty journal).
   Pmfs(Machine* machine, Paddr region_base, uint64_t region_bytes,
        ZeroPolicy zero_policy = ZeroPolicy::kEagerZero);
   ~Pmfs() override;
@@ -86,13 +130,26 @@ class Pmfs : public FileSystem {
 
   Result<FileStat> Stat(InodeId id) override;
   uint64_t free_bytes() const override;
-  uint64_t quota_bytes() const override { return region_bytes_; }
+  // Capacity available for file data: the region minus the metadata area
+  // (superblock + journal slots).
+  uint64_t quota_bytes() const override {
+    return region_bytes_ - (meta_blocks_ << kPageShift);
+  }
 
   Result<uint64_t> ReclaimDiscardable(uint64_t bytes_needed) override;
 
-  // Crash recovery: journal replay + volatile-file teardown + bitmap
-  // rebuild + integrity verification.
+  // Crash recovery: superblock validation + journal replay + volatile-file
+  // teardown + bitmap rebuild + journal compaction. Never fails the boot:
+  // unrepairable metadata degrades the mount to read-only instead.
   Status OnCrash() override;
+
+  // Online fsck: revalidate superblock and journal, patrol for media
+  // faults, quarantine unrepairable files, rebuild the bitmap. May repair a
+  // previously degraded mount back to read-write, or degrade a damaged one.
+  Result<ScrubReport> Scrub();
+
+  MountMode mount_mode() const { return mount_mode_; }
+  const std::string& degrade_reason() const { return degrade_reason_; }
 
   // Flips a file's persistence bit in place (Sec. 3.1: files "can be marked
   // at any time as volatile or persistent").
@@ -101,8 +158,9 @@ class Pmfs : public FileSystem {
   // DAX page lookup used by the demand pager; allocates backing for holes.
   Result<Paddr> GetBackingPage(InodeId id, uint64_t offset, bool for_write);
 
-  // Structural invariants: extents within the region, no block owned twice,
-  // bitmap consistent with the extent trees. Charged as a metadata scan.
+  // Structural invariants: extents within the data area, no block owned
+  // twice, bitmap consistent with the extent trees. Quarantined files are
+  // exempt (they are already isolated). Charged as a metadata scan.
   Status VerifyIntegrity();
 
   // Fault injection for recovery tests: marks `blocks` blocks allocated in
@@ -110,7 +168,14 @@ class Pmfs : public FileSystem {
   // reclaim them.
   Status LeakBlocksForTest(uint64_t blocks);
 
-  uint64_t journal_records() const { return journal_.size(); }
+  // Journal records appended since boot/recovery (not counting checkpoint
+  // snapshots). The journal itself lives on NVM; this is a convenience
+  // counter for tests and benches.
+  uint64_t journal_records() const { return ops_records_; }
+  // Bytes of the active journal slot currently in use.
+  uint64_t journal_tail_bytes() const { return journal_tail_bytes_; }
+  uint64_t journal_slot_bytes() const { return slot_blocks_ << kPageShift; }
+  uint64_t checkpoint_count() const { return checkpoint_count_; }
   ZeroPolicy zero_policy() const { return zero_policy_; }
 
   // Cycles of background (off-critical-path) zeroing accrued under
@@ -141,31 +206,49 @@ class Pmfs : public FileSystem {
     uint32_t opens = 0;
     uint32_t maps = 0;
     uint64_t atime = 0;
+    bool quarantined = false;  // data/structure damaged; reads return kMediaError
     ExtentTree extents;
     std::unique_ptr<DaxProvider> provider;
 
     explicit Inode(SimContext* ctx) : extents(ctx) {}
   };
 
-  struct JournalRecord {
-    enum class Op : uint8_t {
-      kCreate,
-      kUnlink,
-      kResize,
-      kSetFlags,
-      kAllocExtent,
-      kMkdir,
-      kRmdir,
-      kRename,
-      kLink,
-    };
-    Op op;
-    InodeId inode;
-    uint64_t arg = 0;
+  enum class JournalOp : uint8_t {
+    kCreate = 1,
+    kUnlink,
+    kResize,
+    kSetFlags,
+    kAllocExtent,
+    kMkdir,
+    kRmdir,
+    kRename,
+    kLink,
+  };
+
+  // A journal record decoded from NVM bytes.
+  struct DecodedRecord {
+    JournalOp op = JournalOp::kCreate;
+    InodeId inode = kInvalidInode;
+    uint64_t a = 0;  // size / file_offset
+    uint64_t b = 0;  // block_start
+    uint64_t c = 0;  // block_count
+    bool persistent = false;
+    bool discardable = false;
+    bool quarantined = false;
+    std::string path1;
+    std::string path2;
+  };
+
+  // Valid prefix of a journal slot.
+  struct SlotProbe {
+    uint64_t generation = 0;  // from the first record; 0 if slot empty
+    uint64_t bytes = 0;       // consumed by valid records
+    uint64_t records = 0;
+    bool truncated = false;  // parsing stopped before the slot end sentinel
   };
 
   Result<Inode*> Get(InodeId id);
-  void Journal(JournalRecord::Op op, InodeId id, uint64_t arg);
+  Result<Inode*> GetWritable(InodeId id);  // + degraded/quarantine guards
   void TouchAtime(Inode& inode);
   Status MaybeFree(InodeId id);
   Status Destroy(InodeId id);
@@ -174,6 +257,44 @@ class Pmfs : public FileSystem {
   // Zeroing applied when an extent is released (kZeroEpoch background work).
   Status ZeroOnFree(Paddr paddr, uint64_t bytes);
 
+  // --- on-NVM journal -----------------------------------------------------
+  Paddr SlotBase(uint32_t slot) const {
+    return region_base_ + ((1 + uint64_t{slot} * slot_blocks_) << kPageShift);
+  }
+  uint64_t SlotBytes() const { return slot_blocks_ << kPageShift; }
+
+  // Writes a freshly formatted superblock + empty journal (mkfs).
+  void Format();
+  Status WriteSuperblock(uint32_t active_slot, uint64_t generation);
+  // Reads + validates the superblock; returns {active_slot, generation}.
+  Result<std::pair<uint32_t, uint64_t>> ReadSuperblock();
+
+  // Guarantees `len` more journal bytes fit in the active slot, compacting
+  // via Checkpoint() if needed. Called BEFORE the in-memory mutation so a
+  // checkpoint snapshot never includes the half-applied op.
+  Status ReserveJournal(uint64_t len);
+  // Stamps generation + CRC into `rec` and appends it durably. `rec` must
+  // have been sized through ReserveJournal.
+  Status AppendRecord(std::vector<uint8_t>& rec);
+
+  // Serializes live metadata into the inactive slot and flips the
+  // superblock (the atomic commit). Fails with kQuotaExceeded if live
+  // metadata outgrows a slot; the old slot stays valid in that case.
+  Status Checkpoint();
+  std::vector<uint8_t> EncodeSnapshot(uint64_t generation) const;
+
+  // Parses the valid record prefix of a slot; applies records iff `apply`.
+  SlotProbe ParseSlot(uint32_t slot, bool apply, uint64_t expect_generation);
+  std::optional<DecodedRecord> DecodeRecord(std::span<const uint8_t> bytes) const;
+  void ApplyRecord(const DecodedRecord& rec);
+
+  // Rebuilds the bitmap from extent trees: metadata area pinned, first
+  // owner wins, conflicting/out-of-range files quarantined, sticky
+  // bad lines retired. Under kZeroEpoch also re-zeroes free space.
+  void RebuildBitmap();
+
+  void Degrade(std::string reason);
+
   uint64_t BlockOf(Paddr paddr) const { return (paddr - region_base_) >> kPageShift; }
   Paddr AddrOf(uint64_t block) const { return region_base_ + (block << kPageShift); }
 
@@ -181,11 +302,22 @@ class Pmfs : public FileSystem {
   Paddr region_base_;
   uint64_t region_bytes_;
   ZeroPolicy zero_policy_;
+  uint64_t slot_blocks_ = 0;
+  uint64_t meta_blocks_ = 0;  // superblock + both journal slots
   BlockBitmap bitmap_;
   InodeId next_inode_ = 1;
   Namespace ns_;
   std::unordered_map<InodeId, Inode> inodes_;
-  std::vector<JournalRecord> journal_;
+
+  MountMode mount_mode_ = MountMode::kReadWrite;
+  std::string degrade_reason_;
+  uint32_t active_slot_ = 0;
+  uint64_t generation_ = 1;
+  uint64_t journal_tail_bytes_ = 0;
+  uint64_t ops_records_ = 0;
+  uint64_t checkpoint_count_ = 0;
+  std::set<uint64_t> bad_blocks_;  // sticky-unreadable blocks fenced off
+
   uint64_t background_zero_cycles_ = 0;
 };
 

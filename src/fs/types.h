@@ -36,6 +36,7 @@ struct FileStat {
   uint32_t open_count = 0;
   uint32_t map_count = 0;
   uint64_t extent_count = 0;     // fragmentation signal
+  bool quarantined = false;      // scrub isolated the file after media faults
 };
 
 }  // namespace o1mem

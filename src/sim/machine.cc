@@ -12,7 +12,9 @@ Machine::Machine(const MachineConfig& config)
     : config_(config),
       ctx_(config.cost),
       phys_(&ctx_, config.dram_bytes, config.nvm_bytes, config.persistence),
-      mmu_(&ctx_, &phys_, config.mmu) {}
+      mmu_(&ctx_, &phys_, config.mmu) {
+  phys_.AttachFaultInjector(&injector_);
+}
 
 std::unique_ptr<AddressSpace> Machine::CreateAddressSpace() {
   return std::make_unique<AddressSpace>(&ctx_, next_asid_++, config_.page_table_depth);
@@ -20,6 +22,7 @@ std::unique_ptr<AddressSpace> Machine::CreateAddressSpace() {
 
 void Machine::Crash() {
   phys_.DropVolatile();
+  injector_.OnMachineCrash();
   mmu_.InvalidateAll();
   ctx_.Charge(kRebootCycles);
   ++crash_count_;

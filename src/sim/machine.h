@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/sim/address_space.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/mmu.h"
 #include "src/sim/phys_mem.h"
 
@@ -37,6 +38,7 @@ class Machine {
   SimContext& ctx() { return ctx_; }
   PhysicalMemory& phys() { return phys_; }
   Mmu& mmu() { return mmu_; }
+  FaultInjector& fault_injector() { return injector_; }
   const MachineConfig& config() const { return config_; }
 
   // Creates a new hardware address space with a fresh ASID.
@@ -51,6 +53,7 @@ class Machine {
  private:
   MachineConfig config_;
   SimContext ctx_;
+  FaultInjector injector_;
   PhysicalMemory phys_;
   Mmu mmu_;
   Asid next_asid_ = 1;

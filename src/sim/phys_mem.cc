@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/sim/fault_injector.h"
+
 namespace o1mem {
 
 PhysicalMemory::PhysicalMemory(SimContext* ctx, uint64_t dram_bytes, uint64_t nvm_bytes,
@@ -13,15 +15,40 @@ PhysicalMemory::PhysicalMemory(SimContext* ctx, uint64_t dram_bytes, uint64_t nv
   O1_CHECK(IsAligned(nvm_bytes, kPageSize));
 }
 
-void PhysicalMemory::ShadowBeforeWrite(Paddr paddr, uint64_t len) {
-  if (persistence_ != PersistenceModel::kExplicitFlush || len == 0 ||
-      paddr + len <= dram_bytes_) {
+void PhysicalMemory::AttachFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  if (injector != nullptr) {
+    injector->AttachPhys(this);
+  }
+}
+
+bool PhysicalMemory::NoteNvmWrite(Paddr paddr, uint64_t len) {
+  if (injector_ == nullptr || len == 0 || paddr + len <= dram_bytes_) {
+    return false;
+  }
+  const Paddr nvm_start = std::max(paddr, dram_bytes_);
+  const uint64_t nvm_len = paddr + len - nvm_start;
+  injector_->NoteWriteForPoison(nvm_start, nvm_len);
+  const uint64_t lines =
+      (AlignDown(nvm_start + nvm_len - 1, 64) - AlignDown(nvm_start, 64)) / 64 + 1;
+  return injector_->NoteNvmLineWrites(lines);
+}
+
+void PhysicalMemory::ShadowBeforeWrite(Paddr paddr, uint64_t len, bool post_trigger) {
+  const bool track = post_trigger || persistence_ == PersistenceModel::kExplicitFlush;
+  if (!track || len == 0 || paddr + len <= dram_bytes_) {
     return;
   }
   const Paddr first = std::max(AlignDown(paddr, 64), AlignDown(dram_bytes_, 64));
   const Paddr last = AlignDown(paddr + len - 1, 64);
   for (Paddr line = first; line <= last; line += 64) {
-    if (line < dram_bytes_ || line_shadow_.contains(line)) {
+    if (line < dram_bytes_) {
+      continue;
+    }
+    if (post_trigger) {
+      injector_->MarkPostTriggerLine(line);
+    }
+    if (line_shadow_.contains(line)) {
       continue;
     }
     auto& shadow = line_shadow_[line];
@@ -38,11 +65,16 @@ uint64_t PhysicalMemory::FlushLinesUncharged(Paddr paddr, uint64_t len) {
   if (persistence_ == PersistenceModel::kAutoDurable || len == 0) {
     return 0;
   }
+  // Past an armed crash point nothing reaches media: the flush is issued
+  // (and charged by the caller) but commits no lines.
+  const bool suppress = injector_ != nullptr && injector_->suppress_durability();
   const Paddr first = AlignDown(paddr, 64);
   const Paddr last = AlignDown(paddr + len - 1, 64);
   uint64_t lines = 0;
   for (Paddr line = first; line <= last; line += 64) {
-    line_shadow_.erase(line);  // now durable
+    if (!suppress) {
+      line_shadow_.erase(line);  // now durable
+    }
     ++lines;
   }
   return lines;
@@ -51,6 +83,9 @@ uint64_t PhysicalMemory::FlushLinesUncharged(Paddr paddr, uint64_t len) {
 Status PhysicalMemory::FlushLines(Paddr paddr, uint64_t len) {
   if (!Contains(paddr, len)) {
     return InvalidArgument("flush out of range");
+  }
+  if (injector_ != nullptr && len > 0 && paddr + len > dram_bytes_) {
+    (void)injector_->NoteFlush();
   }
   const CostModel& c = ctx_->cost();
   if (persistence_ == PersistenceModel::kAutoDurable) {
@@ -104,6 +139,9 @@ Status PhysicalMemory::ReadUncharged(Paddr paddr, std::span<uint8_t> out) {
   if (!Contains(paddr, out.size())) {
     return InvalidArgument("physical read out of range");
   }
+  if (injector_ != nullptr && injector_->has_poison()) {
+    O1_RETURN_IF_ERROR(injector_->CheckRead(paddr, out.size()));
+  }
   uint64_t done = 0;
   while (done < out.size()) {
     const Paddr cur = paddr + done;
@@ -132,7 +170,7 @@ Status PhysicalMemory::WriteUncharged(Paddr paddr, std::span<const uint8_t> data
   if (!Contains(paddr, data.size())) {
     return InvalidArgument("physical write out of range");
   }
-  ShadowBeforeWrite(paddr, data.size());
+  ShadowBeforeWrite(paddr, data.size(), NoteNvmWrite(paddr, data.size()));
   uint64_t done = 0;
   while (done < data.size()) {
     const Paddr cur = paddr + done;
@@ -157,7 +195,7 @@ Status PhysicalMemory::ZeroUncharged(Paddr paddr, uint64_t len) {
   if (!Contains(paddr, len)) {
     return InvalidArgument("physical zero out of range");
   }
-  ShadowBeforeWrite(paddr, len);
+  ShadowBeforeWrite(paddr, len, NoteNvmWrite(paddr, len));
   ctx_->counters().bytes_zeroed += len;
   uint64_t done = 0;
   while (done < len) {
@@ -183,7 +221,10 @@ Status PhysicalMemory::Copy(Paddr dst, Paddr src, uint64_t len) {
   }
   ChargeBulk(src, len, /*is_write=*/false);
   ChargeBulk(dst, len, /*is_write=*/true);
-  ShadowBeforeWrite(dst, len);
+  if (injector_ != nullptr && injector_->has_poison()) {
+    O1_RETURN_IF_ERROR(injector_->CheckRead(src, len));
+  }
+  ShadowBeforeWrite(dst, len, NoteNvmWrite(dst, len));
   ctx_->counters().bytes_copied += len;
   // Move bytes without further charging (charges above cover the transfer).
   uint64_t done = 0;
@@ -216,8 +257,27 @@ uint8_t PhysicalMemory::PeekByte(Paddr paddr) const {
 
 void PhysicalMemory::PokeByte(Paddr paddr, uint8_t value) {
   O1_CHECK(Contains(paddr, 1));
-  ShadowBeforeWrite(paddr, 1);
+  ShadowBeforeWrite(paddr, 1, NoteNvmWrite(paddr, 1));
   (*EnsurePage(paddr))[paddr & (kPageSize - 1)] = value;
+}
+
+void PhysicalMemory::CorruptBit(Paddr paddr, int bit) {
+  O1_CHECK(Contains(paddr, 1));
+  O1_CHECK(bit >= 0 && bit < 8);
+  const uint8_t mask = static_cast<uint8_t>(1u << bit);
+  (*EnsurePage(paddr))[paddr & (kPageSize - 1)] ^= mask;
+  auto it = line_shadow_.find(AlignDown(paddr, 64));
+  if (it != line_shadow_.end()) {
+    it->second[paddr & 63] ^= mask;
+  }
+}
+
+std::optional<Paddr> PhysicalMemory::FindUnreadableLineUncharged(Paddr paddr,
+                                                                 uint64_t len) const {
+  if (injector_ == nullptr) {
+    return std::nullopt;
+  }
+  return injector_->FindUnreadableLine(paddr, len);
 }
 
 void PhysicalMemory::DropVolatile() {
@@ -229,9 +289,14 @@ void PhysicalMemory::DropVolatile() {
       ++it;
     }
   }
-  // kExplicitFlush: unflushed NVM lines were only in the (volatile) cache
-  // hierarchy; revert them to their last durable contents.
+  // Unflushed NVM lines were only in the (volatile) cache hierarchy; revert
+  // them to their last durable contents. The injector can override per line:
+  // post-crash-point lines always revert, and torn-persist mode lets some
+  // pre-crash-point dirty lines reach media instead.
   for (const auto& [line, shadow] : line_shadow_) {
+    if (injector_ != nullptr && !injector_->ShouldRevertOnCrash(line)) {
+      continue;  // this line escaped the cache before power died
+    }
     Page* page = EnsurePage(line);
     std::memcpy(page->data() + (line & (kPageSize - 1)), shadow.data(), 64);
   }

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <unordered_map>
 
@@ -26,6 +27,8 @@
 #include "src/support/units.h"
 
 namespace o1mem {
+
+class FaultInjector;
 
 enum class MemTier : uint8_t {
   kDram,
@@ -103,6 +106,22 @@ class PhysicalMemory {
   // Number of 4 KiB host pages currently materialized (footprint metric).
   uint64_t materialized_pages() const { return backing_.size(); }
 
+  // Fault-injection wiring (set by Machine; nullptr on raw instances). With
+  // an injector attached, NVM writes/flushes are counted as crash-sweep
+  // events, post-crash-point writes stay volatile, and reads of poisoned
+  // lines return kMediaError. An idle injector changes nothing.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
+  // Media-fault backdoor used by FaultInjector::FlipBit: flips one stored
+  // bit in the current contents AND in the durable shadow if the line is
+  // dirty, so the corruption survives both paths.
+  void CorruptBit(Paddr paddr, int bit);
+
+  // Lowest unreadable (poisoned) line overlapping the range, if any.
+  // Uncharged: scrub charges its own patrol-read cycles.
+  std::optional<Paddr> FindUnreadableLineUncharged(Paddr paddr, uint64_t len) const;
+
  private:
   using Page = std::array<uint8_t, kPageSize>;
 
@@ -114,10 +133,17 @@ class PhysicalMemory {
   void ChargeBulk(Paddr paddr, uint64_t len, bool is_write);
 
   // kExplicitFlush bookkeeping: before the first write dirties a durable NVM
-  // line, its durable contents are shadowed so Crash can revert.
-  void ShadowBeforeWrite(Paddr paddr, uint64_t len);
+  // line, its durable contents are shadowed so Crash can revert. With
+  // `post_trigger` set (write after an armed crash point), lines are
+  // shadowed even under kAutoDurable and flagged so the crash reverts them.
+  void ShadowBeforeWrite(Paddr paddr, uint64_t len, bool post_trigger = false);
+
+  // Reports an NVM store to the injector (event counting + transient-poison
+  // healing); returns true if the store lands after the armed crash point.
+  bool NoteNvmWrite(Paddr paddr, uint64_t len);
 
   SimContext* ctx_;
+  FaultInjector* injector_ = nullptr;
   uint64_t dram_bytes_;
   uint64_t nvm_bytes_;
   PersistenceModel persistence_;

@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), header-only.
+//
+// Used to checksum persistent metadata: the PMFS superblock and journal
+// records, and FOM's pre-created table sets stored in NVM. Recovery code
+// never trusts NVM bytes without validating one of these first (torn writes
+// and media decay are table stakes for persistent-memory file systems).
+#ifndef O1MEM_SRC_SUPPORT_CRC32_H_
+#define O1MEM_SRC_SUPPORT_CRC32_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace o1mem {
+
+namespace internal {
+
+inline constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+// One-shot CRC over `data`; `seed` allows incremental composition
+// (pass a previous Crc32 result to continue it).
+inline uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed = 0) {
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = internal::kCrc32Table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_SUPPORT_CRC32_H_

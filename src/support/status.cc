@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kQuotaExceeded:
       return "QUOTA_EXCEEDED";
+    case StatusCode::kMediaError:
+      return "MEDIA_ERROR";
+    case StatusCode::kReadOnly:
+      return "READ_ONLY";
   }
   return "UNKNOWN";
 }

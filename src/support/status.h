@@ -30,6 +30,8 @@ enum class StatusCode {
   kFault,             // unresolved hardware fault (SIGSEGV-equivalent)
   kCorruption,        // persistent-state integrity check failed
   kQuotaExceeded,     // file-system quota exhausted
+  kMediaError,        // NVM line unreadable / uncorrectable (EIO-like)
+  kReadOnly,          // degraded read-only mount rejects mutation (EROFS)
 };
 
 // Human-readable name of a status code ("OK", "OUT_OF_MEMORY", ...).
@@ -82,6 +84,12 @@ inline Status Corruption(std::string msg) {
 }
 inline Status QuotaExceeded(std::string msg) {
   return Status(StatusCode::kQuotaExceeded, std::move(msg));
+}
+inline Status MediaError(std::string msg) {
+  return Status(StatusCode::kMediaError, std::move(msg));
+}
+inline Status ReadOnlyError(std::string msg) {
+  return Status(StatusCode::kReadOnly, std::move(msg));
 }
 
 // Result<T>: either a value of T or a non-OK Status.

@@ -79,22 +79,24 @@ TEST_F(PmfsTest, FragmentedFsBuildsMultiExtentFiles) {
   auto b = fs_.Create("/b", FileFlags{});
   auto c = fs_.Create("/c", FileFlags{});
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
-  ASSERT_TRUE(fs_.Resize(*a, 20 * kMiB).ok());
-  ASSERT_TRUE(fs_.Resize(*b, 20 * kMiB).ok());
-  ASSERT_TRUE(fs_.Resize(*c, 20 * kMiB).ok());
+  ASSERT_TRUE(fs_.Resize(*a, 15 * kMiB).ok());
+  ASSERT_TRUE(fs_.Resize(*b, 15 * kMiB).ok());
+  // c is sized so the free tail after it (~17.9 MiB of the ~63.9 MiB
+  // quota) cannot hold d contiguously; d must span the hole and the tail.
+  ASSERT_TRUE(fs_.Resize(*c, 16 * kMiB).ok());
   ASSERT_TRUE(fs_.Unlink("/b").ok());
   auto d = fs_.Create("/d", FileFlags{});
   ASSERT_TRUE(d.ok());
-  ASSERT_TRUE(fs_.Resize(*d, 24 * kMiB).ok());  // 20 MiB hole + 4 MiB tail
+  ASSERT_TRUE(fs_.Resize(*d, 18 * kMiB).ok());  // 15 MiB hole + 3 MiB tail
   auto st = fs_.Stat(*d);
   ASSERT_TRUE(st.ok());
-  EXPECT_EQ(st->allocated_bytes, 24 * kMiB);
+  EXPECT_EQ(st->allocated_bytes, 18 * kMiB);
   EXPECT_GE(st->extent_count, 2u);
   // Data still round-trips across the extent seam.
   std::vector<uint8_t> data(kMiB, 0x5c);
-  ASSERT_TRUE(fs_.WriteAt(*d, 20 * kMiB - kMiB / 2, data).ok());
+  ASSERT_TRUE(fs_.WriteAt(*d, 15 * kMiB - kMiB / 2, data).ok());
   std::vector<uint8_t> out(kMiB);
-  ASSERT_TRUE(fs_.ReadAt(*d, 20 * kMiB - kMiB / 2, out).ok());
+  ASSERT_TRUE(fs_.ReadAt(*d, 15 * kMiB - kMiB / 2, out).ok());
   EXPECT_EQ(out, data);
 }
 

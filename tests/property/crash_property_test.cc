@@ -35,12 +35,18 @@ TEST_P(CrashProperty, RecoveryInvariantsHoldUnderRandomCrashes) {
   Rng rng(GetParam().seed);
 
   std::map<std::string, std::vector<uint8_t>> persistent_model;
+  // Persistent FOM segments: path -> expected contents (fixed size).
+  std::map<std::string, std::vector<uint8_t>> fom_model;
   int created = 0;
   Process* proc = nullptr;
+  Process* fom_proc = nullptr;
   auto relaunch = [&] {
     auto launched = sys.Launch(Backend::kBaseline);
     O1_CHECK(launched.ok());
     proc = *launched;
+    auto fom_launched = sys.Launch(Backend::kFom);
+    O1_CHECK(fom_launched.ok());
+    fom_proc = *fom_launched;
   };
   relaunch();
 
@@ -90,10 +96,29 @@ TEST_P(CrashProperty, RecoveryInvariantsHoldUnderRandomCrashes) {
                           static_cast<int>(rng.NextBelow(persistent_model.size())));
       ASSERT_TRUE(sys.Unlink(it->first).ok());
       persistent_model.erase(it);
-    } else if (dice < 85) {
+    } else if (dice < 80) {
       // FOM noise: volatile segments that should vanish at the crash.
       (void)sys.fom().CreateSegment("/tmp/noise" + std::to_string(created++),
                                     rng.NextInRange(1, 64) * kPageSize);
+    } else if (dice < 85 && fom_model.size() < 8) {
+      // Persistent FOM segment: created, mapped, filled through the DAX
+      // mapping, persisted with a user-space flush, unmapped. Contents must
+      // survive every later crash.
+      const std::string path = "/data/seg" + std::to_string(created++);
+      const uint64_t bytes = rng.NextInRange(1, 16) * kPageSize;
+      auto seg = sys.fom().CreateSegment(
+          path, bytes, SegmentOptions{.flags = {.persistent = true}});
+      ASSERT_TRUE(seg.ok());
+      auto va = sys.fom().Map(fom_proc->fom(), *seg, Prot::kReadWrite);
+      ASSERT_TRUE(va.ok());
+      std::vector<uint8_t> data(bytes);
+      for (auto& b : data) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(sys.UserWrite(*fom_proc, *va, data).ok());
+      ASSERT_TRUE(sys.UserFlush(*fom_proc, *va, bytes).ok());
+      ASSERT_TRUE(sys.fom().Unmap(fom_proc->fom(), *va).ok());
+      fom_model[path] = std::move(data);
     } else if (dice < 92) {
       // CRASH.
       ASSERT_TRUE(sys.Crash().ok()) << "step " << step;
@@ -111,28 +136,47 @@ TEST_P(CrashProperty, RecoveryInvariantsHoldUnderRandomCrashes) {
           ASSERT_EQ(out, bytes) << path << " corrupted at step " << step;
         }
       }
+      // FOM persistent segments: remap through the relaunched FOM process
+      // and compare the DAX contents byte for byte.
+      for (const auto& [path, bytes] : fom_model) {
+        auto seg = sys.fom().OpenSegment(path);
+        ASSERT_TRUE(seg.ok()) << path << " lost at step " << step;
+        auto va = sys.fom().Map(fom_proc->fom(), *seg, Prot::kRead);
+        ASSERT_TRUE(va.ok());
+        std::vector<uint8_t> out(bytes.size());
+        ASSERT_TRUE(sys.UserRead(*fom_proc, *va, out).ok());
+        ASSERT_EQ(out, bytes) << path << " corrupted at step " << step;
+        ASSERT_TRUE(sys.fom().Unmap(fom_proc->fom(), *va).ok());
+      }
       for (const std::string& path : sys.pmfs().ListPaths()) {
-        ASSERT_TRUE(persistent_model.contains(path))
+        const bool sidecar = path.starts_with("/.fom/tables/");
+        ASSERT_TRUE(persistent_model.contains(path) || fom_model.contains(path) || sidecar)
             << "unexpected survivor " << path << " at step " << step;
       }
     }
   }
 
-  // Final accounting: free space equals capacity minus what the model holds.
+  // The FOM process holds mapped-but-unlinked launch segments (code, heap,
+  // stack) whose blocks have no path; exit it so the path walk below sees
+  // every live block.
+  ASSERT_TRUE(sys.Exit(fom_proc).ok());
+
+  // Final accounting: free space equals the data-area capacity (the region
+  // minus superblock + journal slots) minus what the model holds.
   uint64_t live = 0;
   for (const auto& [path, bytes] : persistent_model) {
     auto st = sys.pmfs().Stat(*sys.pmfs().LookupPath(path));
     ASSERT_TRUE(st.ok());
     live += st->allocated_bytes;
   }
-  // Volatile segments may still be alive (no crash since creation); account
-  // them too.
+  // Volatile segments may still be alive (no crash since creation), and FOM
+  // segments/table sidecars hold blocks too; account them all.
   for (const std::string& path : sys.pmfs().ListPaths()) {
     if (!persistent_model.contains(path)) {
       live += sys.pmfs().Stat(*sys.pmfs().LookupPath(path))->allocated_bytes;
     }
   }
-  EXPECT_EQ(sys.pmfs().free_bytes(), 256 * kMiB - live);
+  EXPECT_EQ(sys.pmfs().free_bytes(), sys.pmfs().quota_bytes() - live);
   EXPECT_TRUE(sys.pmfs().VerifyIntegrity().ok());
 }
 

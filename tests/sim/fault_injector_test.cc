@@ -1,0 +1,270 @@
+#include "src/sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/context.h"
+#include "src/sim/machine.h"
+#include "src/sim/phys_mem.h"
+
+namespace o1mem {
+namespace {
+
+constexpr uint64_t kDram = 4 * kMiB;
+
+std::vector<uint8_t> Pattern(uint64_t n, uint8_t base) {
+  std::vector<uint8_t> data(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>(base + i);
+  }
+  return data;
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  explicit FaultInjectorTest(
+      PersistenceModel persistence = PersistenceModel::kAutoDurable)
+      : mem_(&ctx_, kDram, /*nvm_bytes=*/4 * kMiB, persistence) {
+    injector_.AttachPhys(&mem_);
+    mem_.AttachFaultInjector(&injector_);
+  }
+
+  // Models Machine::Crash() on a raw PhysicalMemory.
+  void Crash() {
+    mem_.DropVolatile();
+    injector_.OnMachineCrash();
+  }
+
+  SimContext ctx_;
+  FaultInjector injector_;
+  PhysicalMemory mem_;
+};
+
+class FaultInjectorStrictTest : public FaultInjectorTest {
+ protected:
+  FaultInjectorStrictTest() : FaultInjectorTest(PersistenceModel::kExplicitFlush) {}
+};
+
+TEST_F(FaultInjectorTest, IdleInjectorIsInvisible) {
+  // A second memory with no injector attached must behave and charge
+  // identically for the same operation sequence.
+  SimContext bare_ctx;
+  PhysicalMemory bare(&bare_ctx, kDram, 4 * kMiB);
+
+  const auto data = Pattern(5000, 7);
+  for (PhysicalMemory* m : {&mem_, &bare}) {
+    ASSERT_TRUE(m->Write(kDram + 100, data).ok());
+    ASSERT_TRUE(m->FlushLines(kDram + 100, data.size()).ok());
+    ASSERT_TRUE(m->Zero(kDram + 64 * kKiB, kPageSize).ok());
+  }
+  std::vector<uint8_t> a(data.size());
+  std::vector<uint8_t> b(data.size());
+  ASSERT_TRUE(mem_.Read(kDram + 100, a).ok());
+  ASSERT_TRUE(bare.Read(kDram + 100, b).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ctx_.now(), bare_ctx.now());
+  // The injector observed the events even though it changed nothing.
+  EXPECT_GT(injector_.nvm_line_writes(), 0u);
+  EXPECT_EQ(injector_.nvm_flushes(), 1u);
+}
+
+TEST_F(FaultInjectorTest, DramTrafficIsNotCounted) {
+  ASSERT_TRUE(mem_.Write(0, Pattern(kPageSize, 1)).ok());
+  ASSERT_TRUE(mem_.FlushLines(0, kPageSize).ok());
+  EXPECT_EQ(injector_.nvm_line_writes(), 0u);
+  EXPECT_EQ(injector_.nvm_flushes(), 0u);
+}
+
+TEST_F(FaultInjectorTest, CrashAtNthWriteDiscardsFromThatWriteOn) {
+  // Three one-line writes; arm the crash at the second (index 1, 0-based).
+  const auto one = Pattern(64, 0x11);
+  const auto two = Pattern(64, 0x22);
+  const auto three = Pattern(64, 0x33);
+  injector_.ArmCrashAtNvmWrite(1);
+  ASSERT_TRUE(mem_.Write(kDram, one).ok());
+  EXPECT_FALSE(injector_.triggered());
+  ASSERT_TRUE(mem_.Write(kDram + 64, two).ok());
+  EXPECT_TRUE(injector_.triggered());
+  ASSERT_TRUE(mem_.Write(kDram + 128, three).ok());
+
+  // Pre-crash, the in-cache view still shows everything.
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(mem_.Read(kDram + 64, out).ok());
+  EXPECT_EQ(out, two);
+
+  Crash();
+  EXPECT_FALSE(injector_.triggered());
+
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out, one);  // before the crash point: durable
+  ASSERT_TRUE(mem_.Read(kDram + 64, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(64, 0));  // the armed write: gone
+  ASSERT_TRUE(mem_.Read(kDram + 128, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(64, 0));  // after it: gone
+}
+
+TEST_F(FaultInjectorTest, PostTriggerOverwriteRevertsToOldContents) {
+  const auto old_data = Pattern(64, 0x44);
+  ASSERT_TRUE(mem_.Write(kDram, old_data).ok());
+  injector_.ArmCrashAtNvmWrite(injector_.nvm_line_writes());
+  ASSERT_TRUE(mem_.Write(kDram, Pattern(64, 0x55)).ok());
+  EXPECT_TRUE(injector_.triggered());
+  Crash();
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out, old_data);
+}
+
+TEST_F(FaultInjectorStrictTest, CrashAtNthFlushKeepsOnlyEarlierFlushes) {
+  const auto one = Pattern(64, 0x11);
+  const auto two = Pattern(64, 0x22);
+  injector_.ArmCrashAtFlush(1);
+  ASSERT_TRUE(mem_.Write(kDram, one).ok());
+  ASSERT_TRUE(mem_.FlushLines(kDram, 64).ok());  // flush 0: commits
+  EXPECT_FALSE(injector_.triggered());
+  ASSERT_TRUE(mem_.Write(kDram + 64, two).ok());
+  ASSERT_TRUE(mem_.FlushLines(kDram + 64, 64).ok());  // flush 1: armed, no commit
+  EXPECT_TRUE(injector_.triggered());
+  Crash();
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out, one);
+  ASSERT_TRUE(mem_.Read(kDram + 64, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(64, 0));
+}
+
+TEST_F(FaultInjectorStrictTest, TornPersistTearsMultiLineWrite) {
+  // 64 dirty-unflushed lines at 50%: with torn persists some survive and
+  // some revert -- the multi-line persist is torn, not all-or-nothing.
+  injector_.EnableTornPersists(/*seed=*/42, /*persist_percent=*/50);
+  const auto data = Pattern(4096, 0x66);
+  ASSERT_TRUE(mem_.Write(kDram, data).ok());
+  Crash();
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  int persisted = 0;
+  int reverted = 0;
+  for (int line = 0; line < 64; ++line) {
+    const bool match =
+        std::equal(out.begin() + line * 64, out.begin() + (line + 1) * 64,
+                   data.begin() + line * 64);
+    const bool zero = std::all_of(out.begin() + line * 64,
+                                  out.begin() + (line + 1) * 64,
+                                  [](uint8_t b) { return b == 0; });
+    ASSERT_TRUE(match || zero) << "line " << line << " is neither old nor new";
+    match ? ++persisted : ++reverted;
+  }
+  EXPECT_GT(persisted, 0);
+  EXPECT_GT(reverted, 0);
+}
+
+TEST_F(FaultInjectorStrictTest, FlushedLinesImmuneToTearing) {
+  injector_.EnableTornPersists(/*seed=*/42, /*persist_percent=*/0);
+  const auto data = Pattern(4096, 0x77);
+  ASSERT_TRUE(mem_.Write(kDram, data).ok());
+  ASSERT_TRUE(mem_.FlushLines(kDram, 4096).ok());
+  Crash();
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FaultInjectorTest, TransientPoisonFailsReadsAndHealsOnOverwrite) {
+  ASSERT_TRUE(mem_.Write(kDram, Pattern(256, 1)).ok());
+  injector_.MarkUnreadable(kDram + 64, /*sticky=*/false);
+
+  std::vector<uint8_t> out(256);
+  auto read = mem_.Read(kDram, out);
+  EXPECT_EQ(read.code(), StatusCode::kMediaError);
+  // A read that misses the poisoned line still works.
+  ASSERT_TRUE(mem_.Read(kDram + 128, std::span(out).subspan(0, 64)).ok());
+
+  ASSERT_TRUE(mem_.Write(kDram + 64, Pattern(64, 2)).ok());  // rewrite heals
+  EXPECT_FALSE(injector_.has_poison());
+  EXPECT_TRUE(mem_.Read(kDram, out).ok());
+}
+
+TEST_F(FaultInjectorTest, StickyPoisonSurvivesOverwriteAndCrash) {
+  injector_.MarkUnreadable(kDram + 64, /*sticky=*/true);
+  ASSERT_TRUE(mem_.Write(kDram + 64, Pattern(64, 3)).ok());
+  std::vector<uint8_t> out(64);
+  EXPECT_EQ(mem_.Read(kDram + 64, out).code(), StatusCode::kMediaError);
+  EXPECT_TRUE(injector_.IsSticky(kDram + 64));
+
+  Crash();
+  EXPECT_EQ(mem_.Read(kDram + 64, out).code(), StatusCode::kMediaError);
+
+  injector_.ClearUnreadable(kDram + 64);  // the "replaced the DIMM" backdoor
+  EXPECT_TRUE(mem_.Read(kDram + 64, out).ok());
+}
+
+TEST_F(FaultInjectorTest, FindUnreadableLineReportsLowestOverlap) {
+  injector_.MarkUnreadable(kDram + 640, /*sticky=*/false);
+  injector_.MarkUnreadable(kDram + 192, /*sticky=*/true);
+  auto line = injector_.FindUnreadableLine(kDram, 4096);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, kDram + 192);
+  EXPECT_FALSE(injector_.FindUnreadableLine(kDram + 1024, 4096).has_value());
+  EXPECT_EQ(mem_.FindUnreadableLineUncharged(kDram, 4096), line);
+}
+
+TEST_F(FaultInjectorTest, FlipBitCorruptsStoredData) {
+  const auto data = Pattern(64, 0x10);
+  ASSERT_TRUE(mem_.Write(kDram, data).ok());
+  injector_.FlipBit(kDram + 3, /*bit=*/5);
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out[3], data[3] ^ (1u << 5));
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i != 3) {
+      EXPECT_EQ(out[i], data[i]) << i;
+    }
+  }
+}
+
+TEST_F(FaultInjectorStrictTest, FlipBitOnDirtyLineSurvivesCrash) {
+  const auto data = Pattern(64, 0x20);
+  ASSERT_TRUE(mem_.Write(kDram, data).ok());
+  ASSERT_TRUE(mem_.FlushLines(kDram, 64).ok());
+  ASSERT_TRUE(mem_.Write(kDram, Pattern(64, 0x30)).ok());  // dirty again
+  injector_.FlipBit(kDram + 0, /*bit=*/0);
+  Crash();  // unflushed overwrite reverts; the flip hit the durable copy too
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out[0], data[0] ^ 1u);
+}
+
+TEST_F(FaultInjectorTest, DisarmCancelsThePendingCrashPoint) {
+  injector_.ArmCrashAtNvmWrite(0);
+  injector_.Disarm();
+  ASSERT_TRUE(mem_.Write(kDram, Pattern(64, 1)).ok());
+  EXPECT_FALSE(injector_.triggered());
+  Crash();
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(mem_.Read(kDram, out).ok());
+  EXPECT_EQ(out, Pattern(64, 1));
+}
+
+TEST_F(FaultInjectorTest, MachineWiresInjectorEndToEnd) {
+  MachineConfig config;
+  config.dram_bytes = 2 * kMiB;
+  config.nvm_bytes = 2 * kMiB;
+  Machine machine(config);
+  FaultInjector& fi = machine.fault_injector();
+  ASSERT_EQ(machine.phys().fault_injector(), &fi);
+
+  const Paddr nvm = machine.phys().nvm_base();
+  fi.ArmCrashAtNvmWrite(fi.nvm_line_writes());
+  ASSERT_TRUE(machine.phys().Write(nvm, Pattern(64, 9)).ok());
+  EXPECT_TRUE(fi.triggered());
+  machine.Crash();
+  EXPECT_FALSE(fi.triggered());
+  std::vector<uint8_t> out(64);
+  ASSERT_TRUE(machine.phys().Read(nvm, out).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(64, 0));
+}
+
+}  // namespace
+}  // namespace o1mem
