@@ -66,6 +66,7 @@ ForkCosts MeasureFom(uint64_t bytes) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_fork", argc, argv);
   Table table(
       "Ablation: fork() cost vs resident size -- baseline COW fork (O(pages)) vs FOM "
       "share-on-fork (O(mappings))");
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
     ForkCosts baseline, fom;
   };
   std::vector<Row> rows;
-  for (uint64_t size : {4 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB}) {
+  for (uint64_t size : MaybeShrink({4 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB})) {
     Row row{.size = size, .baseline = MeasureBaseline(size), .fom = MeasureFom(size)};
     rows.push_back(row);
     table.AddRow({SizeLabel(size), Table::Num(row.baseline.fork_us),
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   for (const Row& row : rows) {
     const std::string label = SizeLabel(row.size);
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

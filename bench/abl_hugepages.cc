@@ -111,6 +111,7 @@ SwapCosts MeasureSwap(bool large) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_hugepages", argc, argv);
   constexpr uint64_t kBytes = 512 * kMiB;
   const TouchCosts small = MeasureBaseline(kBytes, false);
   const TouchCosts large = MeasureBaseline(kBytes, true);
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
                 Table::Num(fom_bg.touch_us), Table::Int(fom_bg.tlb_misses)});
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   const SwapCosts swap4k = MeasureSwap(false);
   const SwapCosts swap2m = MeasureSwap(true);
@@ -139,6 +141,7 @@ int main(int argc, char** argv) {
   swap_table.AddRow({"2M pages", Table::Num(swap2m.evict_us), Table::Int(swap2m.ptes_written)});
   swap_table.Print();
   MaybePrintCsv(swap_table);
+  json.AddTable(swap_table);
 
   benchmark::RegisterBenchmark("abl_hugepages/populate_4k",
                                [us = small.populate_us](benchmark::State& s) {
@@ -155,6 +158,7 @@ int main(int argc, char** argv) {
                                  ReportManualTime(s, us);
                                })
       ->UseManualTime();
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -56,6 +56,7 @@ Row Measure(uint64_t dram_bytes) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_metadata", argc, argv);
   Table table(
       "Ablation: metadata to manage M bytes -- per-page struct page vs FOM per-file "
       "(64 files)");
@@ -73,6 +74,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
   std::printf(
       "\nExtrapolation: at 6 TB (the paper's 2-socket 3D XPoint server) struct page costs "
       "%.1f GiB of DRAM and %.1f ms of boot-time init; FOM's per-file metadata for the same "
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

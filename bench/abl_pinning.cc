@@ -37,6 +37,7 @@ double FomPinUs(uint64_t bytes) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_pinning", argc, argv);
   Table table("Ablation: pin a DMA buffer -- per-page mlock vs FOM implicit pinning");
   table.AddRow({"size", "baseline mlock us", "fom pin us", "speedup"});
   struct Row {
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
     double baseline, fom;
   };
   std::vector<Row> rows;
-  for (uint64_t size : {1 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB}) {
+  for (uint64_t size : MaybeShrink({1 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB})) {
     Row row{.size = size, .baseline = BaselinePinUs(size), .fom = FomPinUs(size)};
     rows.push_back(row);
     table.AddRow({SizeLabel(size), Table::Num(row.baseline), Table::Num(row.fom),
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   for (const Row& row : rows) {
     const std::string label = SizeLabel(row.size);
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -69,11 +69,46 @@ FomResult MeasureFom(uint64_t bytes) {
                    .scanned = delta.pages_scanned};
 }
 
+struct ShootdownTraffic {
+  double us;
+  uint64_t ipis;
+  uint64_t queued;
+  uint64_t shootdown_cycles;
+  uint64_t swapped;
+};
+
+// Reclaim's other linear cost: every swapped-out page shoots down remote
+// TLBs. At 4 CPUs, compare per-page IPIs against batched+lazy invalidation.
+ShootdownTraffic MeasureShootdownTraffic(uint64_t bytes, bool batched) {
+  SystemConfig config = BenchConfig();
+  config.machine.smp.num_cpus = 4;
+  config.machine.smp.batched_shootdowns = batched;
+  System sys(config);
+  auto proc = sys.Launch(Backend::kBaseline);
+  O1_CHECK(proc.ok());
+  auto vaddr = sys.Mmap(**proc, MmapArgs{.length = bytes, .populate = true});
+  O1_CHECK(vaddr.ok());
+  const uint64_t pages = bytes >> kPageShift;
+  for (uint64_t p = 0; p < pages; ++p) {
+    (*proc)->pager().TestAndClearReferenced(*vaddr + p * kPageSize);
+  }
+  const EventCounters before = sys.ctx().counters();
+  SimTimer timer(sys);
+  O1_CHECK(sys.ReclaimBaseline(**proc, pages / 2, System::ReclaimPolicy::kClock).ok());
+  const EventCounters delta = sys.ctx().counters().Delta(before);
+  return ShootdownTraffic{.us = timer.ElapsedUs(),
+                          .ipis = delta.shootdown_ipis_sent,
+                          .queued = delta.shootdown_invals_batched,
+                          .shootdown_cycles = delta.shootdown_cycles,
+                          .swapped = delta.pages_swapped_out};
+}
+
 }  // namespace
 }  // namespace o1mem
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_reclaim", argc, argv);
   Table table(
       "Ablation: reclaim half of W resident bytes -- page scanning + swap (clock/2Q) vs "
       "FOM file deletion (simulated)");
@@ -85,7 +120,7 @@ int main(int argc, char** argv) {
     FomResult fom;
   };
   std::vector<Row> rows;
-  for (uint64_t size : {16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB}) {
+  for (uint64_t size : MaybeShrink({16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB})) {
     Row row{.size = size,
             .clock = MeasureBaseline(size, System::ReclaimPolicy::kClock),
             .two_q = MeasureBaseline(size, System::ReclaimPolicy::kTwoQueue),
@@ -99,6 +134,26 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
+
+  Table traffic(
+      "Reclaim shootdown traffic at 4 CPUs: per-page IPIs vs batched+lazy invalidation "
+      "(swap out half of 64 MiB)");
+  traffic.AddRow({"mode", "reclaim us", "swapped", "IPIs sent", "queued invals",
+                  "shootdown cycles", "cycles/page"});
+  const uint64_t traffic_bytes = BenchSmall() ? 16 * kMiB : 64 * kMiB;
+  for (bool batched : {false, true}) {
+    const ShootdownTraffic t = MeasureShootdownTraffic(traffic_bytes, batched);
+    traffic.AddRow({batched ? "batched+lazy" : "per-page IPIs", Table::Num(t.us),
+                    Table::Int(t.swapped), Table::Int(t.ipis), Table::Int(t.queued),
+                    Table::Int(t.shootdown_cycles),
+                    Table::Num(t.swapped > 0 ? static_cast<double>(t.shootdown_cycles) /
+                                                   static_cast<double>(t.swapped)
+                                             : 0)});
+  }
+  traffic.Print();
+  MaybePrintCsv(traffic);
+  json.AddTable(traffic);
 
   for (const Row& row : rows) {
     const std::string label = SizeLabel(row.size);
@@ -113,6 +168,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

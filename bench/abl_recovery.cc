@@ -100,6 +100,7 @@ Row MeasureFileCount(uint64_t files) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_recovery", argc, argv);
 
   Table by_journal("Ablation: recovery and online scrub latency vs journal length "
                    "(8 files, simulated us)");
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   }
   by_journal.Print();
   MaybePrintCsv(by_journal);
+  json.AddTable(by_journal);
 
   Table by_files("\nAblation: recovery and online scrub latency vs persistent FOM "
                  "segments (4 KiB each; sidecar revalidation included)");
@@ -126,6 +128,7 @@ int main(int argc, char** argv) {
   }
   by_files.Print();
   MaybePrintCsv(by_files);
+  json.AddTable(by_files);
 
   std::printf(
       "\nReplay is linear in journal records; scrub adds a fixed full-region media "
@@ -143,6 +146,7 @@ int main(int argc, char** argv) {
         [us = row.recover_us](benchmark::State& s) { ReportManualTime(s, us); })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -118,6 +118,7 @@ RestartCosts MeasureRestart(uint64_t object_bytes) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_runtime", argc, argv);
   Table frees("Ablation: free N 96-byte objects -- per-object free vs O(1) arena reset");
   frees.AddRow({"objects", "per-object free us", "arena reset us", "ratio"});
   for (int objects : {1000, 10000, 100000}) {
@@ -130,11 +131,12 @@ int main(int argc, char** argv) {
   }
   frees.Print();
   MaybePrintCsv(frees);
+  json.AddTable(frees);
 
   Table restart(
       "Ablation: restart latency -- reopen persistent heap vs reload a snapshot file");
   restart.AddRow({"state size", "heap reopen us", "snapshot reload us", "ratio"});
-  for (uint64_t bytes : {16 * kMiB, 64 * kMiB, 256 * kMiB}) {
+  for (uint64_t bytes : MaybeShrink({16 * kMiB, 64 * kMiB, 256 * kMiB})) {
     const RestartCosts costs = MeasureRestart(bytes);
     restart.AddRow({SizeLabel(bytes), Table::Num(costs.heap_reopen_us),
                     Table::Num(costs.snapshot_reload_us),
@@ -144,7 +146,9 @@ int main(int argc, char** argv) {
   }
   restart.Print();
   MaybePrintCsv(restart);
+  json.AddTable(restart);
 
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -74,6 +74,7 @@ WalkCosts MeasureRange(bool virtualized) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_virt_walks", argc, argv);
   const WalkCosts native4 = MeasurePageWalks(4, false);
   const WalkCosts native5 = MeasurePageWalks(5, false);
   const WalkCosts virt4 = MeasurePageWalks(4, true);
@@ -99,6 +100,7 @@ int main(int argc, char** argv) {
                 Table::Num(range_virt.ns_per_access)});
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   benchmark::RegisterBenchmark("abl_virt/native4", [&](benchmark::State& s) {
     ReportManualTime(s, native4.ns_per_access * 1e-3);
@@ -109,6 +111,7 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("abl_virt/range", [&](benchmark::State& s) {
     ReportManualTime(s, range.ns_per_access * 1e-3);
   })->UseManualTime();
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

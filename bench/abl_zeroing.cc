@@ -54,11 +54,52 @@ Costs Measure(uint64_t bytes, ZeroPolicy policy) {
   return costs;
 }
 
+struct AnonZeroing {
+  double us_per_fault;
+  uint64_t from_pcp;
+  uint64_t from_buddy;
+  uint64_t prezero_hits;
+  uint64_t prezero_misses;
+  double background_us;
+};
+
+// The DRAM-side version of the same problem: the baseline zeroes anonymous
+// frames on the fault path. With the per-CPU frame cache + pre-zeroed pool
+// (SmpConfig) the fault pops a background-zeroed frame instead.
+AnonZeroing MeasureAnonFaults(uint64_t bytes, bool fast_paths) {
+  SystemConfig config = BenchConfig();
+  if (fast_paths) {
+    config.machine.smp.percpu_frame_cache = true;
+    config.machine.smp.prezero_pool = true;
+  }
+  System sys(config);
+  auto proc = sys.Launch(Backend::kBaseline);
+  O1_CHECK(proc.ok());
+  auto vaddr = sys.Mmap(**proc, MmapArgs{.length = bytes});
+  O1_CHECK(vaddr.ok());
+  const EventCounters before = sys.ctx().counters();
+  SimTimer timer(sys);
+  const uint64_t pages = bytes / kPageSize;
+  for (uint64_t p = 0; p < pages; ++p) {
+    O1_CHECK(sys.UserTouch(**proc, *vaddr + p * kPageSize, 1, AccessType::kWrite).ok());
+  }
+  const EventCounters delta = sys.ctx().counters().Delta(before);
+  return AnonZeroing{
+      .us_per_fault = timer.ElapsedUs() / static_cast<double>(pages),
+      .from_pcp = delta.frames_from_pcp,
+      .from_buddy = delta.frames_from_buddy,
+      .prezero_hits = delta.prezero_hits,
+      .prezero_misses = delta.prezero_misses,
+      .background_us =
+          sys.ctx().clock().CyclesToUs(sys.phys_manager().background_zero_cycles())};
+}
+
 }  // namespace
 }  // namespace o1mem
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("abl_zeroing", argc, argv);
   Table table(
       "Ablation: eager zeroing vs zero-epoch (O(1) erase) on recycled NVM blocks "
       "(simulated us)");
@@ -69,7 +110,7 @@ int main(int argc, char** argv) {
     Costs eager, epoch;
   };
   std::vector<Row> rows;
-  for (uint64_t size : {4 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB}) {
+  for (uint64_t size : MaybeShrink({4 * kMiB, 16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB})) {
     Row row{.size = size,
             .eager = Measure(size, ZeroPolicy::kEagerZero),
             .epoch = Measure(size, ZeroPolicy::kZeroEpoch)};
@@ -84,6 +125,28 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
+
+  Table anon(
+      "DRAM-side zeroing: anonymous fault path, inline Zero() vs per-CPU cache + "
+      "pre-zeroed pool (64 MiB of first-touch writes)");
+  anon.AddRow({"mode", "us/fault", "from pcp", "from buddy", "prezero hits",
+               "prezero misses", "hit rate", "background us"});
+  const uint64_t anon_bytes = BenchSmall() ? 16 * kMiB : 64 * kMiB;
+  for (bool fast_paths : {false, true}) {
+    const AnonZeroing a = MeasureAnonFaults(anon_bytes, fast_paths);
+    const uint64_t zeroed = a.prezero_hits + a.prezero_misses;
+    anon.AddRow({fast_paths ? "pcp+prezero" : "inline zero", Table::Num(a.us_per_fault),
+                 Table::Int(a.from_pcp), Table::Int(a.from_buddy), Table::Int(a.prezero_hits),
+                 Table::Int(a.prezero_misses),
+                 Table::Num(zeroed > 0 ? static_cast<double>(a.prezero_hits) /
+                                             static_cast<double>(zeroed)
+                                       : 0),
+                 Table::Num(a.background_us)});
+  }
+  anon.Print();
+  MaybePrintCsv(anon);
+  json.AddTable(anon);
 
   for (const Row& row : rows) {
     const std::string label = SizeLabel(row.size);
@@ -98,6 +161,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -31,8 +31,22 @@ struct Phase {
   double pressure_us;
 };
 
-Phase RunBaseline() {
-  System sys(BenchConfig());
+// --workers=N: the steady-state op mix round-robins over N simulated CPUs.
+// More than one worker turns on the per-CPU fast paths (frame caches,
+// pre-zeroed pool, batched shootdowns); one worker is the exact seed setup.
+SystemConfig WorkerConfig(int workers) {
+  SystemConfig config = BenchConfig();
+  config.machine.smp.num_cpus = workers;
+  if (workers > 1) {
+    config.machine.smp.batched_shootdowns = true;
+    config.machine.smp.percpu_frame_cache = true;
+    config.machine.smp.prezero_pool = true;
+  }
+  return config;
+}
+
+Phase RunBaseline(int workers) {
+  System sys(WorkerConfig(workers));
   Phase phase;
   // --- startup: load the (pre-existing) snapshot into anon memory.
   {
@@ -62,6 +76,7 @@ Phase RunBaseline() {
   std::vector<uint8_t> record(kRecordBytes, 1);
   timer.Restart();
   for (int i = 0; i < kOps; ++i) {
+    sys.ctx().SetCurrentCpu(i % workers);
     const uint64_t off = zipf.Next(rng) * kRecordBytes;
     if (rng.NextBool(0.3)) {
       O1_CHECK(sys.UserWrite(**proc, *state + off, record).ok());
@@ -71,6 +86,7 @@ Phase RunBaseline() {
                    .ok());
     }
   }
+  sys.ctx().SetCurrentCpu(0);
   phase.ops_us = timer.ElapsedUs();
 
   // --- checkpoint: write the whole state back to the snapshot file.
@@ -108,8 +124,8 @@ Phase RunBaseline() {
   return phase;
 }
 
-Phase RunFom() {
-  SystemConfig config = BenchConfig();
+Phase RunFom(int workers) {
+  SystemConfig config = WorkerConfig(workers);
   config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
   System sys(config);
   Phase phase;
@@ -132,6 +148,7 @@ Phase RunFom() {
   std::vector<uint8_t> record(kRecordBytes, 1);
   timer.Restart();
   for (int i = 0; i < kOps; ++i) {
+    sys.ctx().SetCurrentCpu(i % workers);
     const uint64_t off = zipf.Next(rng) * kRecordBytes;
     if (rng.NextBool(0.3)) {
       O1_CHECK(sys.UserWrite(**proc, *state + off, record).ok());
@@ -141,6 +158,7 @@ Phase RunFom() {
                    .ok());
     }
   }
+  sys.ctx().SetCurrentCpu(0);
   phase.ops_us = timer.ElapsedUs();
 
   // --- checkpoint: nothing to do; stores were persistent as issued.
@@ -177,11 +195,17 @@ Phase RunFom() {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
-  const Phase baseline = RunBaseline();
-  const Phase fom = RunFom();
+  BenchJson json("app_kv_service", argc, argv);
+  int workers = 1;
+  if (auto w = ExtractFlag(argc, argv, "workers")) {
+    workers = std::max(1, std::atoi(w->c_str()));
+  }
+  json.Config("workers", static_cast<double>(workers));
+  const Phase baseline = RunBaseline(workers);
+  const Phase fom = RunFom(workers);
   Table table(
       "Application: 128 MiB KV service, zipfian ops, checkpoint, crash-restart, pressure "
-      "(simulated us)");
+      "(simulated us, " + std::to_string(workers) + " worker CPUs)");
   table.AddRow({"phase", "baseline (anon + snapshots)", "fom (persistent segment)", "ratio"});
   auto row = [&](const char* name, double b, double f) {
     table.AddRow({name, Table::Num(b), Table::Num(f), Table::Num(f > 0 ? b / f : 0)});
@@ -193,7 +217,9 @@ int main(int argc, char** argv) {
   row("pressure response", baseline.pressure_us, fom.pressure_us);
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -17,11 +17,34 @@
 #include <functional>
 #include <vector>
 
+#include "bench/json_out.h"
 #include "src/os/malloc.h"
 #include "src/os/system.h"
 #include "src/support/table.h"
 
 namespace o1mem {
+
+// Smoke mode for CI: O1MEM_BENCH_SMALL=1 trims every sweep so the whole
+// bench suite finishes in seconds (trend shapes survive; magnitudes shrink).
+inline bool BenchSmall() { return std::getenv("O1MEM_BENCH_SMALL") != nullptr; }
+
+// Applies small mode to a size sweep: keeps entries up to 16 MiB (always at
+// least one).
+inline std::vector<uint64_t> MaybeShrink(std::vector<uint64_t> sizes) {
+  if (!BenchSmall()) {
+    return sizes;
+  }
+  std::vector<uint64_t> kept;
+  for (uint64_t size : sizes) {
+    if (size <= 16 * kMiB) {
+      kept.push_back(size);
+    }
+  }
+  if (kept.empty() && !sizes.empty()) {
+    kept.push_back(sizes.front());
+  }
+  return kept;
+}
 
 // Default bench machine: 4 GiB DRAM + 16 GiB NVM at 2 GHz.
 inline SystemConfig BenchConfig() {
@@ -35,8 +58,8 @@ inline SystemConfig BenchConfig() {
 // The paper's file-size sweep (Figures 1/6 use 4 KB - 1 MB; we extend to
 // 1 GiB to show where the trends go at "big memory" scale).
 inline std::vector<uint64_t> FileSizeSweep() {
-  return {4 * kKiB,   16 * kKiB,  64 * kKiB,  256 * kKiB, 1 * kMiB,
-          4 * kMiB,   16 * kMiB,  64 * kMiB,  256 * kMiB, 1 * kGiB};
+  return MaybeShrink({4 * kKiB,   16 * kKiB,  64 * kKiB,  256 * kKiB, 1 * kMiB,
+                      4 * kMiB,   16 * kMiB,  64 * kMiB,  256 * kMiB, 1 * kGiB});
 }
 
 inline std::string SizeLabel(uint64_t bytes) {

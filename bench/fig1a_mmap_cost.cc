@@ -83,6 +83,7 @@ void RegisterGbench(const std::vector<Row>& rows) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("fig1a_mmap_cost", argc, argv);
   const std::vector<Row> rows = RunSweep();
   Table table(
       "Figure 1a/6a: mmap() cost vs file size (simulated us; paper: demand flat, populate "
@@ -97,8 +98,10 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   RegisterGbench(rows);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

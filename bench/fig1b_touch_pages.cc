@@ -65,6 +65,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("fig1b_touch_pages", argc, argv);
   std::vector<Row> rows;
   for (uint64_t size : FileSizeSweep()) {
     rows.push_back(Row{.size = size,
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   for (const Row& row : rows) {
     const std::string label = SizeLabel(row.size);
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -106,6 +106,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("fig2_alloc_anon_vs_pmfs", argc, argv);
   std::vector<Row> rows;
   for (int pages : {1, 2, 4, 16, 64, 256, 1024, 4096, 16384}) {
     const auto n = static_cast<uint64_t>(pages);
@@ -128,6 +129,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   for (const Row& row : rows) {
     const std::string label = std::to_string(row.pages) + "pages";
@@ -147,6 +149,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

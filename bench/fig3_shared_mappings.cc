@@ -28,6 +28,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("fig3_shared_mappings", argc, argv);
   const std::vector<int> proc_counts = {1, 2, 4, 8, 16, 32};
   std::vector<Row> rows;
 
@@ -112,6 +113,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   for (const Row& row : rows) {
     const std::string label = "P" + std::to_string(row.procs);
@@ -126,6 +128,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -105,6 +105,7 @@ Row RunOne(int procs, int files) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("fig8_pbm", argc, argv);
   std::vector<Row> rows;
   for (int procs : {1, 2, 4, 8, 16}) {
     rows.push_back(RunOne(procs, /*files=*/16));
@@ -123,6 +124,7 @@ int main(int argc, char** argv) {
   }
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
 
   for (const Row& row : rows) {
     const std::string label = "P" + std::to_string(row.procs);
@@ -137,6 +139,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -80,6 +80,7 @@ AccessCosts MeasureAccess(MapMechanism mech) {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("fig9_range_translation", argc, argv);
 
   Table ops(
       "Figure 9 (part 1): map/protect/unmap cost vs size (simulated us) -- per-page vs "
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
     OpCosts perpage, splice, range;
   };
   std::vector<OpRow> op_rows;
-  for (uint64_t size : {16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB, 4 * kGiB}) {
+  for (uint64_t size : MaybeShrink({16 * kMiB, 64 * kMiB, 256 * kMiB, 1 * kGiB, 4 * kGiB})) {
     OpRow row{.size = size,
               .perpage = MeasureOps(size, MapMechanism::kPerPage),
               .splice = MeasureOps(size, MapMechanism::kPtSplice),
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
   }
   ops.Print();
   MaybePrintCsv(ops);
+  json.AddTable(ops);
 
   Table access(
       "Figure 9 (part 2): 64k random 64B reads over 1 GiB -- page TLB vs range TLB");
@@ -119,6 +121,7 @@ int main(int argc, char** argv) {
                  Table::Int(range_costs.page_walks)});
   access.Print();
   MaybePrintCsv(access);
+  json.AddTable(access);
 
   for (const OpRow& row : op_rows) {
     const std::string label = SizeLabel(row.size);
@@ -133,6 +136,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,0 +1,160 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary accepts --json=<path> and writes one JSON object there:
+//
+//   {"bench": "<name>",
+//    "config": {...},                      // knobs the run used
+//    "metrics": {..., "tables": [...]}}    // scalars + every printed table
+//
+// The flag is extracted from argv before google-benchmark sees it (gbench
+// aborts on unknown flags). bench/run_all.sh collects one file per binary.
+#ifndef O1MEM_BENCH_JSON_OUT_H_
+#define O1MEM_BENCH_JSON_OUT_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/table.h"
+
+namespace o1mem {
+
+// Removes `--name=value` from argv and returns the value, if present.
+inline std::optional<std::string> ExtractFlag(int& argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      return arg.substr(prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+class BenchJson {
+ public:
+  // Extracts --json=<path> from argv; without the flag every call below is a
+  // cheap no-op and nothing is written.
+  BenchJson(std::string bench, int& argc, char** argv)
+      : bench_(std::move(bench)), path_(ExtractFlag(argc, argv, "json")) {
+    config_.emplace_back("small", std::getenv("O1MEM_BENCH_SMALL") != nullptr ? "true" : "false");
+  }
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void Config(const std::string& key, double value) { config_.emplace_back(key, NumStr(value)); }
+
+  void Metric(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void Metric(const std::string& key, double value) { metrics_.emplace_back(key, NumStr(value)); }
+
+  // Mirrors a printed table (header row = columns) under metrics.tables.
+  void AddTable(const Table& table) {
+    const auto& rows = table.rows();
+    std::string out = "{\"title\":\"" + JsonEscape(table.title()) + "\",\"columns\":[";
+    if (!rows.empty()) {
+      for (size_t i = 0; i < rows[0].size(); ++i) {
+        out += (i != 0 ? ",\"" : "\"") + JsonEscape(rows[0][i]) + "\"";
+      }
+    }
+    out += "],\"rows\":[";
+    for (size_t r = 1; r < rows.size(); ++r) {
+      out += r != 1 ? ",[" : "[";
+      for (size_t i = 0; i < rows[r].size(); ++i) {
+        out += (i != 0 ? ",\"" : "\"") + JsonEscape(rows[r][i]) + "\"";
+      }
+      out += "]";
+    }
+    out += "]}";
+    tables_.push_back(std::move(out));
+  }
+
+  // Writes the collected JSON (call once, after all tables/metrics).
+  void Write() const {
+    if (!path_.has_value()) {
+      return;
+    }
+    std::FILE* f = std::fopen(path_->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_->c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"config\":{", JsonEscape(bench_).c_str());
+    WritePairs(f, config_);
+    std::fprintf(f, "},\"metrics\":{");
+    WritePairs(f, metrics_);
+    std::fprintf(f, "%s\"tables\":[", metrics_.empty() ? "" : ",");
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      std::fprintf(f, "%s%s", i != 0 ? "," : "", tables_[i].c_str());
+    }
+    std::fprintf(f, "]}}\n");
+    std::fclose(f);
+  }
+
+ private:
+  static std::string NumStr(double v) {
+    if (!std::isfinite(v)) {
+      return "null";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+
+  static void WritePairs(std::FILE* f, const std::vector<std::pair<std::string, std::string>>& p) {
+    for (size_t i = 0; i < p.size(); ++i) {
+      std::fprintf(f, "%s\"%s\":%s", i != 0 ? "," : "", JsonEscape(p[i].first).c_str(),
+                   p[i].second.c_str());
+    }
+  }
+
+  std::string bench_;
+  std::optional<std::string> path_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::string> tables_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_BENCH_JSON_OUT_H_

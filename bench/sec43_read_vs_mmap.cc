@@ -88,6 +88,7 @@ double MappedStreamingUs() {
 
 int main(int argc, char** argv) {
   using namespace o1mem;
+  BenchJson json("sec43_read_vs_mmap", argc, argv);
   const double read_us = ReadSyscallUs();
   const double chased_us = MappedChasedUs();
   const double streaming_us = MappedStreamingUs();
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
                 Table::Num(streaming_us / read_us)});
   table.Print();
   MaybePrintCsv(table);
+  json.AddTable(table);
   std::printf("\nClaim %s: read() (%.3f us) %s mapped TLB-missing access (%.3f us)\n",
               chased_us > read_us ? "REPRODUCED" : "NOT reproduced", read_us,
               chased_us > read_us ? "beats" : "does not beat", chased_us);
@@ -120,6 +122,7 @@ int main(int argc, char** argv) {
                                  ReportManualTime(s, streaming_us);
                                })
       ->UseManualTime();
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -22,7 +22,19 @@ BuddyAllocator::BuddyAllocator(SimContext* ctx, Paddr base, uint64_t bytes)
   free_bytes_ = bytes;
 }
 
+void BuddyAllocator::ChargeZoneLock() {
+  const int remote = ctx_->num_cpus() - 1;
+  if (remote > 0) {
+    ctx_->Charge(static_cast<uint64_t>(remote) * ctx_->cost().zone_lock_contention_cycles);
+  }
+}
+
 Result<Paddr> BuddyAllocator::AllocOrder(int order) {
+  ChargeZoneLock();
+  return AllocOrderLocked(order);
+}
+
+Result<Paddr> BuddyAllocator::AllocOrderLocked(int order) {
   if (order < 0 || order >= kMaxOrder) {
     return InvalidArgument("buddy order out of range");
   }
@@ -49,6 +61,11 @@ Result<Paddr> BuddyAllocator::AllocOrder(int order) {
 }
 
 Status BuddyAllocator::FreeOrder(Paddr paddr, int order) {
+  ChargeZoneLock();
+  return FreeOrderLocked(paddr, order);
+}
+
+Status BuddyAllocator::FreeOrderLocked(Paddr paddr, int order) {
   if (order < 0 || order >= kMaxOrder) {
     return InvalidArgument("buddy order out of range");
   }
@@ -73,6 +90,35 @@ Status BuddyAllocator::FreeOrder(Paddr paddr, int order) {
     ++order;
   }
   free_lists_[static_cast<size_t>(order)].insert(index);
+  return OkStatus();
+}
+
+Status BuddyAllocator::AllocFrameBatch(int count, std::vector<Paddr>* out) {
+  if (count <= 0 || out == nullptr) {
+    return InvalidArgument("bad frame batch request");
+  }
+  ChargeZoneLock();
+  for (int i = 0; i < count; ++i) {
+    auto frame = AllocOrderLocked(0);
+    if (!frame.ok()) {
+      if (i == 0) {
+        return frame.status();
+      }
+      break;  // partial batch: the caller works with what it got
+    }
+    out->push_back(frame.value());
+  }
+  return OkStatus();
+}
+
+Status BuddyAllocator::FreeFrameBatch(std::span<const Paddr> frames) {
+  if (frames.empty()) {
+    return OkStatus();
+  }
+  ChargeZoneLock();
+  for (Paddr paddr : frames) {
+    O1_RETURN_IF_ERROR(FreeOrderLocked(paddr, 0));
+  }
   return OkStatus();
 }
 

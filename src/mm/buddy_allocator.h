@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "src/sim/context.h"
@@ -42,6 +43,15 @@ class BuddyAllocator {
   Status FreeOrder(Paddr paddr, int order);
   Status FreeFrame(Paddr paddr) { return FreeOrder(paddr, 0); }
 
+  // Batch variants for the per-CPU frame caches: the whole batch moves under
+  // one zone-lock round trip, so the contention penalty of num_cpus > 1 is
+  // paid once per batch instead of once per frame. AllocFrameBatch appends up
+  // to `count` order-0 frames to `out` and stops early (Ok) if the allocator
+  // runs dry after the first frame; it returns OutOfMemory only if it cannot
+  // produce any.
+  Status AllocFrameBatch(int count, std::vector<Paddr>* out);
+  Status FreeFrameBatch(std::span<const Paddr> frames);
+
   uint64_t free_bytes() const { return free_bytes_; }
   uint64_t total_bytes() const { return bytes_; }
   Paddr base() const { return base_; }
@@ -54,6 +64,16 @@ class BuddyAllocator {
   size_t FreeBlocksAt(int order) const;
 
  private:
+  // Models the zone-lock round trip: with N simulated CPUs the lock costs
+  // (N-1) * zone_lock_contention_cycles extra. Zero extra at N == 1, so the
+  // single-CPU seed is unchanged.
+  void ChargeZoneLock();
+
+  // Freelist operations without the zone-lock charge (callers hold the
+  // "lock" -- i.e. have already paid ChargeZoneLock once).
+  Result<Paddr> AllocOrderLocked(int order);
+  Status FreeOrderLocked(Paddr paddr, int order);
+
   uint64_t FrameIndex(Paddr paddr) const { return (paddr - base_) >> kPageShift; }
   Paddr FrameAddr(uint64_t index) const { return base_ + (index << kPageShift); }
 

@@ -1,8 +1,20 @@
 // PhysManager: the baseline kernel's view of DRAM -- a buddy allocator plus
 // the per-frame struct-page metadata array. One instance manages the DRAM
 // tier of a Machine; the NVM tier is managed by the file systems (src/fs).
+//
+// SMP fast paths (both off by default; see SmpConfig):
+//   * percpu_frame_cache: a Linux pcp-style cache of order-0 frames in front
+//     of the buddy, one per simulated CPU. Single-frame alloc/free becomes a
+//     push/pop (pcp_op_cycles); the buddy -- and its zone-lock contention
+//     charge -- is only visited in batches of pcp_batch frames.
+//   * prezero_pool: a shared pool of frames zeroed off the critical path
+//     (charges diverted to background_zero_cycles via
+//     SimContext::RedirectCharges, like Pmfs's background zeroing). A zeroed
+//     alloc that hits the pool skips the inline Zero() entirely.
 #ifndef O1MEM_SRC_MM_PHYS_MANAGER_H_
 #define O1MEM_SRC_MM_PHYS_MANAGER_H_
+
+#include <vector>
 
 #include "src/mm/buddy_allocator.h"
 #include "src/mm/page_meta.h"
@@ -18,10 +30,12 @@ class PhysManager {
   PhysManager& operator=(const PhysManager&) = delete;
 
   // Allocates one DRAM frame; zeroes it when `zero` is set (the baseline
-  // zeroes at fault time for anonymous memory).
+  // zeroes at fault time for anonymous memory; with prezero_pool a zeroed
+  // frame usually comes pre-zeroed from the background pool instead).
   Result<Paddr> AllocFrame(bool zero);
 
-  // Releases one frame back to the buddy allocator.
+  // Releases one frame back to the per-CPU cache (or the buddy directly when
+  // the cache is disabled).
   Status FreeFrame(Paddr paddr);
 
   // Reference-counted release for frames shared across address spaces
@@ -29,19 +43,60 @@ class PhysManager {
   Status ReleaseFrame(Paddr paddr);
   Status ReleaseContiguous(Paddr paddr, int order);
 
-  // Allocates 2^order contiguous frames (no zeroing).
+  // Allocates 2^order contiguous frames (no zeroing). Contiguous blocks
+  // bypass the per-CPU caches: they exist for huge mappings, not the
+  // single-frame hot path.
   Result<Paddr> AllocContiguous(int order) { return buddy_.AllocOrder(order); }
   Status FreeContiguous(Paddr paddr, int order) { return buddy_.FreeOrder(paddr, order); }
+
+  // Tops the shared pre-zeroed pool up to SmpConfig::prezero_target_frames,
+  // booking all cycles (buddy ops + the memset) to background_zero_cycles
+  // instead of the simulated clock. Runs automatically whenever an alloc
+  // finds the pool below half target, so callers rarely need it; exposed for
+  // tests and benchmarks that want a warm pool up front. Never drains the
+  // buddy below 25% of DRAM.
+  void ReplenishPrezeroPool();
 
   BuddyAllocator& buddy() { return buddy_; }
   PageMetaArray& meta() { return meta_; }
   Machine& machine() { return *machine_; }
-  uint64_t free_bytes() const { return buddy_.free_bytes(); }
+
+  // Free frames wherever they sit: buddy freelists, per-CPU caches, and the
+  // pre-zeroed pool (all of those are allocatable).
+  uint64_t free_bytes() const;
+
+  // Cycles spent zeroing (and allocating) pool frames off the critical path.
+  uint64_t background_zero_cycles() const { return background_zero_cycles_; }
+  size_t prezero_pool_frames() const { return prezero_pool_.size(); }
+  size_t cpu_cache_frames(int cpu) const;
 
  private:
+  struct CpuCache {
+    std::vector<Paddr> free;    // contents unknown (dirty)
+    std::vector<Paddr> zeroed;  // known all-zero
+  };
+
+  CpuCache& cache();  // the current CPU's cache
+
+  // Shared free path: per-CPU cache push + watermark drain, or straight to
+  // the buddy when the cache is disabled.
+  Status FreeOne(Paddr paddr);
+
+  // Pulls up to pcp_batch pre-zeroed frames from the shared pool into the
+  // current CPU's zeroed stock. Returns false if the pool was empty.
+  bool RefillZeroedFromPool(CpuCache& c);
+
+  Result<Paddr> InitFrame(Paddr paddr);
+
   Machine* machine_;
   BuddyAllocator buddy_;
   PageMetaArray meta_;
+  bool pcp_enabled_;
+  bool prezero_enabled_;
+  std::vector<CpuCache> caches_;
+  std::vector<Paddr> prezero_pool_;
+  uint64_t background_zero_cycles_ = 0;
+  bool replenishing_ = false;
 };
 
 }  // namespace o1mem

@@ -125,6 +125,8 @@ Result<Process*> System::Fork(Process& parent) {
       }
     }
     O1_RETURN_IF_ERROR(parent.pager_->ForkInto(*child->pager_));
+    // One IPI round covers every write-protect shootdown fork queued.
+    machine_->mmu().FlushPending();
   } else {
     child->fom_ = fom_->CreateProcess();
     for (const auto& [vaddr, mapping] : parent.fom_->mappings()) {
@@ -161,6 +163,8 @@ Status System::Exit(Process* proc) {
         (void)vma.backing_fs->DropMapRef(vma.backing->backing_id());
       }
     }
+    // Exit tears down many VMAs; batched mode pays one IPI round for all.
+    machine_->mmu().FlushPending();
   }
   // Close descriptors.
   for (auto& [fd, open_file] : proc->fds_) {
@@ -307,6 +311,8 @@ Status System::Munmap(Process& proc, Vaddr vaddr, uint64_t length) {
       O1_RETURN_IF_ERROR(piece.backing_fs->DropMapRef(piece.backing->backing_id()));
     }
   }
+  // Batched shootdowns: all pieces' invalidations flush in one IPI round.
+  machine_->mmu().FlushPending();
   return OkStatus();
 }
 
@@ -319,6 +325,7 @@ Status System::Mprotect(Process& proc, Vaddr vaddr, uint64_t length, Prot prot) 
   O1_RETURN_IF_ERROR(
       proc.as_->page_table().ProtectRange(vaddr, AlignUp(length, kPageSize), prot));
   machine_->mmu().ShootdownRange(proc.as_->asid(), vaddr, AlignUp(length, kPageSize));
+  machine_->mmu().FlushPending();
   return OkStatus();
 }
 
@@ -521,12 +528,17 @@ Result<ReclaimStats> System::ReclaimBaseline(Process& proc, uint64_t pages,
   if (proc.backend_ != Backend::kBaseline) {
     return InvalidArgument("baseline reclaim on a FOM process");
   }
-  if (policy == ReclaimPolicy::kClock) {
-    ClockReclaimer reclaimer(proc.pager_.get());
+  Result<ReclaimStats> stats = [&] {
+    if (policy == ReclaimPolicy::kClock) {
+      ClockReclaimer reclaimer(proc.pager_.get());
+      return reclaimer.Reclaim(pages);
+    }
+    TwoQueueReclaimer reclaimer(proc.pager_.get());
     return reclaimer.Reclaim(pages);
-  }
-  TwoQueueReclaimer reclaimer(proc.pager_.get());
-  return reclaimer.Reclaim(pages);
+  }();
+  // One IPI round retires every swap-out shootdown this pass queued.
+  machine_->mmu().FlushPending();
+  return stats;
 }
 
 Result<uint64_t> System::ReclaimFom(uint64_t bytes_needed) {

@@ -72,6 +72,16 @@ struct CostModel {
   uint64_t journal_record_cycles = 900;   // PMFS metadata journal append (NVM)
   uint64_t refcount_op_cycles = 18;
 
+  // --- SMP per-CPU paths (all are no-ops at num_cpus == 1 defaults) -----
+  uint64_t shootdown_ipi_cycles = 1100;       // IPI + remote invalidate, per target CPU
+  uint64_t tlb_local_invalidate_cycles = 50;  // invlpg-style local invalidate (batched mode)
+  uint64_t shootdown_queue_cycles = 15;       // enqueue one lazy invalidation on a remote CPU
+  uint64_t shootdown_drain_cycles = 40;       // apply one queued invalidation at drain time
+  uint64_t zone_lock_contention_cycles = 60;  // per extra CPU, per buddy zone-lock round trip
+  uint64_t pcp_op_cycles = 20;                // per-CPU frame-cache push/pop (lock-free)
+  uint64_t pcp_refill_base_cycles = 150;      // shared-pool/zone lock round trip per batch
+  uint64_t prezero_pop_cycles = 25;           // move one pre-zeroed frame out of the pool
+
   // --- Persistence barriers ---------------------------------------------
   uint64_t clwb_cycles = 60;     // flush one cache line to the NVM domain
   uint64_t sfence_cycles = 120;  // ordering fence after a flush burst

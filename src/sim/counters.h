@@ -45,6 +45,16 @@ struct EventCounters {
   uint64_t pages_swapped_in = 0;
   uint64_t files_reclaimed = 0;
 
+  // SMP: shootdown traffic and per-CPU allocation fast paths.
+  uint64_t shootdown_ipis_sent = 0;        // remote CPUs actually interrupted
+  uint64_t shootdown_invals_batched = 0;   // invalidations queued instead of IPI'd
+  uint64_t shootdown_translate_drains = 0; // lazy-queue drains forced by a translation
+  uint64_t shootdown_cycles = 0;           // cycles charged to shootdown work (all paths)
+  uint64_t frames_from_pcp = 0;            // allocs served by a per-CPU frame cache
+  uint64_t frames_from_buddy = 0;          // allocs that took the shared buddy/pool path
+  uint64_t prezero_hits = 0;               // zeroed allocs served without an inline Zero()
+  uint64_t prezero_misses = 0;             // zeroed allocs that zeroed on the critical path
+
   EventCounters Delta(const EventCounters& since) const {
     EventCounters d;
     d.tlb_l1_hits = tlb_l1_hits - since.tlb_l1_hits;
@@ -71,6 +81,15 @@ struct EventCounters {
     d.pages_swapped_out = pages_swapped_out - since.pages_swapped_out;
     d.pages_swapped_in = pages_swapped_in - since.pages_swapped_in;
     d.files_reclaimed = files_reclaimed - since.files_reclaimed;
+    d.shootdown_ipis_sent = shootdown_ipis_sent - since.shootdown_ipis_sent;
+    d.shootdown_invals_batched = shootdown_invals_batched - since.shootdown_invals_batched;
+    d.shootdown_translate_drains =
+        shootdown_translate_drains - since.shootdown_translate_drains;
+    d.shootdown_cycles = shootdown_cycles - since.shootdown_cycles;
+    d.frames_from_pcp = frames_from_pcp - since.frames_from_pcp;
+    d.frames_from_buddy = frames_from_buddy - since.frames_from_buddy;
+    d.prezero_hits = prezero_hits - since.prezero_hits;
+    d.prezero_misses = prezero_misses - since.prezero_misses;
     return d;
   }
 };

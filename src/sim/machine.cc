@@ -10,7 +10,7 @@ constexpr uint64_t kRebootCycles = 1000000;
 
 Machine::Machine(const MachineConfig& config)
     : config_(config),
-      ctx_(config.cost),
+      ctx_(config.cost, config.smp),
       phys_(&ctx_, config.dram_bytes, config.nvm_bytes, config.persistence),
       mmu_(&ctx_, &phys_, config.mmu) {
   phys_.AttachFaultInjector(&injector_);

@@ -22,6 +22,10 @@ struct MachineConfig {
   uint64_t dram_bytes = 4 * kGiB;
   uint64_t nvm_bytes = 64 * kGiB;
   MmuConfig mmu;
+  // SMP shape: CPU count plus the per-CPU fast paths (frame caches,
+  // pre-zeroed pool, batched shootdowns). Defaults to one CPU with every
+  // fast path off, which reproduces the single-CPU seed exactly.
+  SmpConfig smp;
   int page_table_depth = 4;  // 4- or 5-level paging
   // kAutoDurable (eADR-style, the default) or kExplicitFlush (clwb/fence
   // required; crash reverts unflushed NVM lines).

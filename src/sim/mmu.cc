@@ -8,37 +8,46 @@ namespace {
 // Accesses at least this long are charged at the streaming (bulk) rate; the
 // hardware prefetcher hides latency on longer runs.
 constexpr uint64_t kStreamingThreshold = 256;
+
+uint64_t PageSpan(Vaddr vaddr, uint64_t len) {
+  const Vaddr first = AlignDown(vaddr, kPageSize);
+  const Vaddr last = AlignUp(vaddr + std::max<uint64_t>(len, 1), kPageSize);
+  return (last - first) >> kPageShift;
+}
 }  // namespace
 
 Mmu::Mmu(SimContext* ctx, PhysicalMemory* phys, const MmuConfig& config)
     : ctx_(ctx),
       phys_(phys),
-      l1_tlb_(config.l1_tlb_entries, config.l1_tlb_ways),
-      l2_tlb_(config.l2_tlb_entries, config.l2_tlb_ways),
-      range_tlb_(config.range_tlb_entries),
+      batched_(ctx != nullptr && ctx->smp().batched_shootdowns),
       pwc_entries_(config.pwc_entries) {
   O1_CHECK(ctx != nullptr && phys != nullptr);
+  cpus_.reserve(static_cast<size_t>(ctx->num_cpus()));
+  for (int i = 0; i < ctx->num_cpus(); ++i) {
+    cpus_.emplace_back(config);
+  }
 }
 
 bool Mmu::PwcLookupOrInsert(Asid asid, Vaddr vaddr) {
+  CpuState& c = cpu();
   const uint64_t key = (static_cast<uint64_t>(asid) << 43) | (vaddr >> kLargePageShift);
-  ++pwc_tick_;
-  auto it = pwc_.find(key);
-  if (it != pwc_.end()) {
-    it->second = pwc_tick_;
+  ++c.pwc_tick;
+  auto it = c.pwc.find(key);
+  if (it != c.pwc.end()) {
+    it->second = c.pwc_tick;
     return true;
   }
-  if (pwc_.size() >= static_cast<size_t>(pwc_entries_)) {
+  if (c.pwc.size() >= static_cast<size_t>(pwc_entries_)) {
     // Evict the least recently used tag.
-    auto victim = pwc_.begin();
-    for (auto cand = pwc_.begin(); cand != pwc_.end(); ++cand) {
+    auto victim = c.pwc.begin();
+    for (auto cand = c.pwc.begin(); cand != c.pwc.end(); ++cand) {
       if (cand->second < victim->second) {
         victim = cand;
       }
     }
-    pwc_.erase(victim);
+    c.pwc.erase(victim);
   }
-  pwc_.emplace(key, pwc_tick_);
+  c.pwc.emplace(key, c.pwc_tick);
   return false;
 }
 
@@ -61,10 +70,52 @@ void Mmu::ChargeWalk(AddressSpace& as, Vaddr vaddr, int levels) {
   ctx_->counters().page_walks++;
 }
 
+void Mmu::ChargeShootdown(uint64_t cycles) {
+  ctx_->Charge(cycles);
+  ctx_->counters().shootdown_cycles += cycles;
+}
+
+void Mmu::InvalidateOn(CpuState& state, Asid asid, Vaddr vaddr, uint64_t len) {
+  state.l1_tlb.InvalidateRange(asid, vaddr, len);
+  state.l2_tlb.InvalidateRange(asid, vaddr, len);
+  state.range_tlb.InvalidateRange(asid, vaddr, len);
+}
+
+void Mmu::ApplyPending(CpuState& state) {
+  for (const PendingInval& inval : state.pending) {
+    if (inval.whole_asid) {
+      state.l1_tlb.InvalidateAsid(inval.asid);
+      state.l2_tlb.InvalidateAsid(inval.asid);
+      state.range_tlb.InvalidateAsid(inval.asid);
+    } else {
+      InvalidateOn(state, inval.asid, inval.vaddr, inval.len);
+    }
+  }
+  state.pending.clear();
+}
+
+void Mmu::DrainForTranslate(Asid asid) {
+  CpuState& c = cpu();
+  if (c.pending.empty()) {
+    return;
+  }
+  const bool affected =
+      std::any_of(c.pending.begin(), c.pending.end(),
+                  [asid](const PendingInval& p) { return p.asid == asid; });
+  if (!affected) {
+    return;
+  }
+  ChargeShootdown(c.pending.size() * ctx_->cost().shootdown_drain_cycles);
+  ctx_->counters().shootdown_translate_drains++;
+  ApplyPending(c);
+}
+
 std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) {
   const CostModel& c = ctx_->cost();
+  DrainForTranslate(as.asid());
+  CpuState& hw = cpu();
   // L1 TLB.
-  if (auto e = l1_tlb_.Lookup(as.asid(), vaddr)) {
+  if (auto e = hw.l1_tlb.Lookup(as.asid(), vaddr)) {
     ctx_->counters().tlb_l1_hits++;
     ctx_->Charge(c.tlb_l1_hit_cycles);
     return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
@@ -72,17 +123,17 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
                            .source = TranslationInfo::Source::kL1Tlb};
   }
   // L2 TLB.
-  if (auto e = l2_tlb_.Lookup(as.asid(), vaddr)) {
+  if (auto e = hw.l2_tlb.Lookup(as.asid(), vaddr)) {
     ctx_->counters().tlb_l2_hits++;
     ctx_->Charge(c.tlb_l2_hit_cycles + c.tlb_insert_cycles);
-    l1_tlb_.Insert(as.asid(), e->vbase, e->pbase, e->page_bytes, e->prot);
+    hw.l1_tlb.Insert(as.asid(), e->vbase, e->pbase, e->page_bytes, e->prot);
     return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
                            .prot = e->prot,
                            .source = TranslationInfo::Source::kL2Tlb};
   }
   ctx_->counters().tlb_misses++;
   // Range TLB.
-  if (auto e = range_tlb_.Lookup(as.asid(), vaddr)) {
+  if (auto e = hw.range_tlb.Lookup(as.asid(), vaddr)) {
     ctx_->counters().range_tlb_hits++;
     ctx_->Charge(c.range_tlb_hit_cycles);
     return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
@@ -93,7 +144,7 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
   if (auto r = as.range_table().Lookup(vaddr)) {
     ctx_->counters().range_table_walks++;
     ctx_->Charge(c.range_table_walk_cycles + c.tlb_insert_cycles);
-    range_tlb_.Insert(as.asid(), r->vbase, r->bytes, r->pbase, r->prot);
+    hw.range_tlb.Insert(as.asid(), r->vbase, r->bytes, r->pbase, r->prot);
     return TranslationInfo{.paddr = r->pbase + (vaddr - r->vbase),
                            .prot = r->prot,
                            .source = TranslationInfo::Source::kRangeTable};
@@ -104,8 +155,8 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
     ctx_->Charge(c.tlb_insert_cycles);
     const Vaddr vbase = AlignDown(vaddr, t->page_bytes);
     const Paddr pbase = t->paddr - (vaddr - vbase);
-    l1_tlb_.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
-    l2_tlb_.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
+    hw.l1_tlb.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
+    hw.l2_tlb.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
     return TranslationInfo{.paddr = t->paddr,
                            .prot = t->prot,
                            .source = TranslationInfo::Source::kPageWalk};
@@ -217,33 +268,106 @@ Status Mmu::WriteVirt(AddressSpace& as, Vaddr vaddr, std::span<const uint8_t> da
 }
 
 void Mmu::ShootdownPage(Asid asid, Vaddr vaddr) {
-  l1_tlb_.InvalidatePage(asid, vaddr);
-  l2_tlb_.InvalidatePage(asid, vaddr);
-  ctx_->Charge(ctx_->cost().tlb_shootdown_cycles);
-  ctx_->counters().tlb_shootdowns++;
+  ShootdownRange(asid, AlignDown(vaddr, kPageSize), kPageSize);
 }
 
 void Mmu::ShootdownRange(Asid asid, Vaddr vaddr, uint64_t len) {
-  l1_tlb_.InvalidateRange(asid, vaddr, len);
-  l2_tlb_.InvalidateRange(asid, vaddr, len);
-  range_tlb_.InvalidateRange(asid, vaddr, len);
-  ctx_->Charge(ctx_->cost().tlb_shootdown_cycles);
+  const CostModel& c = ctx_->cost();
+  const int self = ctx_->current_cpu();
+  const uint64_t remotes = static_cast<uint64_t>(ctx_->num_cpus() - 1);
   ctx_->counters().tlb_shootdowns++;
+  if (batched_) {
+    // Invalidate locally now; remotes get a queued invalidation that the OS
+    // flushes once per operation (or the remote drains before translating).
+    InvalidateOn(cpus_[static_cast<size_t>(self)], asid, vaddr, len);
+    ChargeShootdown(c.tlb_local_invalidate_cycles +
+                    remotes * c.shootdown_queue_cycles);
+    for (size_t i = 0; i < cpus_.size(); ++i) {
+      if (static_cast<int>(i) == self) {
+        continue;
+      }
+      cpus_[i].pending.push_back(PendingInval{asid, vaddr, len, false});
+      ctx_->counters().shootdown_invals_batched++;
+    }
+    return;
+  }
+  // Eager: every CPU is interrupted now. With more than one CPU the
+  // initiator pays one IPI per page per remote -- the linear cost batched
+  // mode amortizes away. At num_cpus == 1 this is the seed's flat charge.
+  for (CpuState& state : cpus_) {
+    InvalidateOn(state, asid, vaddr, len);
+  }
+  const uint64_t ipis = PageSpan(vaddr, len) * remotes;
+  ChargeShootdown(c.tlb_shootdown_cycles + ipis * c.shootdown_ipi_cycles);
+  ctx_->counters().shootdown_ipis_sent += ipis;
 }
 
 void Mmu::ShootdownAsid(Asid asid) {
-  l1_tlb_.InvalidateAsid(asid);
-  l2_tlb_.InvalidateAsid(asid);
-  range_tlb_.InvalidateAsid(asid);
-  ctx_->Charge(ctx_->cost().tlb_shootdown_cycles);
+  const CostModel& c = ctx_->cost();
+  const int self = ctx_->current_cpu();
+  const uint64_t remotes = static_cast<uint64_t>(ctx_->num_cpus() - 1);
   ctx_->counters().tlb_shootdowns++;
+  if (batched_) {
+    CpuState& me = cpus_[static_cast<size_t>(self)];
+    me.l1_tlb.InvalidateAsid(asid);
+    me.l2_tlb.InvalidateAsid(asid);
+    me.range_tlb.InvalidateAsid(asid);
+    ChargeShootdown(c.tlb_local_invalidate_cycles +
+                    remotes * c.shootdown_queue_cycles);
+    for (size_t i = 0; i < cpus_.size(); ++i) {
+      if (static_cast<int>(i) == self) {
+        continue;
+      }
+      cpus_[i].pending.push_back(PendingInval{asid, 0, 0, true});
+      ctx_->counters().shootdown_invals_batched++;
+    }
+    return;
+  }
+  for (CpuState& state : cpus_) {
+    state.l1_tlb.InvalidateAsid(asid);
+    state.l2_tlb.InvalidateAsid(asid);
+    state.range_tlb.InvalidateAsid(asid);
+  }
+  // A whole-ASID flush is one operation however large the space is.
+  ChargeShootdown(c.tlb_shootdown_cycles + remotes * c.shootdown_ipi_cycles);
+  ctx_->counters().shootdown_ipis_sent += remotes;
+}
+
+void Mmu::FlushPending() {
+  if (!batched_) {
+    return;
+  }
+  const CostModel& c = ctx_->cost();
+  const int self = ctx_->current_cpu();
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    CpuState& state = cpus_[i];
+    if (state.pending.empty()) {
+      continue;
+    }
+    const uint64_t drain = state.pending.size() * c.shootdown_drain_cycles;
+    if (static_cast<int>(i) == self) {
+      ChargeShootdown(drain);  // own queue: no IPI needed
+    } else {
+      ChargeShootdown(c.shootdown_ipi_cycles + drain);
+      ctx_->counters().shootdown_ipis_sent++;
+    }
+    ApplyPending(state);
+  }
+}
+
+size_t Mmu::PendingInvalidations(int cpu) const {
+  O1_CHECK(cpu >= 0 && cpu < static_cast<int>(cpus_.size()));
+  return cpus_[static_cast<size_t>(cpu)].pending.size();
 }
 
 void Mmu::InvalidateAll() {
-  l1_tlb_.InvalidateAll();
-  l2_tlb_.InvalidateAll();
-  range_tlb_.InvalidateAll();
-  pwc_.clear();
+  for (CpuState& state : cpus_) {
+    state.l1_tlb.InvalidateAll();
+    state.l2_tlb.InvalidateAll();
+    state.range_tlb.InvalidateAll();
+    state.pwc.clear();
+    state.pending.clear();
+  }
 }
 
 }  // namespace o1mem

@@ -11,6 +11,19 @@
 // movement costs are charged here too (streaming bulk rate for >=256-byte
 // runs, per-cache-line demand rate below that), so PhysicalMemory's
 // *uncharged* accessors are used for the actual bytes.
+//
+// SMP: each simulated CPU (SimContext::current_cpu) owns a private set of
+// TLBs and a private PWC, so translations hit or miss per CPU. Shootdowns
+// come in two flavours:
+//   * eager (default): invalidate every CPU now; with num_cpus > 1 the
+//     initiator pays one IPI per page per remote CPU -- the Linux-like
+//     linear cost the paper wants retired;
+//   * batched + lazy (SmpConfig::batched_shootdowns): the initiator
+//     invalidates locally and enqueues the range on each remote CPU; the OS
+//     calls FlushPending() once per operation (one IPI per CPU with work).
+//     Correctness rule: a CPU with queued invalidations for an ASID drains
+//     its whole queue before translating in that ASID, so a stale entry can
+//     never be served even if the flush has not happened yet.
 #ifndef O1MEM_SRC_SIM_MMU_H_
 #define O1MEM_SRC_SIM_MMU_H_
 
@@ -18,6 +31,7 @@
 #include <list>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "src/sim/address_space.h"
 #include "src/sim/phys_mem.h"
@@ -50,8 +64,9 @@ class Mmu {
   Mmu(const Mmu&) = delete;
   Mmu& operator=(const Mmu&) = delete;
 
-  // Translates one virtual address for `type`, invoking the address space's
-  // fault handler on a miss (at most `kMaxFaultRetries` times).
+  // Translates one virtual address for `type` on the current CPU, invoking
+  // the address space's fault handler on a miss (at most `kMaxFaultRetries`
+  // times).
   Result<TranslationInfo> Translate(AddressSpace& as, Vaddr vaddr, AccessType type);
 
   // Performs an access of `len` bytes at `vaddr` without moving data
@@ -62,18 +77,51 @@ class Mmu {
   Status ReadVirt(AddressSpace& as, Vaddr vaddr, std::span<uint8_t> out);
   Status WriteVirt(AddressSpace& as, Vaddr vaddr, std::span<const uint8_t> data);
 
-  // TLB maintenance: the OS calls these after unmapping/protecting.
-  // Each call charges one shootdown (the paper's "single operation to ...
-  // shoot down the entry in the TLB").
+  // TLB maintenance: the OS calls these after unmapping/protecting. In
+  // batched mode they only invalidate the initiating CPU and queue the rest;
+  // the OS pairs them with one FlushPending() per operation.
   void ShootdownPage(Asid asid, Vaddr vaddr);
   void ShootdownRange(Asid asid, Vaddr vaddr, uint64_t len);
   void ShootdownAsid(Asid asid);
+
+  // Sends the deferred invalidations of batched mode: one IPI per CPU with a
+  // non-empty queue (drain on the initiator is free of the IPI). No-op in
+  // eager mode or when nothing is pending.
+  void FlushPending();
+
+  // Number of queued-but-unflushed invalidations on `cpu` (tests).
+  size_t PendingInvalidations(int cpu) const;
+
   void InvalidateAll();  // e.g. on simulated power failure
 
   PhysicalMemory& phys() { return *phys_; }
 
  private:
   static constexpr int kMaxFaultRetries = 2;
+
+  // One deferred invalidation queued on a remote CPU.
+  struct PendingInval {
+    Asid asid = 0;
+    Vaddr vaddr = 0;
+    uint64_t len = 0;
+    bool whole_asid = false;
+  };
+
+  // Translation state owned by one simulated CPU.
+  struct CpuState {
+    explicit CpuState(const MmuConfig& config)
+        : l1_tlb(config.l1_tlb_entries, config.l1_tlb_ways),
+          l2_tlb(config.l2_tlb_entries, config.l2_tlb_ways),
+          range_tlb(config.range_tlb_entries) {}
+    Tlb l1_tlb;
+    Tlb l2_tlb;
+    RangeTlb range_tlb;
+    uint64_t pwc_tick = 0;
+    std::unordered_map<uint64_t, uint64_t> pwc;  // (asid,2MiB region) -> last-use tick
+    std::vector<PendingInval> pending;           // queued lazy invalidations
+  };
+
+  CpuState& cpu() { return cpus_[static_cast<size_t>(ctx_->current_cpu())]; }
 
   // One translation attempt with no fault handling; nullopt = no mapping.
   std::optional<TranslationInfo> TryTranslate(AddressSpace& as, Vaddr vaddr);
@@ -86,14 +134,24 @@ class Mmu {
 
   void ChargeDataTouch(Paddr paddr, uint64_t len, AccessType type);
 
+  // Charge() that also books the cycles under counters().shootdown_cycles.
+  void ChargeShootdown(uint64_t cycles);
+
+  // Applies and clears every queued invalidation of `state`.
+  void ApplyPending(CpuState& state);
+
+  // Lazy-shootdown correctness rule: if the current CPU has queued
+  // invalidations touching `asid`, drain its whole queue before looking up.
+  void DrainForTranslate(Asid asid);
+
+  // Invalidates [vaddr, vaddr+len) of `asid` in one CPU's TLBs.
+  static void InvalidateOn(CpuState& state, Asid asid, Vaddr vaddr, uint64_t len);
+
   SimContext* ctx_;
   PhysicalMemory* phys_;
-  Tlb l1_tlb_;
-  Tlb l2_tlb_;
-  RangeTlb range_tlb_;
+  bool batched_;
   int pwc_entries_;
-  uint64_t pwc_tick_ = 0;
-  std::unordered_map<uint64_t, uint64_t> pwc_;  // (asid,2MiB region) -> last-use tick
+  std::vector<CpuState> cpus_;
 };
 
 }  // namespace o1mem

@@ -32,6 +32,10 @@ class Table {
   const std::string& title() const { return title_; }
   size_t row_count() const { return rows_.empty() ? 0 : rows_.size() - 1; }
 
+  // All rows including the header (the JSON bench reporter mirrors tables
+  // from here).
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::vector<std::string>> rows_;

@@ -274,9 +274,15 @@ void VerifyRecovered(System& sys, const Model& m,
 
 enum class SweepEvent { kWrite, kFlush };
 
+// The sweep is embarrassingly parallel, so each (persistence, event) pair is
+// split into kShards ctest cases; shard s takes crash indices s, s+kShards,
+// s+2*kShards, ... Together the shards cover every index exactly once.
+constexpr int kShards = 4;
+
 struct Param {
   PersistenceModel persistence;
   SweepEvent event;
+  int shard = 0;
 };
 
 class CrashSweep : public ::testing::TestWithParam<Param> {};
@@ -284,6 +290,7 @@ class CrashSweep : public ::testing::TestWithParam<Param> {};
 TEST_P(CrashSweep, EveryCrashPointRecovers) {
   const PersistenceModel persistence = GetParam().persistence;
   const SweepEvent event = GetParam().event;
+  const auto shard = static_cast<uint64_t>(GetParam().shard);
 
   // Golden run: count the workload's events and capture the final model.
   uint64_t first = 0;
@@ -313,9 +320,10 @@ TEST_P(CrashSweep, EveryCrashPointRecovers) {
       return;
     }
   }
-  SCOPED_TRACE("sweeping " + std::to_string(last - first) + " crash points");
+  SCOPED_TRACE("sweeping shard " + std::to_string(shard) + " of " +
+               std::to_string(last - first) + " crash points");
 
-  for (uint64_t index = first; index < last; ++index) {
+  for (uint64_t index = first + shard; index < last; index += kShards) {
     System sys(SweepConfig(persistence));
     auto launched = sys.Launch(Backend::kFom, TinyImage());
     ASSERT_TRUE(launched.ok());
@@ -365,16 +373,24 @@ std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
                          ? "Auto"
                          : "Strict";
   name += info.param.event == SweepEvent::kWrite ? "Writes" : "Flushes";
+  name += "Shard" + std::to_string(info.param.shard);
   return name;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Sweep, CrashSweep,
-    ::testing::Values(Param{PersistenceModel::kAutoDurable, SweepEvent::kWrite},
-                      Param{PersistenceModel::kAutoDurable, SweepEvent::kFlush},
-                      Param{PersistenceModel::kExplicitFlush, SweepEvent::kWrite},
-                      Param{PersistenceModel::kExplicitFlush, SweepEvent::kFlush}),
-    ParamName);
+std::vector<Param> SweepParams() {
+  std::vector<Param> params;
+  for (PersistenceModel persistence :
+       {PersistenceModel::kAutoDurable, PersistenceModel::kExplicitFlush}) {
+    for (SweepEvent event : {SweepEvent::kWrite, SweepEvent::kFlush}) {
+      for (int shard = 0; shard < kShards; ++shard) {
+        params.push_back(Param{persistence, event, shard});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrashSweep, ::testing::ValuesIn(SweepParams()), ParamName);
 
 }  // namespace
 }  // namespace o1mem
