@@ -158,6 +158,7 @@ int main(int argc, char** argv) {
                                  ReportManualTime(s, us);
                                })
       ->UseManualTime();
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -47,6 +47,7 @@ Row Measure(uint64_t dram_bytes) {
     row.fom_meta_bytes = kFiles * 256 + extent_records * 12;
     // Pre-created tables: 2 sets x one 4 KiB node per 2 MiB window.
     row.precreated_table_bytes = sys.fom().precreated_node_count() * kPageSize;
+    CaptureOccupancy(sys);
   }
   return row;
 }
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

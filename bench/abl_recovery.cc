@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
         [us = row.recover_us](benchmark::State& s) { ReportManualTime(s, us); })
         ->UseManualTime();
   }
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -148,6 +148,7 @@ int main(int argc, char** argv) {
   MaybePrintCsv(restart);
   json.AddTable(restart);
 
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -55,6 +55,7 @@ TouchResult FinishTouch(System& sys, int cpus, uint64_t start_cycles,
   for (int cpu = 0; cpu < cpus; ++cpu) {
     r.cpu_cycles.push_back(sys.ctx().cpu_cycles(cpu));
   }
+  CaptureOccupancy(sys);
   return r;
 }
 
@@ -216,6 +217,7 @@ int main(int argc, char** argv) {
         [us = fast.us_per_op](benchmark::State& s) { ReportManualTime(s, us); })
         ->UseManualTime();
   }
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -111,6 +111,7 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("abl_virt/range", [&](benchmark::State& s) {
     ReportManualTime(s, range.ns_per_access * 1e-3);
   })->UseManualTime();
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -74,10 +74,40 @@ inline std::string SizeLabel(uint64_t bytes) {
   return buf;
 }
 
+// Per-tier occupancy in every BENCH_*.json: the slot is stamped while a
+// System is still alive (SimTimer does it automatically on destruction;
+// helpers without a timer call CaptureOccupancy(sys) themselves -- last
+// writer wins), and main calls RecordOccupancy(json) once before
+// json.Write(). Makes tier pressure visible in the artifacts next to the
+// timing tables. Benches that drive a bare Machine report all-zero
+// occupancy.
+inline TierOccupancy& LastOccupancy() {
+  static TierOccupancy occupancy;
+  return occupancy;
+}
+
+inline void CaptureOccupancy(System& sys) { LastOccupancy() = sys.Occupancy(); }
+
+inline void RecordOccupancy(BenchJson& json) {
+  const TierOccupancy& o = LastOccupancy();
+  json.Metric("dram_total_bytes", static_cast<double>(o.dram_total_bytes));
+  json.Metric("dram_used_bytes", static_cast<double>(o.dram_used_bytes));
+  json.Metric("dram_free_bytes", static_cast<double>(o.dram_free_bytes));
+  json.Metric("nvm_total_bytes", static_cast<double>(o.nvm_total_bytes));
+  json.Metric("nvm_used_bytes", static_cast<double>(o.nvm_used_bytes));
+  json.Metric("nvm_free_bytes", static_cast<double>(o.nvm_free_bytes));
+  json.Metric("dram_cache_bytes", static_cast<double>(o.dram_cache_bytes));
+  json.Metric("dram_cache_used_bytes", static_cast<double>(o.dram_cache_used_bytes));
+  json.Metric("dram_cache_free_bytes", static_cast<double>(o.dram_cache_free_bytes));
+}
+
 // RAII stopwatch over the simulated clock.
 class SimTimer {
  public:
   explicit SimTimer(System& sys) : sys_(sys), start_(sys.ctx().now()) {}
+  // Leaves a final occupancy snapshot behind (the System outlives the
+  // timer's scope), so every timed measurement feeds RecordOccupancy.
+  ~SimTimer() { CaptureOccupancy(sys_); }
   double ElapsedUs() const { return sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - start_); }
   void Restart() { start_ = sys_.ctx().now(); }
 

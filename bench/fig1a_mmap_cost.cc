@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
   json.AddTable(table);
 
   RegisterGbench(rows);
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
                                  })
         ->UseManualTime();
   }
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -26,6 +26,7 @@ BENCHES=(
   abl_runtime
   abl_recovery
   abl_smp_scaling
+  abl_tiering
   app_kv_service
 )
 

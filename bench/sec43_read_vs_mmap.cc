@@ -122,6 +122,7 @@ int main(int argc, char** argv) {
                                  ReportManualTime(s, streaming_us);
                                })
       ->UseManualTime();
+  RecordOccupancy(json);
   json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -384,6 +384,9 @@ Result<Vaddr> FomManager::Map(FomProcess& proc, InodeId inode, Prot prot,
   }
   O1_RETURN_IF_ERROR(pmfs_->AddMapRef(inode));
   proc.mappings_.emplace(*vaddr, std::move(record));
+  if (observer_ != nullptr) {
+    observer_->OnMapped(proc, *vaddr);
+  }
   return *vaddr;
 }
 
@@ -391,6 +394,11 @@ Status FomManager::Unmap(FomProcess& proc, Vaddr vaddr) {
   auto it = proc.mappings_.find(vaddr);
   if (it == proc.mappings_.end()) {
     return NotFound("no FOM mapping at vaddr");
+  }
+  if (observer_ != nullptr) {
+    // The tier engine demotes any promoted extents, restoring the recorded
+    // entry/splice layout before we tear it down.
+    observer_->OnUnmapping(proc, vaddr);
   }
   SimContext& ctx = machine_->ctx();
   ctx.Charge(ctx.cost().fom_map_base_cycles);
@@ -425,6 +433,9 @@ Status FomManager::Protect(FomProcess& proc, Vaddr vaddr, Prot prot) {
   auto it = proc.mappings_.find(vaddr);
   if (it == proc.mappings_.end()) {
     return NotFound("no FOM mapping at vaddr");
+  }
+  if (observer_ != nullptr) {
+    observer_->OnProtecting(proc, vaddr);
   }
   SimContext& ctx = machine_->ctx();
   ctx.Charge(ctx.cost().fom_map_base_cycles);

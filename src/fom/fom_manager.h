@@ -74,6 +74,20 @@ struct SegmentOptions {
 };
 
 class FomManager;
+class FomProcess;
+
+// Observer for mapping lifecycle events, used by the tiering engine
+// (src/tier) to track which inodes are mapped where. OnUnmapping and
+// OnProtecting fire BEFORE the manager mutates translations, so an observer
+// that rearranged entries (e.g. tier promotion splitting a range entry) can
+// restore the canonical layout first.
+class FomMapObserver {
+ public:
+  virtual ~FomMapObserver() = default;
+  virtual void OnMapped(FomProcess& proc, Vaddr vaddr) = 0;
+  virtual void OnUnmapping(FomProcess& proc, Vaddr vaddr) = 0;
+  virtual void OnProtecting(FomProcess& proc, Vaddr vaddr) = 0;
+};
 
 // Per-process FOM state: the hardware address space plus the table of live
 // whole-file mappings. No VMAs, no per-page anything.
@@ -156,6 +170,15 @@ class FomManager {
   const FomConfig& config() const { return config_; }
   Pmfs& fs() { return *pmfs_; }
 
+  // Mapping lifecycle observer (at most one; the tiering engine). Pass
+  // nullptr to detach.
+  void SetMapObserver(FomMapObserver* observer) { observer_ = observer; }
+
+  // The file's pre-created table sets (built or rehydrated on demand). The
+  // tiering engine resplices these canonical nodes when demoting a
+  // kPtSplice-mapped window.
+  Result<const PrecreatedTables*> Tables(InodeId inode) { return TablesFor(inode); }
+
  private:
   Result<const PrecreatedTables*> TablesFor(InodeId inode);
 
@@ -184,6 +207,7 @@ class FomManager {
   Machine* machine_;
   Pmfs* pmfs_;
   FomConfig config_;
+  FomMapObserver* observer_ = nullptr;
   // Pre-created table cache; for persistent files this models tables stored
   // in NVM next to the file (they survive OnCrash).
   std::unordered_map<InodeId, PrecreatedTables> tables_;

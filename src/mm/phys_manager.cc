@@ -12,6 +12,86 @@ PhysManager::PhysManager(Machine* machine)
       prezero_enabled_(machine->ctx().smp().prezero_pool),
       caches_(static_cast<size_t>(machine->ctx().num_cpus())) {
   O1_CHECK(machine != nullptr);
+  const TierConfig& tier = machine->config().tier;
+  if (tier.enabled && tier.dram_cache_bytes > 0) {
+    CarveCacheZone(AlignUp(tier.dram_cache_bytes, kPageSize));
+  }
+}
+
+void PhysManager::InsertCacheFree(Paddr base, uint64_t bytes) {
+  auto next = cache_free_.upper_bound(base);
+  if (next != cache_free_.end() && base + bytes == next->first) {
+    bytes += next->second;
+    next = cache_free_.erase(next);
+  }
+  if (next != cache_free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == base) {
+      prev->second += bytes;
+      return;
+    }
+  }
+  cache_free_.emplace(base, bytes);
+}
+
+void PhysManager::CarveCacheZone(uint64_t bytes) {
+  // Boot-time work: pull the carve out of the buddy in the largest blocks
+  // available so cache extents can be long physically contiguous runs.
+  uint64_t remaining = bytes;
+  while (remaining >= kPageSize) {
+    int order = 0;
+    while (order + 1 < BuddyAllocator::kMaxOrder &&
+           (kPageSize << (order + 1)) <= remaining) {
+      ++order;
+    }
+    Result<Paddr> block = buddy_.AllocOrder(order);
+    while (!block.ok() && order > 0) {
+      --order;
+      block = buddy_.AllocOrder(order);
+    }
+    if (!block.ok()) {
+      break;  // best effort: a small machine yields a smaller carve
+    }
+    const uint64_t got = kPageSize << order;
+    InsertCacheFree(*block, got);
+    cache_total_ += got;
+    cache_free_bytes_ += got;
+    remaining -= got;
+  }
+}
+
+Result<Paddr> PhysManager::AllocCache(uint64_t bytes) {
+  if (bytes == 0 || !IsAligned(bytes, kPageSize)) {
+    return InvalidArgument("cache extents are page-granular");
+  }
+  SimContext& ctx = machine_->ctx();
+  ctx.Charge(ctx.cost().extent_alloc_cycles);
+  for (auto it = cache_free_.begin(); it != cache_free_.end(); ++it) {
+    if (it->second < bytes) {
+      continue;
+    }
+    const Paddr base = it->first;
+    const uint64_t rest = it->second - bytes;
+    cache_free_.erase(it);
+    if (rest > 0) {
+      cache_free_.emplace(base + bytes, rest);
+    }
+    cache_free_bytes_ -= bytes;
+    return base;
+  }
+  return OutOfMemory("DRAM file-cache zone exhausted");
+}
+
+Status PhysManager::FreeCache(Paddr paddr, uint64_t bytes) {
+  if (bytes == 0 || !IsAligned(bytes, kPageSize) || !IsAligned(paddr, kPageSize)) {
+    return InvalidArgument("cache extents are page-granular");
+  }
+  SimContext& ctx = machine_->ctx();
+  ctx.Charge(ctx.cost().extent_free_cycles);
+  InsertCacheFree(paddr, bytes);
+  cache_free_bytes_ += bytes;
+  O1_CHECK(cache_free_bytes_ <= cache_total_);
+  return OkStatus();
 }
 
 PhysManager::CpuCache& PhysManager::cache() {

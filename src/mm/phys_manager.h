@@ -14,6 +14,7 @@
 #ifndef O1MEM_SRC_MM_PHYS_MANAGER_H_
 #define O1MEM_SRC_MM_PHYS_MANAGER_H_
 
+#include <map>
 #include <vector>
 
 #include "src/mm/buddy_allocator.h"
@@ -57,6 +58,18 @@ class PhysManager {
   // buddy below 25% of DRAM.
   void ReplenishPrezeroPool();
 
+  // --- DRAM file-cache zone (tiering) ------------------------------------
+  // Carved out of the buddy at construction when MachineConfig.tier names a
+  // nonzero dram_cache_bytes (best effort: a fragmented or small machine may
+  // yield less). Promoted file extents are allocated first-fit from the
+  // carve as physically contiguous runs; these frames never mix with the
+  // buddy proper, so tier pressure cannot fragment the general allocator.
+  Result<Paddr> AllocCache(uint64_t bytes);
+  Status FreeCache(Paddr paddr, uint64_t bytes);
+  uint64_t dram_cache_bytes() const { return cache_total_; }
+  uint64_t dram_cache_free() const { return cache_free_bytes_; }
+  uint64_t dram_cache_used() const { return cache_total_ - cache_free_bytes_; }
+
   BuddyAllocator& buddy() { return buddy_; }
   PageMetaArray& meta() { return meta_; }
   Machine& machine() { return *machine_; }
@@ -88,6 +101,11 @@ class PhysManager {
 
   Result<Paddr> InitFrame(Paddr paddr);
 
+  // Pulls `bytes` of DRAM out of the buddy in large blocks and seeds the
+  // cache-zone free list with them (coalesced).
+  void CarveCacheZone(uint64_t bytes);
+  void InsertCacheFree(Paddr base, uint64_t bytes);
+
   Machine* machine_;
   BuddyAllocator buddy_;
   PageMetaArray meta_;
@@ -97,6 +115,11 @@ class PhysManager {
   std::vector<Paddr> prezero_pool_;
   uint64_t background_zero_cycles_ = 0;
   bool replenishing_ = false;
+
+  // DRAM file-cache zone: free extents keyed by base, kept coalesced.
+  std::map<Paddr, uint64_t> cache_free_;
+  uint64_t cache_total_ = 0;
+  uint64_t cache_free_bytes_ = 0;
 };
 
 }  // namespace o1mem

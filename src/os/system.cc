@@ -38,6 +38,11 @@ System::System(const SystemConfig& config) : config_(config) {
   pmfs_ = std::make_unique<Pmfs>(machine_.get(), machine_->phys().nvm_base(),
                                  config.machine.nvm_bytes, config.pmfs_zero_policy);
   fom_ = std::make_unique<FomManager>(machine_.get(), pmfs_.get(), config.fom);
+  if (config.machine.tier.enabled) {
+    tier_ = std::make_unique<TierEngine>(machine_.get(), phys_mgr_.get(), pmfs_.get(),
+                                         fom_.get());
+    fom_->SetMapObserver(tier_.get());
+  }
 }
 
 System::~System() = default;
@@ -417,6 +422,10 @@ Status System::Close(Process& proc, int fd) {
 Result<uint64_t> System::Read(Process& proc, int fd, std::span<uint8_t> out) {
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
+  if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
+    O1_RETURN_IF_ERROR(
+        tier_->OnFileAccess(open_file->inode, open_file->offset, out.size(), false));
+  }
   auto n = open_file->fs->ReadAt(open_file->inode, open_file->offset, out);
   if (n.ok()) {
     open_file->offset += *n;
@@ -427,6 +436,10 @@ Result<uint64_t> System::Read(Process& proc, int fd, std::span<uint8_t> out) {
 Result<uint64_t> System::Write(Process& proc, int fd, std::span<const uint8_t> data) {
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
+  if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
+    O1_RETURN_IF_ERROR(
+        tier_->OnFileAccess(open_file->inode, open_file->offset, data.size(), true));
+  }
   auto n = open_file->fs->WriteAt(open_file->inode, open_file->offset, data);
   if (n.ok()) {
     open_file->offset += *n;
@@ -437,6 +450,9 @@ Result<uint64_t> System::Write(Process& proc, int fd, std::span<const uint8_t> d
 Result<uint64_t> System::Pread(Process& proc, int fd, uint64_t offset, std::span<uint8_t> out) {
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
+  if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
+    O1_RETURN_IF_ERROR(tier_->OnFileAccess(open_file->inode, offset, out.size(), false));
+  }
   return open_file->fs->ReadAt(open_file->inode, offset, out);
 }
 
@@ -444,6 +460,9 @@ Result<uint64_t> System::Pwrite(Process& proc, int fd, uint64_t offset,
                                 std::span<const uint8_t> data) {
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
+  if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
+    O1_RETURN_IF_ERROR(tier_->OnFileAccess(open_file->inode, offset, data.size(), true));
+  }
   return open_file->fs->WriteAt(open_file->inode, offset, data);
 }
 
@@ -490,18 +509,35 @@ Status System::Rename(std::string_view from, std::string_view to) {
 }
 
 Status System::UserTouch(Process& proc, Vaddr vaddr, uint64_t len, AccessType type) {
-  return machine_->mmu().Touch(proc.address_space(), vaddr, len, type);
+  O1_RETURN_IF_ERROR(machine_->mmu().Touch(proc.address_space(), vaddr, len, type));
+  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+    tier_->NoteAccess(proc.fom(), vaddr, len, type);
+  }
+  return OkStatus();
 }
 
 Status System::UserRead(Process& proc, Vaddr vaddr, std::span<uint8_t> out) {
-  return machine_->mmu().ReadVirt(proc.address_space(), vaddr, out);
+  O1_RETURN_IF_ERROR(machine_->mmu().ReadVirt(proc.address_space(), vaddr, out));
+  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+    tier_->NoteAccess(proc.fom(), vaddr, out.size(), AccessType::kRead);
+  }
+  return OkStatus();
 }
 
 Status System::UserWrite(Process& proc, Vaddr vaddr, std::span<const uint8_t> data) {
-  return machine_->mmu().WriteVirt(proc.address_space(), vaddr, data);
+  O1_RETURN_IF_ERROR(machine_->mmu().WriteVirt(proc.address_space(), vaddr, data));
+  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+    tier_->NoteAccess(proc.fom(), vaddr, data.size(), AccessType::kWrite);
+  }
+  return OkStatus();
 }
 
 Status System::UserFlush(Process& proc, Vaddr vaddr, uint64_t len) {
+  // Dirty promoted spans live in the DRAM cache; push them to their durable
+  // home through the journaled writeback first so the msync contract holds.
+  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+    O1_RETURN_IF_ERROR(tier_->FlushRange(proc.fom(), vaddr, len));
+  }
   // Flush line by mapped page: translate (cheap -- TLB-hot after the writes
   // being persisted) and clwb the backing lines.
   uint64_t done = 0;
@@ -521,6 +557,40 @@ Status System::UserFlush(Process& proc, Vaddr vaddr, uint64_t len) {
 Status System::Msync(Process& proc, Vaddr vaddr, uint64_t len) {
   ChargeSyscall();
   return UserFlush(proc, vaddr, len);
+}
+
+TierOccupancy System::Occupancy() const {
+  TierOccupancy o;
+  o.dram_total_bytes = machine_->config().dram_bytes;
+  o.dram_cache_bytes = phys_mgr_->dram_cache_bytes();
+  o.dram_cache_free_bytes = phys_mgr_->dram_cache_free();
+  o.dram_cache_used_bytes = phys_mgr_->dram_cache_used();
+  // Allocatable DRAM lives in the buddy (+ per-CPU caches and pool) and the
+  // unfilled part of the cache carve; everything else is in use.
+  o.dram_free_bytes = phys_mgr_->free_bytes() + o.dram_cache_free_bytes;
+  o.dram_used_bytes = o.dram_total_bytes - o.dram_free_bytes;
+  o.nvm_total_bytes = machine_->config().nvm_bytes;
+  o.nvm_free_bytes = pmfs_->free_bytes();
+  o.nvm_used_bytes = o.nvm_total_bytes - o.nvm_free_bytes;
+  return o;
+}
+
+Status System::TierTick() {
+  if (tier_ == nullptr) {
+    return Unsupported("tiering is disabled (MachineConfig::tier)");
+  }
+  return tier_->Tick();
+}
+
+Status System::MadviseTier(Process& proc, Vaddr vaddr, uint64_t len, TierHint hint) {
+  ChargeSyscall();
+  if (tier_ == nullptr) {
+    return Unsupported("tiering is disabled (MachineConfig::tier)");
+  }
+  if (proc.backend() != Backend::kFom) {
+    return Unsupported("tier hints apply to FOM mappings");
+  }
+  return tier_->Advise(proc.fom(), vaddr, len, hint);
 }
 
 Result<ReclaimStats> System::ReclaimBaseline(Process& proc, uint64_t pages,
@@ -546,7 +616,14 @@ Result<uint64_t> System::ReclaimFom(uint64_t bytes_needed) {
 }
 
 Status System::Crash() {
-  // Power failure: processes die, DRAM and translation state evaporate.
+  // Power failure: processes die, DRAM and translation state evaporate. The
+  // tiering engine's state (regions, promoted extents, the cache carve) is
+  // all DRAM-side, so it simply ceases to exist; only the writeback staging
+  // files in PMFS survive, replayed below.
+  if (tier_ != nullptr) {
+    fom_->SetMapObserver(nullptr);
+    tier_.reset();
+  }
   processes_.clear();
   machine_->Crash();
   O1_RETURN_IF_ERROR(tmpfs_->OnCrash());
@@ -560,6 +637,14 @@ Status System::Crash() {
   const uint64_t tmpfs_quota = config_.tmpfs_quota_bytes != 0 ? config_.tmpfs_quota_bytes
                                                               : config_.machine.dram_bytes / 2;
   tmpfs_ = std::make_unique<Tmpfs>(machine_.get(), phys_mgr_.get(), tmpfs_quota);
+  if (config_.machine.tier.enabled) {
+    tier_ = std::make_unique<TierEngine>(machine_.get(), phys_mgr_.get(), pmfs_.get(),
+                                         fom_.get());
+    fom_->SetMapObserver(tier_.get());
+    // Finish committed writebacks that the crash interrupted; discard
+    // uncommitted staging files.
+    O1_RETURN_IF_ERROR(tier_->Recover());
+  }
   return OkStatus();
 }
 

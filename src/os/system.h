@@ -24,6 +24,7 @@
 #include "src/fs/tmpfs.h"
 #include "src/mm/reclaim.h"
 #include "src/os/process.h"
+#include "src/tier/tier_engine.h"
 
 namespace o1mem {
 
@@ -47,6 +48,22 @@ struct MmapArgs {
   std::optional<MapMechanism> mechanism;
 };
 
+// Point-in-time per-tier occupancy: how full each physical tier is and how
+// much of the DRAM file-cache carve is in use. Surfaced next to the event
+// counters in every bench's --json output (bench/common.h) so tier pressure
+// is visible in BENCH_*.json artifacts.
+struct TierOccupancy {
+  uint64_t dram_total_bytes = 0;
+  uint64_t dram_used_bytes = 0;
+  uint64_t dram_free_bytes = 0;
+  uint64_t nvm_total_bytes = 0;
+  uint64_t nvm_used_bytes = 0;
+  uint64_t nvm_free_bytes = 0;
+  uint64_t dram_cache_bytes = 0;
+  uint64_t dram_cache_used_bytes = 0;
+  uint64_t dram_cache_free_bytes = 0;
+};
+
 struct ProcessImage {
   uint64_t code_bytes = 256 * kKiB;
   uint64_t stack_bytes = 8 * kMiB;
@@ -67,6 +84,10 @@ class System {
   FomManager& fom() { return *fom_; }
   PhysManager& phys_manager() { return *phys_mgr_; }
   SimContext& ctx() { return machine_->ctx(); }
+  // Non-null only when MachineConfig::tier.enabled.
+  TierEngine* tier() { return tier_.get(); }
+  // Per-tier occupancy snapshot (DRAM buddy + cache carve, NVM via PMFS).
+  TierOccupancy Occupancy() const;
 
   // --- Process lifecycle ---------------------------------------------------
   // Launches a process: code, stack and heap segments are created and mapped
@@ -148,6 +169,17 @@ class System {
   // msync(2)-flavored alias: same work plus the syscall round trip.
   Status Msync(Process& proc, Vaddr vaddr, uint64_t len);
 
+  // --- Tiering ---------------------------------------------------------------
+  // One monitoring interval of the tiering engine (the periodic kernel
+  // thread a real DAMON deployment would run): O(regions) sampling, plus
+  // policy + migrations on aggregation boundaries. kUnsupported when tiering
+  // is disabled.
+  Status TierTick();
+
+  // madvise(MADV_HOT/MADV_COLD)-style placement hint over a mapped span of a
+  // FOM process.
+  Status MadviseTier(Process& proc, Vaddr vaddr, uint64_t len, TierHint hint);
+
   // --- Pressure and persistence ---------------------------------------------
   // Baseline pressure response: scan-and-swap via the given reclaimer type.
   enum class ReclaimPolicy { kClock, kTwoQueue };
@@ -171,6 +203,7 @@ class System {
   std::unique_ptr<Tmpfs> tmpfs_;
   std::unique_ptr<Pmfs> pmfs_;
   std::unique_ptr<FomManager> fom_;
+  std::unique_ptr<TierEngine> tier_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process::Pid next_pid_ = 1;
 };

@@ -82,6 +82,11 @@ struct CostModel {
   uint64_t pcp_refill_base_cycles = 150;      // shared-pool/zone lock round trip per batch
   uint64_t prezero_pop_cycles = 25;           // move one pre-zeroed frame out of the pool
 
+  // --- Tiered-memory monitoring (no-ops while TierConfig.enabled = false) -
+  uint64_t tier_sample_cycles = 80;      // check+clear one region's accessed bit
+  uint64_t tier_region_op_cycles = 120;  // split or merge one monitoring region
+  uint64_t tier_policy_cycles = 40;      // evaluate one region at aggregation time
+
   // --- Persistence barriers ---------------------------------------------
   uint64_t clwb_cycles = 60;     // flush one cache line to the NVM domain
   uint64_t sfence_cycles = 120;  // ordering fence after a flush burst

@@ -55,6 +55,16 @@ struct EventCounters {
   uint64_t prezero_hits = 0;               // zeroed allocs served without an inline Zero()
   uint64_t prezero_misses = 0;             // zeroed allocs that zeroed on the critical path
 
+  // Tiering: DAMON-style monitoring and extent migration between NVM and
+  // the DRAM file cache.
+  uint64_t tier_region_splits = 0;    // monitoring regions split
+  uint64_t tier_region_merges = 0;    // monitoring regions merged
+  uint64_t tier_promotions = 0;       // extents moved NVM -> DRAM cache
+  uint64_t tier_demotions = 0;        // extents restored to their NVM home
+  uint64_t tier_writeback_bytes = 0;  // dirty cached bytes written back to NVM
+  uint64_t tier_hot_hits_dram = 0;    // user accesses served from a promoted extent
+  uint64_t tier_migrated_bytes = 0;   // bytes moved by PhysicalMemory::Move
+
   EventCounters Delta(const EventCounters& since) const {
     EventCounters d;
     d.tlb_l1_hits = tlb_l1_hits - since.tlb_l1_hits;
@@ -90,6 +100,13 @@ struct EventCounters {
     d.frames_from_buddy = frames_from_buddy - since.frames_from_buddy;
     d.prezero_hits = prezero_hits - since.prezero_hits;
     d.prezero_misses = prezero_misses - since.prezero_misses;
+    d.tier_region_splits = tier_region_splits - since.tier_region_splits;
+    d.tier_region_merges = tier_region_merges - since.tier_region_merges;
+    d.tier_promotions = tier_promotions - since.tier_promotions;
+    d.tier_demotions = tier_demotions - since.tier_demotions;
+    d.tier_writeback_bytes = tier_writeback_bytes - since.tier_writeback_bytes;
+    d.tier_hot_hits_dram = tier_hot_hits_dram - since.tier_hot_hits_dram;
+    d.tier_migrated_bytes = tier_migrated_bytes - since.tier_migrated_bytes;
     return d;
   }
 };

@@ -14,6 +14,7 @@
 #include "src/sim/fault_injector.h"
 #include "src/sim/mmu.h"
 #include "src/sim/phys_mem.h"
+#include "src/tier/tier_config.h"
 
 namespace o1mem {
 
@@ -26,6 +27,10 @@ struct MachineConfig {
   // pre-zeroed pool, batched shootdowns). Defaults to one CPU with every
   // fast path off, which reproduces the single-CPU seed exactly.
   SmpConfig smp;
+  // Tiered-memory shape: DAMON-style monitoring + DRAM file-cache
+  // promotion. All-off by default (cycle-identical to the seed); the engine
+  // itself lives in src/tier and is instantiated by the System when enabled.
+  TierConfig tier;
   int page_table_depth = 4;  // 4- or 5-level paging
   // kAutoDurable (eADR-style, the default) or kExplicitFlush (clwb/fence
   // required; crash reverts unflushed NVM lines).

@@ -249,6 +249,14 @@ Status PhysicalMemory::Copy(Paddr dst, Paddr src, uint64_t len) {
   return OkStatus();
 }
 
+Status PhysicalMemory::Move(Paddr dst, Paddr src, uint64_t len) {
+  if (!Contains(dst, len) || !Contains(src, len)) {
+    return InvalidArgument("physical move out of range");
+  }
+  ctx_->counters().tier_migrated_bytes += len;
+  return Copy(dst, src, len);
+}
+
 uint8_t PhysicalMemory::PeekByte(Paddr paddr) const {
   O1_CHECK(Contains(paddr, 1));
   const Page* page = FindPage(paddr);

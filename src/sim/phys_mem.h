@@ -72,6 +72,13 @@ class PhysicalMemory {
   Status Zero(Paddr paddr, uint64_t len);
   Status Copy(Paddr dst, Paddr src, uint64_t len);
 
+  // Tier migration transfer: Copy semantics (the source range is left
+  // intact; the caller frees or repurposes it) with the read charge split at
+  // the tier boundary of `src` and the write charge at the boundary of
+  // `dst`, plus migration accounting (counters().tier_migrated_bytes).
+  // Zero-length moves are valid no-ops.
+  Status Move(Paddr dst, Paddr src, uint64_t len);
+
   // Uncharged data movement: used by the Mmu, which charges translation and
   // data-touch costs itself, so the two layers never double-charge.
   Status ReadUncharged(Paddr paddr, std::span<uint8_t> out);

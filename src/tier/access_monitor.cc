@@ -1,0 +1,187 @@
+#include "src/tier/access_monitor.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace o1mem {
+
+AccessMonitor::AccessMonitor(SimContext* ctx, const TierConfig& config)
+    : ctx_(ctx), config_(config), rng_(config.rng_seed) {
+  O1_CHECK(ctx != nullptr);
+  O1_CHECK(config.min_regions >= 1);
+  O1_CHECK(config.max_regions >= config.min_regions);
+  O1_CHECK(config.aggregation_ticks >= 1);
+  O1_CHECK(IsAligned(config.min_region_bytes, kPageSize));
+}
+
+void AccessMonitor::Charge(uint64_t cycles) {
+  ctx_->Charge(cycles);
+  monitor_cycles_ += cycles;
+}
+
+void AccessMonitor::PickSamplingAddr(TierRegion& r) {
+  r.sampling_off = r.lo + AlignDown(rng_.NextBelow(r.hi - r.lo), kPageSize);
+}
+
+void AccessMonitor::Watch(InodeId inode, uint64_t bytes) {
+  O1_CHECK(bytes > 0 && IsAligned(bytes, kPageSize));
+  auto it = files_.find(inode);
+  if (it != files_.end() && it->second.bytes == bytes) {
+    return;
+  }
+  WatchedFile f;
+  f.bytes = bytes;
+  // Start from an even min_regions-way split (fewer when the file is small);
+  // the adaptive split/merge takes it from there.
+  uint64_t want = static_cast<uint64_t>(config_.min_regions);
+  want = std::min(want, std::max<uint64_t>(1, bytes / config_.min_region_bytes));
+  const uint64_t chunk = AlignUp(bytes / want, kPageSize);
+  for (uint64_t lo = 0; lo < bytes; lo += chunk) {
+    TierRegion r;
+    r.lo = lo;
+    r.hi = std::min(bytes, lo + chunk);
+    PickSamplingAddr(r);
+    f.regions.push_back(r);
+  }
+  files_[inode] = std::move(f);
+}
+
+void AccessMonitor::Unwatch(InodeId inode) { files_.erase(inode); }
+
+void AccessMonitor::NoteAccess(InodeId inode, uint64_t off, uint64_t len) {
+  auto it = files_.find(inode);
+  if (it == files_.end() || len == 0) {
+    return;
+  }
+  // Regions are sorted; find the first one ending past `off` and walk while
+  // they overlap the access.
+  auto& regions = it->second.regions;
+  auto r = std::upper_bound(regions.begin(), regions.end(), off,
+                            [](uint64_t o, const TierRegion& reg) { return o < reg.hi; });
+  const uint64_t end = off + len;
+  for (; r != regions.end() && r->lo < end; ++r) {
+    const uint64_t s_lo = r->sampling_off;
+    const uint64_t s_hi = s_lo + kPageSize;
+    if (off < s_hi && end > s_lo) {
+      r->sampled = true;
+    }
+  }
+}
+
+bool AccessMonitor::Tick() {
+  for (auto& [inode, f] : files_) {
+    for (TierRegion& r : f.regions) {
+      Charge(ctx_->cost().tier_sample_cycles);
+      if (r.sampled) {
+        r.nr_accesses++;
+        r.sampled = false;
+      }
+      PickSamplingAddr(r);
+    }
+  }
+  if (++ticks_in_window_ < config_.aggregation_ticks) {
+    return false;
+  }
+  ticks_in_window_ = 0;
+  for (auto& [inode, f] : files_) {
+    Aggregate(f);
+    MergeRegions(f);
+    SplitRegions(f);
+  }
+  return true;
+}
+
+void AccessMonitor::Aggregate(WatchedFile& f) {
+  for (TierRegion& r : f.regions) {
+    Charge(ctx_->cost().tier_policy_cycles);
+    const uint32_t nr = r.nr_accesses;
+    r.heat = (r.heat + nr) / 2 + (nr > r.heat ? 1 : 0);  // fast up, slow down
+    if (nr >= config_.hot_threshold) {
+      r.hot_streak++;
+      r.cold_streak = 0;
+    } else if (nr == 0) {
+      r.cold_streak++;
+      r.hot_streak = 0;
+    } else {
+      r.hot_streak = 0;
+    }
+    r.nr_accesses = 0;
+  }
+}
+
+void AccessMonitor::MergeRegions(WatchedFile& f) {
+  auto& regions = f.regions;
+  for (size_t i = 0; i + 1 < regions.size();) {
+    if (regions.size() <= static_cast<size_t>(config_.min_regions)) {
+      return;
+    }
+    TierRegion& a = regions[i];
+    TierRegion& b = regions[i + 1];
+    const uint32_t diff = a.heat > b.heat ? a.heat - b.heat : b.heat - a.heat;
+    if (a.hi != b.lo || diff > 1) {
+      ++i;
+      continue;
+    }
+    Charge(ctx_->cost().tier_region_op_cycles);
+    ctx_->counters().tier_region_merges++;
+    const uint64_t wa = a.hi - a.lo;
+    const uint64_t wb = b.hi - b.lo;
+    a.heat = static_cast<uint32_t>((a.heat * wa + b.heat * wb) / (wa + wb));
+    a.hot_streak = std::min(a.hot_streak, b.hot_streak);
+    a.cold_streak = std::min(a.cold_streak, b.cold_streak);
+    a.hi = b.hi;
+    if (a.sampling_off >= a.hi) {
+      PickSamplingAddr(a);
+    }
+    regions.erase(regions.begin() + static_cast<ptrdiff_t>(i) + 1);
+  }
+}
+
+void AccessMonitor::SplitRegions(WatchedFile& f) {
+  auto& regions = f.regions;
+  // Split where the signal is interesting (warm regions) while the budget
+  // lasts, so the region boundary migrates toward the true hot set. Snapshot
+  // the count first: children are not re-split in the same window.
+  const size_t before = regions.size();
+  for (size_t i = 0; i < before && i < regions.size(); ++i) {
+    if (regions.size() >= static_cast<size_t>(config_.max_regions)) {
+      return;
+    }
+    TierRegion& r = regions[i];
+    if (r.heat == 0 || r.hi - r.lo < 2 * config_.min_region_bytes) {
+      continue;
+    }
+    Charge(ctx_->cost().tier_region_op_cycles);
+    ctx_->counters().tier_region_splits++;
+    const uint64_t span = (r.hi - r.lo) - 2 * config_.min_region_bytes;
+    const uint64_t cut =
+        AlignDown(r.lo + config_.min_region_bytes + rng_.NextBelow(span + 1), kPageSize);
+    TierRegion right = r;
+    right.lo = cut;
+    r.hi = cut;
+    if (r.sampling_off >= r.hi) {
+      PickSamplingAddr(r);
+    }
+    if (right.sampling_off < right.lo) {
+      PickSamplingAddr(right);
+    }
+    regions.insert(regions.begin() + static_cast<ptrdiff_t>(i) + 1, right);
+    ++i;  // skip the freshly inserted right half
+  }
+}
+
+const std::vector<TierRegion>& AccessMonitor::RegionsOf(InodeId inode) const {
+  static const std::vector<TierRegion> kEmpty;
+  auto it = files_.find(inode);
+  return it == files_.end() ? kEmpty : it->second.regions;
+}
+
+size_t AccessMonitor::TotalRegions() const {
+  size_t n = 0;
+  for (const auto& [inode, f] : files_) {
+    n += f.regions.size();
+  }
+  return n;
+}
+
+}  // namespace o1mem

@@ -1,0 +1,90 @@
+// AccessMonitor: DAMON-style region-granular access sampling (Park et al.,
+// "DAOS/DAMON"; see DESIGN.md Sec. 9). Each monitored file is covered by a
+// small, adaptive set of regions; per sampling interval the monitor checks
+// ONE sampled page per region (the hardware accessed bit the OS would read),
+// so the whole tick costs O(regions) regardless of how many pages are
+// mapped. Regions split where the access signal is interesting and merge
+// where it is uniform, converging the fixed region budget onto the
+// workload's hot/cold boundary.
+//
+// The monitor works in FILE-OFFSET space, not virtual addresses: a file
+// mapped into several processes has one region set, and promotion decisions
+// apply to the file's extents wherever they are mapped.
+#ifndef O1MEM_SRC_TIER_ACCESS_MONITOR_H_
+#define O1MEM_SRC_TIER_ACCESS_MONITOR_H_
+
+#include <map>
+#include <vector>
+
+#include "src/fs/types.h"
+#include "src/sim/context.h"
+#include "src/support/rng.h"
+#include "src/tier/tier_config.h"
+
+namespace o1mem {
+
+// One monitoring region: a file-offset span plus its access estimate.
+struct TierRegion {
+  uint64_t lo = 0;  // page-aligned file offsets, [lo, hi)
+  uint64_t hi = 0;
+  uint64_t sampling_off = 0;  // page currently carrying the accessed bit
+  bool sampled = false;       // accessed bit observed this interval
+  uint32_t nr_accesses = 0;   // intervals with the bit set, current window
+  uint32_t heat = 0;          // smoothed accesses-per-window (merge signal)
+  int hot_streak = 0;         // consecutive windows at/above hot_threshold
+  int cold_streak = 0;        // consecutive windows with zero accesses
+};
+
+class AccessMonitor {
+ public:
+  AccessMonitor(SimContext* ctx, const TierConfig& config);
+
+  AccessMonitor(const AccessMonitor&) = delete;
+  AccessMonitor& operator=(const AccessMonitor&) = delete;
+
+  // Starts (or re-initializes, when `bytes` changed) monitoring of a file's
+  // [0, bytes) offset space. `bytes` must be page-aligned and nonzero.
+  void Watch(InodeId inode, uint64_t bytes);
+  void Unwatch(InodeId inode);
+  bool IsWatched(InodeId inode) const { return files_.count(inode) != 0; }
+
+  // Hardware side of sampling: the access sets the region's accessed bit if
+  // it touches the region's sampled page. Free of simulated cycles -- real
+  // hardware maintains accessed bits as a side effect of the access itself.
+  void NoteAccess(InodeId inode, uint64_t off, uint64_t len);
+
+  // One sampling interval: reads and clears every region's accessed bit and
+  // re-arms it at a new random page. Charges O(regions) cycles. Returns true
+  // when this tick closed an aggregation window (heat/streaks updated and
+  // regions re-shaped) -- the moment for the policy to act.
+  bool Tick();
+
+  // Region set of a watched inode (empty vector for unwatched ones).
+  const std::vector<TierRegion>& RegionsOf(InodeId inode) const;
+
+  size_t TotalRegions() const;
+  uint64_t monitor_cycles() const { return monitor_cycles_; }
+
+ private:
+  struct WatchedFile {
+    uint64_t bytes = 0;
+    std::vector<TierRegion> regions;  // sorted by lo, disjoint, covering
+  };
+
+  void Charge(uint64_t cycles);
+  void PickSamplingAddr(TierRegion& r);
+  void Aggregate(WatchedFile& f);
+  void MergeRegions(WatchedFile& f);
+  void SplitRegions(WatchedFile& f);
+
+  SimContext* ctx_;
+  TierConfig config_;
+  Rng rng_;
+  std::map<InodeId, WatchedFile> files_;
+  int ticks_in_window_ = 0;
+  uint64_t monitor_cycles_ = 0;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_TIER_ACCESS_MONITOR_H_

@@ -1,0 +1,115 @@
+// MigrationEngine: the mechanism half of tiering -- moves whole file extents
+// between the NVM home and the DRAM file cache and repoints every live
+// mapping with O(1) work per mapping:
+//
+//   * kRangeTable mappings: one range-entry swap (the containing entry is
+//     split into at most three entries on promote and re-coalesced on
+//     demote), never a PTE walk;
+//   * kPtSplice mappings: one page-table subtree splice per 2 MiB window --
+//     promote splices a standalone level-1 node built over the cache copy,
+//     demote re-splices the file's canonical pre-created node
+//     (FomManager::Tables).
+//
+// Data movement is bulk per-extent (PhysicalMemory::Move splits the charge
+// at the tier boundary); TLB shootdowns are issued per mapping and batched
+// by the caller's single Mmu::FlushPending().
+//
+// Crash consistency (DESIGN.md Sec. 9.4): promotion writes only DRAM, so a
+// crash at any point simply loses the cache copy -- the NVM home is intact.
+// Writing a DIRTY promoted extent of a persistent file back is the one
+// dangerous direction; it uses copy-then-publish through the PMFS journal:
+//
+//   1. stage:  write the cache contents to a persistent staging file
+//              /.tier/wb/s_<inode>_<off>_<len> (durable on return);
+//   2. commit: journaled Rename to /.tier/wb/c_... -- the atomic publish;
+//   3. redo:   copy cache -> home extent, flush;
+//   4. clean:  unlink the staging file.
+//
+// Recover() replays the protocol after a crash: committed (c_) files are
+// re-applied to the home extent (the redo copy is idempotent), uncommitted
+// (s_) files are discarded. A crash before the rename leaves the home
+// extent's pre-writeback contents; after it, the staged contents -- never a
+// torn mixture, under either persistence model.
+#ifndef O1MEM_SRC_TIER_MIGRATION_ENGINE_H_
+#define O1MEM_SRC_TIER_MIGRATION_ENGINE_H_
+
+#include <vector>
+
+#include "src/fom/fom_manager.h"
+#include "src/mm/phys_manager.h"
+
+namespace o1mem {
+
+// One live mapping of a tiered inode; the mapping record (mechanism, prot,
+// installed entries) is read live from the process at migration time so
+// Protect() can never leave the engine with stale permissions.
+struct TierMappingRef {
+  FomProcess* proc = nullptr;
+  Vaddr base = 0;
+};
+
+// One extent currently resident in the DRAM file cache.
+struct PromotedExtent {
+  uint64_t off = 0;    // file offset of the extent
+  uint64_t bytes = 0;  // page-aligned length
+  Paddr cache = 0;     // DRAM cache copy
+  Paddr home = 0;      // NVM home (left allocated and intact while promoted)
+  bool dirty = false;  // cache copy newer than home
+  // kPtSplice inodes only: standalone level-1 nodes over the cache copy,
+  // built lazily per needed permission.
+  NodeRef cache_ro;
+  NodeRef cache_rw;
+
+  uint64_t end() const { return off + bytes; }
+};
+
+class MigrationEngine {
+ public:
+  MigrationEngine(Machine* machine, PhysManager* phys_mgr, Pmfs* pmfs, FomManager* fom);
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  // Copies [off, off+bytes) (home NVM run `home`) into the DRAM cache and
+  // repoints every mapping. Writes no NVM, so it is trivially crash-safe.
+  // Fails without side effects when the cache cannot fit the extent.
+  Result<PromotedExtent> Promote(InodeId inode, uint64_t off, uint64_t bytes, Paddr home,
+                                 std::vector<TierMappingRef>& maps);
+
+  // Restores home translations, writing the cache copy back first when it is
+  // dirty (journaled copy-then-publish for persistent files, plain copy for
+  // volatile ones), then frees the cache extent.
+  Status Demote(InodeId inode, PromotedExtent& e, bool persistent,
+                std::vector<TierMappingRef>& maps);
+
+  // Durable writeback only: the extent stays promoted, dirty is cleared.
+  Status WriteBack(InodeId inode, PromotedExtent& e);
+
+  // Post-crash: finish committed writebacks, discard uncommitted staging.
+  Status Recover();
+
+ private:
+  SimContext& ctx() { return machine_->ctx(); }
+
+  // Repoints one mapping's translation of the extent to `to` (cache or
+  // home). O(1) per mapping: a range-entry swap or a subtree splice.
+  Status Repoint(InodeId inode, const TierMappingRef& ref, PromotedExtent& e, bool to_cache);
+  Status RepointRange(AddressSpace& as, Vaddr va, PromotedExtent& e, Paddr to);
+  Status RepointSplice(AddressSpace& as, Vaddr va, InodeId inode, Prot prot, PromotedExtent& e,
+                       bool to_cache);
+
+  // In-place fallback when the journaled protocol is unavailable (degraded
+  // mount, staging quota): not crash-atomic, documented in DESIGN.md.
+  Status DirectWriteBack(PromotedExtent& e, std::span<const uint8_t> buf);
+
+  static std::string StagePath(bool committed, InodeId inode, uint64_t off, uint64_t bytes);
+
+  Machine* machine_;
+  PhysManager* phys_mgr_;
+  Pmfs* pmfs_;
+  FomManager* fom_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_TIER_MIGRATION_ENGINE_H_

@@ -1,0 +1,53 @@
+// TierConfig: knobs for the DAMON-style tiered-memory subsystem (src/tier).
+//
+// Header-only and dependency-free on purpose: MachineConfig (src/sim)
+// embeds one so every layer sees the same tiering shape, while the engine
+// itself (TierEngine and friends) lives above fom/fs/mm. Everything
+// defaults to OFF/zero, so a default-configured machine is cycle-identical
+// to one built before this subsystem existed.
+#ifndef O1MEM_SRC_TIER_TIER_CONFIG_H_
+#define O1MEM_SRC_TIER_TIER_CONFIG_H_
+
+#include <cstdint>
+
+namespace o1mem {
+
+struct TierConfig {
+  // Master switch. Off = no engine, no hooks, no charges, no DRAM carve.
+  bool enabled = false;
+
+  // DRAM carved out of the buddy at boot for the file cache tier. Promoted
+  // extents live here. 0 disables promotion even with `enabled` set (the
+  // monitor still runs, useful for monitoring-overhead ablation).
+  uint64_t dram_cache_bytes = 0;
+
+  // --- DAMON-style region sampling -------------------------------------
+  // One sampling address is checked per region per Tick(); aggregation
+  // (hotness classification + split/merge) runs every `aggregation_ticks`.
+  int aggregation_ticks = 4;
+  // Region budget: monitoring cost is O(regions), never O(pages). Split
+  // stops at `max_regions` (per monitored inode); merge keeps at least
+  // `min_regions` when the inode is large enough to support them.
+  int min_regions = 4;
+  int max_regions = 64;
+  // Regions are never split below this (page-aligned) size.
+  uint64_t min_region_bytes = 256 * 1024;
+
+  // --- Promotion / demotion policy -------------------------------------
+  // A region is hot when its aggregated access count reaches this.
+  uint32_t hot_threshold = 2;
+  // Hysteresis: consecutive hot (cold) aggregation windows before the
+  // region is promoted (a promoted region is written back and demoted).
+  int promote_after = 2;
+  int demote_after = 4;
+  // Promotion stops when the cache is filled past this fraction; demotions
+  // of cold extents bring occupancy back down.
+  double dram_watermark = 0.90;
+
+  // Deterministic seed for the sampling-address RNG.
+  uint64_t rng_seed = 0x7469657231ull;  // "tier1"
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_TIER_TIER_CONFIG_H_

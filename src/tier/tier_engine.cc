@@ -1,0 +1,406 @@
+#include "src/tier/tier_engine.h"
+
+#include <algorithm>
+
+namespace o1mem {
+
+TierEngine::TierEngine(Machine* machine, PhysManager* phys_mgr, Pmfs* pmfs, FomManager* fom)
+    : machine_(machine),
+      phys_mgr_(phys_mgr),
+      pmfs_(pmfs),
+      fom_(fom),
+      config_(machine->config().tier),
+      monitor_(&machine->ctx(), config_),
+      policy_(config_),
+      migration_(machine, phys_mgr, pmfs, fom) {}
+
+const std::pair<const Vaddr, FomProcess::Mapping>* TierEngine::FindMapping(
+    const FomProcess& proc, Vaddr vaddr) {
+  const auto& maps = proc.mappings();
+  auto it = maps.upper_bound(vaddr);
+  if (it == maps.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (vaddr >= it->first + AlignUp(it->second.bytes, kPageSize)) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+void TierEngine::NoteAccess(FomProcess& proc, Vaddr vaddr, uint64_t len, AccessType type) {
+  const auto* m = FindMapping(proc, vaddr);
+  if (m == nullptr || len == 0) {
+    return;
+  }
+  auto st_it = inodes_.find(m->second.inode);
+  if (st_it == inodes_.end() || !st_it->second.tierable) {
+    return;
+  }
+  InodeState& st = st_it->second;
+  const uint64_t off = vaddr - m->first;
+  monitor_.NoteAccess(m->second.inode, off, len);
+  // Promoted-extent bookkeeping: count DRAM-served hits and raise the
+  // extent-granular dirty bit on writes (no per-page dirty tracking).
+  bool hit = false;
+  auto e = st.promoted.upper_bound(off);
+  if (e != st.promoted.begin()) {
+    --e;
+  }
+  for (; e != st.promoted.end() && e->second.off < off + len; ++e) {
+    if (e->second.end() <= off) {
+      continue;
+    }
+    hit = true;
+    if (type == AccessType::kWrite) {
+      e->second.dirty = true;
+    }
+  }
+  if (hit) {
+    machine_->ctx().counters().tier_hot_hits_dram++;
+  }
+}
+
+Status TierEngine::Tick() {
+  if (!monitor_.Tick()) {
+    return OkStatus();
+  }
+  for (auto& [inode, st] : inodes_) {
+    if (!st.tierable || st.maps.empty()) {
+      continue;
+    }
+    // Work on a snapshot: migrations never reshape regions, but keep the
+    // iteration independent of monitor internals anyway.
+    const std::vector<TierRegion> regions = monitor_.RegionsOf(inode);
+    for (const TierRegion& r : regions) {
+      switch (policy_.Classify(r)) {
+        case TierDecision::kPromote:
+          O1_RETURN_IF_ERROR(PromoteSpan(inode, st, r.lo, r.hi));
+          break;
+        case TierDecision::kDemote:
+          O1_RETURN_IF_ERROR(DemoteSpan(inode, st, r.lo, r.hi));
+          break;
+        case TierDecision::kNone:
+          break;
+      }
+    }
+  }
+  machine_->mmu().FlushPending();
+  return OkStatus();
+}
+
+Status TierEngine::PromoteUnit(InodeId inode, InodeState& st, uint64_t off, uint64_t bytes,
+                               Paddr home, bool* admitted) {
+  *admitted = policy_.AdmitPromotion(bytes, phys_mgr_->dram_cache_used(),
+                                     phys_mgr_->dram_cache_bytes());
+  if (!*admitted) {
+    return OkStatus();
+  }
+  const uint64_t t0 = machine_->ctx().now();
+  auto e = migration_.Promote(inode, off, bytes, home, st.maps);
+  migration_cycles_ += machine_->ctx().now() - t0;
+  if (!e.ok()) {
+    if (e.status().code() == StatusCode::kOutOfMemory) {
+      *admitted = false;  // cache fragmented/full: stop promoting this round
+      return OkStatus();
+    }
+    return e.status();
+  }
+  st.promoted.emplace(off, *std::move(e));
+  machine_->ctx().counters().tier_promotions++;
+  return OkStatus();
+}
+
+Status TierEngine::PromoteSpan(InodeId inode, InodeState& st, uint64_t lo, uint64_t hi) {
+  if (!st.tierable || st.maps.empty() || st.file_bytes == 0) {
+    return OkStatus();
+  }
+  lo = AlignDown(lo, kPageSize);
+  hi = std::min(AlignUp(hi, kPageSize), st.file_bytes);
+  if (lo >= hi) {
+    return OkStatus();
+  }
+  auto extents = pmfs_->Extents(inode);
+  if (!extents.ok()) {
+    return extents.status();
+  }
+  for (const FileExtentView& ext : *extents) {
+    const uint64_t a = std::max(lo, ext.file_offset);
+    const uint64_t b = std::min({hi, ext.file_offset + ext.bytes, st.file_bytes});
+    if (a >= b) {
+      continue;
+    }
+    if (st.ptsplice) {
+      // Splice mappings migrate at 2 MiB-window granularity: one standalone
+      // level-1 node per window. A window must lie inside one home extent.
+      for (uint64_t w = AlignUp(a, kLargePageSize); w < b; w += kLargePageSize) {
+        const uint64_t w_end = std::min(w + kLargePageSize, st.file_bytes);
+        if (w_end > ext.file_offset + ext.bytes) {
+          break;
+        }
+        auto overlap = st.promoted.upper_bound(w);
+        if (overlap != st.promoted.begin() && std::prev(overlap)->second.end() > w) {
+          continue;
+        }
+        if (overlap != st.promoted.end() && overlap->second.off < w_end) {
+          continue;
+        }
+        bool admitted = false;
+        O1_RETURN_IF_ERROR(PromoteUnit(inode, st, w, w_end - w,
+                                       ext.paddr + (w - ext.file_offset), &admitted));
+        if (!admitted) {
+          return OkStatus();
+        }
+      }
+      continue;
+    }
+    // Range mappings: promote the uncovered gaps of [a, b). Each gap lies
+    // within one extent and between promoted neighbours, so it maps to one
+    // contiguous home run and one range entry per mapping.
+    uint64_t pos = a;
+    auto next = st.promoted.upper_bound(a);
+    if (next != st.promoted.begin() && std::prev(next)->second.end() > a) {
+      pos = std::prev(next)->second.end();
+    }
+    while (pos < b) {
+      const uint64_t gap_end = next == st.promoted.end() ? b : std::min(b, next->second.off);
+      if (pos < gap_end) {
+        // A hot span wider than the watermark's remaining budget is clipped
+        // so its head still promotes instead of being rejected whole.
+        const uint64_t budget =
+            AlignDown(policy_.PromotionBudget(phys_mgr_->dram_cache_used(),
+                                              phys_mgr_->dram_cache_bytes()),
+                      kPageSize);
+        const uint64_t take = std::min(gap_end - pos, budget);
+        if (take == 0) {
+          return OkStatus();
+        }
+        bool admitted = false;
+        O1_RETURN_IF_ERROR(PromoteUnit(inode, st, pos, take,
+                                       ext.paddr + (pos - ext.file_offset), &admitted));
+        if (!admitted) {
+          return OkStatus();
+        }
+        // Re-anchor: the emplace invalidated nothing, but next must advance
+        // past the extent just inserted.
+        next = st.promoted.upper_bound(pos);
+      }
+      if (next == st.promoted.end()) {
+        break;
+      }
+      pos = next->second.end();
+      ++next;
+    }
+  }
+  return OkStatus();
+}
+
+Status TierEngine::DemoteOne(InodeId inode, InodeState& st, uint64_t off) {
+  auto it = st.promoted.find(off);
+  if (it == st.promoted.end()) {
+    return OkStatus();
+  }
+  const uint64_t t0 = machine_->ctx().now();
+  Status s = migration_.Demote(inode, it->second, st.persistent, st.maps);
+  migration_cycles_ += machine_->ctx().now() - t0;
+  O1_RETURN_IF_ERROR(s);
+  st.promoted.erase(it);
+  machine_->ctx().counters().tier_demotions++;
+  return OkStatus();
+}
+
+Status TierEngine::DemoteSpan(InodeId inode, InodeState& st, uint64_t lo, uint64_t hi) {
+  std::vector<uint64_t> victims;
+  auto it = st.promoted.upper_bound(lo);
+  if (it != st.promoted.begin() && std::prev(it)->second.end() > lo) {
+    --it;
+  }
+  for (; it != st.promoted.end() && it->second.off < hi; ++it) {
+    victims.push_back(it->first);
+  }
+  for (uint64_t off : victims) {
+    O1_RETURN_IF_ERROR(DemoteOne(inode, st, off));
+  }
+  return OkStatus();
+}
+
+Status TierEngine::DemoteAll(InodeId inode, InodeState& st) {
+  while (!st.promoted.empty()) {
+    O1_RETURN_IF_ERROR(DemoteOne(inode, st, st.promoted.begin()->first));
+  }
+  return OkStatus();
+}
+
+Status TierEngine::FlushRange(FomProcess& proc, Vaddr vaddr, uint64_t len) {
+  const auto* m = FindMapping(proc, vaddr);
+  if (m == nullptr || len == 0) {
+    return OkStatus();
+  }
+  auto st_it = inodes_.find(m->second.inode);
+  if (st_it == inodes_.end() || !st_it->second.persistent) {
+    return OkStatus();
+  }
+  InodeState& st = st_it->second;
+  const uint64_t lo = vaddr - m->first;
+  const uint64_t hi = lo + len;
+  auto it = st.promoted.upper_bound(lo);
+  if (it != st.promoted.begin() && std::prev(it)->second.end() > lo) {
+    --it;
+  }
+  for (; it != st.promoted.end() && it->second.off < hi; ++it) {
+    if (!it->second.dirty) {
+      continue;
+    }
+    const uint64_t t0 = machine_->ctx().now();
+    Status s = migration_.WriteBack(m->second.inode, it->second);
+    migration_cycles_ += machine_->ctx().now() - t0;
+    O1_RETURN_IF_ERROR(s);
+  }
+  return OkStatus();
+}
+
+Status TierEngine::Advise(FomProcess& proc, Vaddr vaddr, uint64_t len, TierHint hint) {
+  const auto* m = FindMapping(proc, vaddr);
+  if (m == nullptr) {
+    return NotFound("no FOM mapping at the advised address");
+  }
+  auto st_it = inodes_.find(m->second.inode);
+  if (st_it == inodes_.end() || !st_it->second.tierable) {
+    return Unsupported("inode is not tierable (per-page or GiB-spliced mapping)");
+  }
+  const uint64_t lo = vaddr - m->first;
+  const uint64_t hi = lo + len;
+  Status s = hint == TierHint::kHot ? PromoteSpan(m->second.inode, st_it->second, lo, hi)
+                                    : DemoteSpan(m->second.inode, st_it->second, lo, hi);
+  machine_->mmu().FlushPending();
+  return s;
+}
+
+Status TierEngine::OnFileAccess(InodeId inode, uint64_t off, uint64_t len, bool is_write) {
+  auto st_it = inodes_.find(inode);
+  if (st_it == inodes_.end() || st_it->second.promoted.empty() || len == 0) {
+    return OkStatus();
+  }
+  InodeState& st = st_it->second;
+  std::vector<uint64_t> victims;
+  auto it = st.promoted.upper_bound(off);
+  if (it != st.promoted.begin() && std::prev(it)->second.end() > off) {
+    --it;
+  }
+  for (; it != st.promoted.end() && it->second.off < off + len; ++it) {
+    // A clean promoted extent equals its home copy, so fd reads through the
+    // home are already coherent; writes (and dirty reads) must demote first.
+    if (is_write || it->second.dirty) {
+      victims.push_back(it->first);
+    }
+  }
+  for (uint64_t v : victims) {
+    O1_RETURN_IF_ERROR(DemoteOne(inode, st, v));
+  }
+  if (!victims.empty()) {
+    machine_->mmu().FlushPending();
+  }
+  return OkStatus();
+}
+
+void TierEngine::OnMapped(FomProcess& proc, Vaddr vaddr) {
+  auto it = proc.mappings().find(vaddr);
+  if (it == proc.mappings().end()) {
+    return;
+  }
+  const FomProcess::Mapping& m = it->second;
+  InodeState& st = inodes_[m.inode];
+  // The new mapping was installed against the home extents; make every
+  // other mapping agree before it becomes reachable.
+  (void)DemoteAll(m.inode, st);
+  machine_->mmu().FlushPending();
+  st.maps.push_back({&proc, vaddr});
+  bool mech_ok = m.mech == MapMechanism::kRangeTable;
+  if (m.mech == MapMechanism::kPtSplice) {
+    mech_ok = true;
+    st.ptsplice = true;
+    for (const auto& [at, level] : m.splices) {
+      if (level != 1) {
+        mech_ok = false;  // GiB-level splice: windows are not individually swappable
+      }
+    }
+  }
+  if (!mech_ok) {
+    st.tierable = false;
+  }
+  if (!st.tierable) {
+    monitor_.Unwatch(m.inode);
+    return;
+  }
+  auto stat = pmfs_->Stat(m.inode);
+  st.persistent = stat.ok() && stat->persistent;
+  st.file_bytes = std::max(st.file_bytes, AlignUp(m.bytes, kPageSize));
+  if (st.file_bytes > 0) {
+    monitor_.Watch(m.inode, st.file_bytes);
+  }
+}
+
+void TierEngine::OnUnmapping(FomProcess& proc, Vaddr vaddr) {
+  auto it = proc.mappings().find(vaddr);
+  if (it == proc.mappings().end()) {
+    return;
+  }
+  const InodeId inode = it->second.inode;
+  auto st_it = inodes_.find(inode);
+  if (st_it == inodes_.end()) {
+    return;
+  }
+  InodeState& st = st_it->second;
+  // Restore the canonical all-home layout so the manager's recorded entries
+  // (range bases / splice points) are valid for teardown.
+  (void)DemoteAll(inode, st);
+  machine_->mmu().FlushPending();
+  st.maps.erase(std::remove_if(st.maps.begin(), st.maps.end(),
+                               [&](const TierMappingRef& r) {
+                                 return r.proc == &proc && r.base == vaddr;
+                               }),
+                st.maps.end());
+  if (st.maps.empty()) {
+    monitor_.Unwatch(inode);
+    inodes_.erase(st_it);
+  }
+}
+
+void TierEngine::OnProtecting(FomProcess& proc, Vaddr vaddr) {
+  auto it = proc.mappings().find(vaddr);
+  if (it == proc.mappings().end()) {
+    return;
+  }
+  auto st_it = inodes_.find(it->second.inode);
+  if (st_it == inodes_.end()) {
+    return;
+  }
+  // Protect() swaps whole entries / table sets; hand it the canonical
+  // layout. The hot set re-promotes under the new permissions.
+  (void)DemoteAll(it->second.inode, st_it->second);
+  machine_->mmu().FlushPending();
+}
+
+uint64_t TierEngine::promoted_bytes() const {
+  uint64_t n = 0;
+  for (const auto& [inode, st] : inodes_) {
+    for (const auto& [off, e] : st.promoted) {
+      n += e.bytes;
+    }
+  }
+  return n;
+}
+
+std::vector<PromotedExtent> TierEngine::PromotedOf(InodeId inode) const {
+  std::vector<PromotedExtent> out;
+  auto it = inodes_.find(inode);
+  if (it == inodes_.end()) {
+    return out;
+  }
+  for (const auto& [off, e] : it->second.promoted) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace o1mem

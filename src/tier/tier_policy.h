@@ -1,0 +1,54 @@
+// TierPolicy: the decision half of tiering, kept free of mechanism. Given a
+// monitoring region's aggregated state it answers "promote, demote, or leave
+// alone" with hysteresis (promote_after / demote_after consecutive windows),
+// and gates promotions on the DRAM cache watermark so the cache never fills
+// past the configured fraction.
+#ifndef O1MEM_SRC_TIER_TIER_POLICY_H_
+#define O1MEM_SRC_TIER_TIER_POLICY_H_
+
+#include "src/tier/access_monitor.h"
+#include "src/tier/tier_config.h"
+
+namespace o1mem {
+
+enum class TierDecision { kNone, kPromote, kDemote };
+
+class TierPolicy {
+ public:
+  explicit TierPolicy(const TierConfig& config) : config_(config) {}
+
+  TierDecision Classify(const TierRegion& r) const {
+    if (r.hot_streak >= config_.promote_after) {
+      return TierDecision::kPromote;
+    }
+    if (r.cold_streak >= config_.demote_after) {
+      return TierDecision::kDemote;
+    }
+    return TierDecision::kNone;
+  }
+
+  // Watermark gate: admitting `bytes` must keep cache occupancy at or below
+  // dram_watermark of the carve.
+  bool AdmitPromotion(uint64_t bytes, uint64_t cache_used, uint64_t cache_total) const {
+    if (cache_total == 0) {
+      return false;
+    }
+    const double after = static_cast<double>(cache_used + bytes);
+    return after <= config_.dram_watermark * static_cast<double>(cache_total);
+  }
+
+  // Bytes that can still be admitted under the watermark (unaligned; callers
+  // clip hot spans wider than the remaining budget down to this).
+  uint64_t PromotionBudget(uint64_t cache_used, uint64_t cache_total) const {
+    const double cap = config_.dram_watermark * static_cast<double>(cache_total);
+    const double used = static_cast<double>(cache_used);
+    return used >= cap ? 0 : static_cast<uint64_t>(cap - used);
+  }
+
+ private:
+  TierConfig config_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_TIER_TIER_POLICY_H_

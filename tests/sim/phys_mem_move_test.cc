@@ -1,0 +1,110 @@
+// PhysicalMemory::Move -- the primitive tier migrations are built on. The
+// interesting behavior is charge splitting: a bulk transfer pays DRAM cycles
+// for the part of the range below the tier boundary and NVM cycles for the
+// part above it, on the source (read) and destination (write) sides
+// independently.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/context.h"
+#include "src/sim/phys_mem.h"
+
+namespace o1mem {
+namespace {
+
+class PhysMemMoveTest : public ::testing::Test {
+ protected:
+  uint64_t ReadCharge(Paddr src, uint64_t len) const {
+    const uint64_t dram = src >= mem_.nvm_base() ? 0 : std::min(len, mem_.nvm_base() - src);
+    return ctx_.cost().DramBulkCycles(dram) + ctx_.cost().NvmReadBulkCycles(len - dram);
+  }
+  uint64_t WriteCharge(Paddr dst, uint64_t len) const {
+    const uint64_t dram = dst >= mem_.nvm_base() ? 0 : std::min(len, mem_.nvm_base() - dst);
+    return ctx_.cost().DramBulkCycles(dram) + ctx_.cost().NvmWriteBulkCycles(len - dram);
+  }
+
+  SimContext ctx_;
+  PhysicalMemory mem_{&ctx_, /*dram_bytes=*/4 * kMiB, /*nvm_bytes=*/4 * kMiB};
+};
+
+TEST_F(PhysMemMoveTest, PromotionChargesNvmReadPlusDramWrite) {
+  const uint64_t len = 128 * kKiB;
+  const Paddr src = mem_.nvm_base();  // pure NVM
+  const Paddr dst = 0;                // pure DRAM
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(mem_.Move(dst, src, len).ok());
+  EXPECT_EQ(ctx_.now() - t0,
+            ctx_.cost().NvmReadBulkCycles(len) + ctx_.cost().DramBulkCycles(len));
+}
+
+TEST_F(PhysMemMoveTest, DemotionChargesDramReadPlusNvmWrite) {
+  const uint64_t len = 128 * kKiB;
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(mem_.Move(/*dst=*/mem_.nvm_base(), /*src=*/0, len).ok());
+  EXPECT_EQ(ctx_.now() - t0,
+            ctx_.cost().DramBulkCycles(len) + ctx_.cost().NvmWriteBulkCycles(len));
+}
+
+TEST_F(PhysMemMoveTest, SourceStraddlingBoundarySplitsReadCharge) {
+  const uint64_t len = 128 * kKiB;
+  const Paddr src = mem_.nvm_base() - 64 * kKiB;  // 64K DRAM + 64K NVM
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(mem_.Move(/*dst=*/0, src, len).ok());
+  const uint64_t expect = ctx_.cost().DramBulkCycles(64 * kKiB) +
+                          ctx_.cost().NvmReadBulkCycles(64 * kKiB) +
+                          ctx_.cost().DramBulkCycles(len);
+  EXPECT_EQ(ctx_.now() - t0, expect);
+  EXPECT_EQ(expect, ReadCharge(src, len) + WriteCharge(0, len));
+}
+
+TEST_F(PhysMemMoveTest, DestinationStraddlingBoundarySplitsWriteCharge) {
+  const uint64_t len = 256 * kKiB;
+  const Paddr dst = mem_.nvm_base() - 64 * kKiB;  // 64K DRAM + 192K NVM
+  const Paddr src = mem_.nvm_base() + kMiB;
+  const uint64_t t0 = ctx_.now();
+  ASSERT_TRUE(mem_.Move(dst, src, len).ok());
+  const uint64_t expect = ctx_.cost().NvmReadBulkCycles(len) +
+                          ctx_.cost().DramBulkCycles(64 * kKiB) +
+                          ctx_.cost().NvmWriteBulkCycles(192 * kKiB);
+  EXPECT_EQ(ctx_.now() - t0, expect);
+  EXPECT_EQ(expect, ReadCharge(src, len) + WriteCharge(dst, len));
+}
+
+TEST_F(PhysMemMoveTest, MovesDataAndCountsMigratedBytes) {
+  std::vector<uint8_t> data(3 * kPageSize);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7 + 3);
+  }
+  const Paddr src = mem_.nvm_base() + kPageSize / 2;  // unaligned, page-straddling
+  ASSERT_TRUE(mem_.Write(src, data).ok());
+  const uint64_t before = ctx_.counters().tier_migrated_bytes;
+  ASSERT_TRUE(mem_.Move(/*dst=*/kPageSize / 4, src, data.size()).ok());
+  EXPECT_EQ(ctx_.counters().tier_migrated_bytes - before, data.size());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(mem_.Read(kPageSize / 4, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(PhysMemMoveTest, ZeroLengthMoveIsFreeNoOp) {
+  const uint64_t t0 = ctx_.now();
+  const uint64_t before = ctx_.counters().tier_migrated_bytes;
+  ASSERT_TRUE(mem_.Move(/*dst=*/0, /*src=*/mem_.nvm_base(), 0).ok());
+  EXPECT_EQ(ctx_.now(), t0);
+  EXPECT_EQ(ctx_.counters().tier_migrated_bytes, before);
+}
+
+TEST_F(PhysMemMoveTest, OutOfRangeIsRejectedUncharged) {
+  const uint64_t t0 = ctx_.now();
+  const uint64_t total = mem_.total_bytes();
+  EXPECT_EQ(mem_.Move(total - kPageSize, 0, 2 * kPageSize).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mem_.Move(0, total - kPageSize, 2 * kPageSize).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mem_.Move(total, 0, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ctx_.now(), t0);
+  EXPECT_EQ(ctx_.counters().tier_migrated_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace o1mem

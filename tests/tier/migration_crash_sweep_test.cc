@@ -1,0 +1,264 @@
+// Exhaustive crash-point sweep over the tier migration paths: a persistent
+// FOM segment is promoted into the DRAM cache, dirtied through the mapping,
+// and written back three different ways (UserFlush on a promoted span,
+// madvise(kCold) demotion, and demote-on-Unmap). The golden run counts every
+// NVM line-write and flush the migration phase generates; the workload is
+// then re-run once per event index with the fault injector armed to cut
+// power exactly there. After each crash + recovery the segment must hold
+// exactly one of the two patterns the interrupted transition was between --
+// never a mix -- because writeback stages the new bytes in a journaled
+// side file and publishes them with an atomic rename before touching the
+// home extent (copy-then-publish; see MigrationEngine).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/os/system.h"
+
+namespace o1mem {
+namespace {
+
+constexpr uint64_t kSegBytes = 16 * kKiB;
+constexpr char kSegPath[] = "/t/mig";
+
+ProcessImage TinyImage() {
+  return ProcessImage{.code_bytes = kPageSize, .stack_bytes = kPageSize,
+                      .heap_bytes = kPageSize};
+}
+
+SystemConfig SweepConfig(PersistenceModel persistence) {
+  SystemConfig config;
+  config.machine.dram_bytes = 16 * kMiB;
+  config.machine.nvm_bytes = 32 * kMiB;
+  config.machine.persistence = persistence;
+  config.machine.tier.enabled = true;
+  config.machine.tier.dram_cache_bytes = kMiB;
+  config.machine.tier.min_region_bytes = 4 * kPageSize;
+  config.swap_pages = 1024;
+  return config;
+}
+
+std::vector<uint8_t> Pattern(uint8_t salt) {
+  std::vector<uint8_t> data(kSegBytes);
+  for (uint64_t i = 0; i < kSegBytes; ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + salt);
+  }
+  return data;
+}
+
+// One step of the migration workload: `run` transitions the durable segment
+// contents from the previous op's `after` to this op's `after`. A crash
+// mid-op must leave the segment wholly in one of the two.
+struct Op {
+  std::vector<uint8_t> after;
+  std::function<void()> run;
+};
+
+struct Driver {
+  System& sys;
+  Process* proc = nullptr;
+  InodeId inode = kInvalidInode;
+  Vaddr va = 0;
+
+  // Creates + maps the segment holding Pattern(0), durably flushed. Runs
+  // before the swept window, so it is never interrupted.
+  void Setup() {
+    auto launched = sys.Launch(Backend::kFom, TinyImage());
+    O1_CHECK(launched.ok());
+    proc = *launched;
+    auto seg = sys.fom().CreateSegment(kSegPath, kSegBytes,
+                                       SegmentOptions{.flags = {.persistent = true}});
+    O1_CHECK(seg.ok());
+    inode = *seg;
+    auto mapped = sys.fom().Map(proc->fom(), inode, Prot::kReadWrite);
+    O1_CHECK(mapped.ok());
+    va = *mapped;
+    auto data = Pattern(0);
+    O1_CHECK(sys.UserWrite(*proc, va, data).ok());
+    O1_CHECK(sys.UserFlush(*proc, va, kSegBytes).ok());
+  }
+
+  std::vector<Op> MigrationOps() {
+    std::vector<Op> ops;
+    // Promote, dirty with pattern 1, then flush: the staged writeback is
+    // the A -> B transition under test.
+    ops.push_back({Pattern(1), [this] {
+                     O1_CHECK(sys.MadviseTier(*proc, va, kSegBytes, TierHint::kHot).ok());
+                     O1_CHECK(sys.tier()->promoted_bytes() == kSegBytes);
+                     auto data = Pattern(1);
+                     O1_CHECK(sys.UserWrite(*proc, va, data).ok());
+                     O1_CHECK(sys.UserFlush(*proc, va, kSegBytes).ok());
+                   }});
+    // Dirty again and demote via the madvise path.
+    ops.push_back({Pattern(2), [this] {
+                     auto data = Pattern(2);
+                     O1_CHECK(sys.UserWrite(*proc, va, data).ok());
+                     O1_CHECK(sys.MadviseTier(*proc, va, kSegBytes, TierHint::kCold).ok());
+                   }});
+    // Promote + dirty once more, then Unmap: demote-on-unmap writeback.
+    ops.push_back({Pattern(3), [this] {
+                     O1_CHECK(sys.MadviseTier(*proc, va, kSegBytes, TierHint::kHot).ok());
+                     auto data = Pattern(3);
+                     O1_CHECK(sys.UserWrite(*proc, va, data).ok());
+                     O1_CHECK(sys.fom().Unmap(proc->fom(), va).ok());
+                   }});
+    return ops;
+  }
+};
+
+// The recovered segment must hold exactly `before` or `after` -- any mix is
+// torn data, any other bytes are lost data.
+void VerifyRecovered(System& sys, const std::vector<uint8_t>& before,
+                     const std::vector<uint8_t>& after) {
+  ASSERT_TRUE(sys.pmfs().VerifyIntegrity().ok());
+  auto scrub = sys.pmfs().Scrub();
+  ASSERT_TRUE(scrub.ok());
+  ASSERT_EQ(scrub->files_quarantined, 0u);
+  ASSERT_EQ(scrub->media_errors_found, 0u);
+
+  auto inode = sys.pmfs().LookupPath(kSegPath);
+  ASSERT_TRUE(inode.ok()) << "segment lost";
+  std::vector<uint8_t> out(kSegBytes);
+  auto read = sys.pmfs().ReadAt(*inode, 0, out);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(*read, kSegBytes);
+  ASSERT_TRUE(out == before || out == after)
+      << "segment is neither wholly the old nor wholly the new pattern "
+      << "(old salt " << int(before[0] & 0xff) << ", new salt " << int(after[0] & 0xff)
+      << ", got first byte " << int(out[0]) << ")";
+
+  // The mapped view must agree with the fd view after recovery.
+  auto launched = sys.Launch(Backend::kFom, TinyImage());
+  ASSERT_TRUE(launched.ok());
+  auto va = sys.fom().Map((*launched)->fom(), *inode, Prot::kRead);
+  ASSERT_TRUE(va.ok());
+  std::vector<uint8_t> mapped(kSegBytes);
+  ASSERT_TRUE(sys.UserRead(**launched, *va, mapped).ok());
+  ASSERT_EQ(mapped, out);
+  ASSERT_TRUE(sys.fom().Unmap((*launched)->fom(), *va).ok());
+  ASSERT_TRUE(sys.Exit(*launched).ok());
+
+  // Recovery must drain the writeback staging area: no stranded staging or
+  // commit files.
+  auto wb = sys.pmfs().List("/.tier/wb");
+  if (wb.ok()) {
+    for (const DirEntry& e : *wb) {
+      ASSERT_TRUE(e.is_dir) << "stranded staging file " << e.name;
+    }
+  }
+}
+
+enum class SweepEvent { kWrite, kFlush };
+
+// Each (persistence, event) pair is split into kShards ctest cases so the
+// sweep parallelizes; shard s takes indices s, s+kShards, ...
+constexpr int kShards = 4;
+
+struct Param {
+  PersistenceModel persistence;
+  SweepEvent event;
+  int shard = 0;
+};
+
+class MigrationCrashSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(MigrationCrashSweep, EveryMigrationCrashPointRecovers) {
+  const PersistenceModel persistence = GetParam().persistence;
+  const SweepEvent event = GetParam().event;
+  const auto shard = static_cast<uint64_t>(GetParam().shard);
+
+  // Golden run: bound the migration phase's event window and sanity-check
+  // the clean end state.
+  uint64_t first = 0;
+  uint64_t last = 0;
+  {
+    System sys(SweepConfig(persistence));
+    Driver d{sys};
+    d.Setup();
+    FaultInjector& fi = sys.machine().fault_injector();
+    first = event == SweepEvent::kWrite ? fi.nvm_line_writes() : fi.nvm_flushes();
+    auto ops = d.MigrationOps();
+    for (Op& op : ops) {
+      op.run();
+    }
+    last = event == SweepEvent::kWrite ? fi.nvm_line_writes() : fi.nvm_flushes();
+    // The three staged writebacks of a 16 KiB extent must produce a
+    // substantial event window or the sweep is vacuous.
+    ASSERT_GT(last - first, event == SweepEvent::kWrite ? 300u : 6u);
+    ASSERT_TRUE(sys.Crash().ok());
+    VerifyRecovered(sys, Pattern(3), Pattern(3));
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  SCOPED_TRACE("sweeping shard " + std::to_string(shard) + " of " +
+               std::to_string(last - first) + " migration crash points");
+
+  for (uint64_t index = first + shard; index < last; index += kShards) {
+    System sys(SweepConfig(persistence));
+    Driver d{sys};
+    d.Setup();
+
+    FaultInjector& fi = sys.machine().fault_injector();
+    if (persistence == PersistenceModel::kExplicitFlush) {
+      // Unflushed lines land partially, not all-revert: the harshest model
+      // for a writeback that bypassed the staging protocol.
+      fi.EnableTornPersists(/*seed=*/index * 2654435761ull + 1, /*persist_percent=*/50);
+    }
+    if (event == SweepEvent::kWrite) {
+      fi.ArmCrashAtNvmWrite(index);
+    } else {
+      fi.ArmCrashAtFlush(index);
+    }
+
+    std::vector<uint8_t> before = Pattern(0);
+    std::vector<uint8_t> after = Pattern(0);
+    for (Op& op : d.MigrationOps()) {
+      before = after;
+      after = op.after;
+      op.run();
+      if (fi.triggered()) {
+        break;
+      }
+    }
+    ASSERT_TRUE(fi.triggered()) << "index " << index << " never fired";
+    ASSERT_TRUE(sys.Crash().ok()) << "index " << index;
+    {
+      SCOPED_TRACE("crash index " + std::to_string(index));
+      VerifyRecovered(sys, before, after);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  std::string name = info.param.persistence == PersistenceModel::kAutoDurable
+                         ? "Auto"
+                         : "Strict";
+  name += info.param.event == SweepEvent::kWrite ? "Writes" : "Flushes";
+  name += "Shard" + std::to_string(info.param.shard);
+  return name;
+}
+
+std::vector<Param> SweepParams() {
+  std::vector<Param> params;
+  for (PersistenceModel persistence :
+       {PersistenceModel::kAutoDurable, PersistenceModel::kExplicitFlush}) {
+    for (SweepEvent event : {SweepEvent::kWrite, SweepEvent::kFlush}) {
+      for (int shard = 0; shard < kShards; ++shard) {
+        params.push_back(Param{persistence, event, shard});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MigrationCrashSweep, ::testing::ValuesIn(SweepParams()),
+                         ParamName);
+
+}  // namespace
+}  // namespace o1mem

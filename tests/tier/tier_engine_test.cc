@@ -1,0 +1,344 @@
+// TierEngine end to end, through the System syscall surface: promotion after
+// sustained heat, madvise-style hints, dirty writeback on UserFlush, demotion
+// with durable writeback, fd-I/O coherence, canonical-layout restoration on
+// Unmap/Protect, the DRAM watermark, untierable mechanisms, and crash
+// recovery of the staging area.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/os/system.h"
+
+namespace o1mem {
+namespace {
+
+SystemConfig TierOn(uint64_t cache_bytes = 8 * kMiB) {
+  SystemConfig config;
+  config.machine.dram_bytes = 64 * kMiB;
+  config.machine.nvm_bytes = 128 * kMiB;
+  config.machine.tier.enabled = true;
+  config.machine.tier.dram_cache_bytes = cache_bytes;
+  config.machine.tier.aggregation_ticks = 2;
+  config.machine.tier.min_region_bytes = 16 * kPageSize;
+  config.machine.tier.promote_after = 1;
+  config.machine.tier.demote_after = 2;
+  return config;
+}
+
+ProcessImage TinyImage() {
+  return ProcessImage{.code_bytes = kPageSize, .stack_bytes = kPageSize,
+                      .heap_bytes = kPageSize};
+}
+
+std::vector<uint8_t> Pattern(uint64_t n, uint8_t salt) {
+  std::vector<uint8_t> data(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>(i * 13 + salt);
+  }
+  return data;
+}
+
+class TierEngineTest : public ::testing::Test {
+ protected:
+  void Boot(const SystemConfig& config) {
+    sys_ = std::make_unique<System>(config);
+    auto launched = sys_->Launch(Backend::kFom, TinyImage());
+    ASSERT_TRUE(launched.ok());
+    proc_ = *launched;
+  }
+
+  // Creates a persistent segment holding Pattern(bytes, salt), durably
+  // flushed, and maps it read-write.
+  void MakeSegment(const std::string& path, uint64_t bytes, uint8_t salt,
+                   std::optional<MapMechanism> mech = std::nullopt) {
+    auto seg = sys_->fom().CreateSegment(path, bytes,
+                                         SegmentOptions{.flags = {.persistent = true}});
+    ASSERT_TRUE(seg.ok());
+    inode_ = *seg;
+    auto va = sys_->fom().Map(proc_->fom(), *seg, Prot::kReadWrite,
+                              MapOptions{.mechanism = mech});
+    ASSERT_TRUE(va.ok());
+    va_ = *va;
+    bytes_ = bytes;
+    auto data = Pattern(bytes, salt);
+    ASSERT_TRUE(sys_->UserWrite(*proc_, va_, data).ok());
+    ASSERT_TRUE(sys_->UserFlush(*proc_, va_, bytes).ok());
+  }
+
+  std::vector<uint8_t> ReadMapped(uint64_t off, uint64_t len) {
+    std::vector<uint8_t> out(len);
+    O1_CHECK(sys_->UserRead(*proc_, va_ + off, out).ok());
+    return out;
+  }
+
+  std::vector<uint8_t> ReadHome(uint64_t off, uint64_t len) {
+    std::vector<uint8_t> out(len);
+    auto read = sys_->pmfs().ReadAt(inode_, off, out);
+    O1_CHECK(read.ok() && *read == len);
+    return out;
+  }
+
+  std::unique_ptr<System> sys_;
+  Process* proc_ = nullptr;
+  InodeId inode_ = kInvalidInode;
+  Vaddr va_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+TEST_F(TierEngineTest, DisabledSystemHasNoEngine) {
+  System sys;  // all defaults: tier off
+  EXPECT_EQ(sys.tier(), nullptr);
+  EXPECT_EQ(sys.TierTick().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(sys.phys_manager().dram_cache_bytes(), 0u);
+}
+
+TEST_F(TierEngineTest, CacheZoneIsCarvedWhenEnabled) {
+  Boot(TierOn());
+  ASSERT_NE(sys_->tier(), nullptr);
+  EXPECT_EQ(sys_->phys_manager().dram_cache_bytes(), 8 * kMiB);
+  EXPECT_EQ(sys_->phys_manager().dram_cache_used(), 0u);
+}
+
+TEST_F(TierEngineTest, SustainedHeatPromotesViaTicks) {
+  Boot(TierOn());
+  MakeSegment("/t/hot", 4 * kMiB, /*salt=*/1);
+  const uint64_t hot_len = 64 * kPageSize;
+  // Touch the hot prefix every tick until the policy promotes it.
+  for (int t = 0; t < 64 && sys_->ctx().counters().tier_promotions == 0; ++t) {
+    ASSERT_TRUE(sys_->UserTouch(*proc_, va_, hot_len, AccessType::kRead).ok());
+    ASSERT_TRUE(sys_->TierTick().ok());
+  }
+  EXPECT_GT(sys_->ctx().counters().tier_promotions, 0u);
+  EXPECT_GT(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_GT(sys_->phys_manager().dram_cache_used(), 0u);
+  // A promoted extent must overlap the hot prefix, and reads still see the
+  // original bytes.
+  bool overlaps_hot = false;
+  for (const PromotedExtent& e : sys_->tier()->PromotedOf(inode_)) {
+    if (e.off < hot_len) {
+      overlaps_hot = true;
+    }
+  }
+  EXPECT_TRUE(overlaps_hot);
+  EXPECT_EQ(ReadMapped(0, hot_len), Pattern(hot_len, 1));
+  const uint64_t hits0 = sys_->ctx().counters().tier_hot_hits_dram;
+  ASSERT_TRUE(sys_->UserTouch(*proc_, va_, kPageSize, AccessType::kRead).ok());
+  EXPECT_GT(sys_->ctx().counters().tier_hot_hits_dram, hits0);
+}
+
+TEST_F(TierEngineTest, ColdPromotedExtentIsDemotedViaTicks) {
+  Boot(TierOn());
+  MakeSegment("/t/cool", 2 * kMiB, /*salt=*/2);
+  ASSERT_TRUE(sys_->tier()->Advise(proc_->fom(), va_, bytes_, TierHint::kHot).ok());
+  ASSERT_GT(sys_->tier()->promoted_bytes(), 0u);
+  // No accesses at all: cold streaks build and the extents come back home.
+  for (int t = 0; t < 64 && sys_->tier()->promoted_bytes() > 0; ++t) {
+    ASSERT_TRUE(sys_->TierTick().ok());
+  }
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_GT(sys_->ctx().counters().tier_demotions, 0u);
+  EXPECT_EQ(sys_->phys_manager().dram_cache_used(), 0u);
+  EXPECT_EQ(ReadMapped(0, bytes_), Pattern(bytes_, 2));
+}
+
+TEST_F(TierEngineTest, AdviseHotPromotesAndColdWritesBack) {
+  Boot(TierOn());
+  MakeSegment("/t/adv", 1 * kMiB, /*salt=*/3);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), bytes_);
+  // Dirty the promoted copy, then demote: the new bytes must be written back
+  // to the NVM home durably.
+  auto fresh = Pattern(bytes_, 4);
+  ASSERT_TRUE(sys_->UserWrite(*proc_, va_, fresh).ok());
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kCold).ok());
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_GT(sys_->ctx().counters().tier_writeback_bytes, 0u);
+  EXPECT_EQ(ReadHome(0, bytes_), fresh);
+  EXPECT_EQ(ReadMapped(0, bytes_), fresh);
+}
+
+TEST_F(TierEngineTest, UserFlushWritesBackDirtySpanAndStaysPromoted) {
+  Boot(TierOn());
+  MakeSegment("/t/flush", 1 * kMiB, /*salt=*/5);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  auto fresh = Pattern(bytes_, 6);
+  ASSERT_TRUE(sys_->UserWrite(*proc_, va_, fresh).ok());
+  // Home still holds the old bytes; the dirty data lives in the DRAM cache.
+  EXPECT_EQ(ReadHome(0, bytes_), Pattern(bytes_, 5));
+  ASSERT_TRUE(sys_->UserFlush(*proc_, va_, bytes_).ok());
+  EXPECT_EQ(ReadHome(0, bytes_), fresh);
+  auto promoted = sys_->tier()->PromotedOf(inode_);
+  ASSERT_FALSE(promoted.empty());
+  for (const PromotedExtent& e : promoted) {
+    EXPECT_FALSE(e.dirty);
+  }
+  EXPECT_EQ(ReadMapped(0, bytes_), fresh);
+}
+
+TEST_F(TierEngineTest, FdWriteDemotesOverlappingExtents) {
+  Boot(TierOn());
+  MakeSegment("/t/fdio", 1 * kMiB, /*salt=*/7);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  ASSERT_GT(sys_->tier()->promoted_bytes(), 0u);
+  auto fd = sys_->Open(*proc_, "/t/fdio");
+  ASSERT_TRUE(fd.ok());
+  auto patch = Pattern(2 * kPageSize, 8);
+  ASSERT_TRUE(sys_->Pwrite(*proc_, *fd, kPageSize, patch).ok());
+  // The write went to the home copy, so the promoted extent had to go first.
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_EQ(ReadMapped(kPageSize, 2 * kPageSize), patch);
+  ASSERT_TRUE(sys_->Close(*proc_, *fd).ok());
+}
+
+TEST_F(TierEngineTest, FdReadOfDirtySpanSeesFreshBytes) {
+  Boot(TierOn());
+  MakeSegment("/t/fdrd", 1 * kMiB, /*salt=*/9);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  auto fresh = Pattern(bytes_, 10);
+  ASSERT_TRUE(sys_->UserWrite(*proc_, va_, fresh).ok());
+  auto fd = sys_->Open(*proc_, "/t/fdrd");
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> out(bytes_);
+  auto read = sys_->Pread(*proc_, *fd, 0, out);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(*read, bytes_);
+  EXPECT_EQ(out, fresh);
+  ASSERT_TRUE(sys_->Close(*proc_, *fd).ok());
+}
+
+TEST_F(TierEngineTest, UnmapWithPromotedExtentsRestoresCanonicalLayout) {
+  Boot(TierOn());
+  MakeSegment("/t/unmap", 1 * kMiB, /*salt=*/11);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  auto fresh = Pattern(bytes_, 12);
+  ASSERT_TRUE(sys_->UserWrite(*proc_, va_, fresh).ok());
+  ASSERT_TRUE(sys_->fom().Unmap(proc_->fom(), va_).ok());
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_EQ(sys_->phys_manager().dram_cache_used(), 0u);
+  // Remap: the dirty cache copy was written back on demote, so the segment
+  // still holds the freshest bytes.
+  auto va = sys_->fom().Map(proc_->fom(), inode_, Prot::kRead);
+  ASSERT_TRUE(va.ok());
+  va_ = *va;
+  EXPECT_EQ(ReadMapped(0, bytes_), fresh);
+}
+
+TEST_F(TierEngineTest, ProtectWithPromotedExtentsRestoresThenApplies) {
+  Boot(TierOn());
+  MakeSegment("/t/prot", 1 * kMiB, /*salt=*/13);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  ASSERT_TRUE(sys_->fom().Protect(proc_->fom(), va_, Prot::kRead).ok());
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_EQ(ReadMapped(0, bytes_), Pattern(bytes_, 13));
+  std::vector<uint8_t> byte(1, 0xaa);
+  EXPECT_FALSE(sys_->UserWrite(*proc_, va_, byte).ok());
+}
+
+TEST_F(TierEngineTest, PtSpliceMappingPromotesWholeWindows) {
+  SystemConfig config = TierOn();
+  config.fom.default_mechanism = MapMechanism::kPtSplice;
+  Boot(config);
+  MakeSegment("/t/splice", 4 * kMiB, /*salt=*/14);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, 2 * kMiB, TierHint::kHot).ok());
+  auto promoted = sys_->tier()->PromotedOf(inode_);
+  ASSERT_FALSE(promoted.empty());
+  for (const PromotedExtent& e : promoted) {
+    EXPECT_TRUE(IsAligned(e.off, kLargePageSize));
+    EXPECT_EQ(e.bytes, kLargePageSize);
+  }
+  auto fresh = Pattern(kLargePageSize, 15);
+  ASSERT_TRUE(sys_->UserWrite(*proc_, va_, fresh).ok());
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, 2 * kMiB, TierHint::kCold).ok());
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_EQ(ReadMapped(0, kLargePageSize), fresh);
+  EXPECT_EQ(ReadHome(0, kLargePageSize), fresh);
+}
+
+TEST_F(TierEngineTest, PerPageMappingIsUntierable) {
+  Boot(TierOn());
+  MakeSegment("/t/pp", 1 * kMiB, /*salt=*/16, MapMechanism::kPerPage);
+  EXPECT_EQ(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(sys_->tier()->promoted_bytes(), 0u);
+}
+
+TEST_F(TierEngineTest, WatermarkBoundsPromotion) {
+  SystemConfig config = TierOn(/*cache_bytes=*/2 * kMiB);
+  config.machine.tier.dram_watermark = 0.5;
+  Boot(config);
+  MakeSegment("/t/wm", 4 * kMiB, /*salt=*/17);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  EXPECT_LE(sys_->tier()->promoted_bytes(), kMiB);
+  EXPECT_LE(sys_->phys_manager().dram_cache_used(), kMiB);
+  EXPECT_EQ(ReadMapped(0, bytes_), Pattern(bytes_, 17));
+}
+
+TEST_F(TierEngineTest, MadviseRejectsUnmappedAndBaselineTargets) {
+  Boot(TierOn());
+  EXPECT_EQ(sys_->MadviseTier(*proc_, 0xdead000, kPageSize, TierHint::kHot).code(),
+            StatusCode::kNotFound);
+  auto base = sys_->Launch(Backend::kBaseline, TinyImage());
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(sys_->MadviseTier(**base, 0, kPageSize, TierHint::kHot).code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(TierEngineTest, CrashDropsPromotedStateAndRecovers) {
+  Boot(TierOn());
+  MakeSegment("/t/crash", 1 * kMiB, /*salt=*/18);
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  auto fresh = Pattern(bytes_, 19);
+  ASSERT_TRUE(sys_->UserWrite(*proc_, va_, fresh).ok());
+  ASSERT_TRUE(sys_->UserFlush(*proc_, va_, bytes_).ok());  // durable point
+  ASSERT_TRUE(sys_->Crash().ok());
+  ASSERT_TRUE(sys_->pmfs().VerifyIntegrity().ok());
+  // The engine was rebuilt, the cache is empty, and the flushed bytes are
+  // exactly what the file holds.
+  ASSERT_NE(sys_->tier(), nullptr);
+  EXPECT_EQ(sys_->phys_manager().dram_cache_used(), 0u);
+  auto found = sys_->pmfs().LookupPath("/t/crash");
+  ASSERT_TRUE(found.ok());
+  inode_ = *found;
+  EXPECT_EQ(ReadHome(0, bytes_), fresh);
+  // And the rebuilt engine still promotes.
+  auto launched = sys_->Launch(Backend::kFom, TinyImage());
+  ASSERT_TRUE(launched.ok());
+  proc_ = *launched;
+  auto va = sys_->fom().Map(proc_->fom(), inode_, Prot::kReadWrite);
+  ASSERT_TRUE(va.ok());
+  va_ = *va;
+  ASSERT_TRUE(sys_->MadviseTier(*proc_, va_, bytes_, TierHint::kHot).ok());
+  EXPECT_GT(sys_->tier()->promoted_bytes(), 0u);
+  EXPECT_EQ(ReadMapped(0, bytes_), fresh);
+}
+
+TEST_F(TierEngineTest, DisabledTierIsCycleIdenticalToSeed) {
+  // Same workload on a default machine and on one with the tier struct
+  // explicitly defaulted: identical clocks and counters.
+  auto run = [](const SystemConfig& config) {
+    System sys(config);
+    auto launched = sys.Launch(Backend::kFom, TinyImage());
+    O1_CHECK(launched.ok());
+    Process* proc = *launched;
+    auto seg = sys.fom().CreateSegment("/t/seed", kMiB,
+                                       SegmentOptions{.flags = {.persistent = true}});
+    O1_CHECK(seg.ok());
+    auto va = sys.fom().Map(proc->fom(), *seg, Prot::kReadWrite);
+    O1_CHECK(va.ok());
+    auto data = Pattern(kMiB, 20);
+    O1_CHECK(sys.UserWrite(*proc, *va, data).ok());
+    O1_CHECK(sys.UserFlush(*proc, *va, kMiB).ok());
+    std::vector<uint8_t> out(kMiB);
+    O1_CHECK(sys.UserRead(*proc, *va, out).ok());
+    O1_CHECK(sys.fom().Unmap(proc->fom(), *va).ok());
+    return sys.ctx().now();
+  };
+  SystemConfig defaulted;
+  SystemConfig explicit_off;
+  explicit_off.machine.tier = TierConfig{};
+  EXPECT_EQ(run(defaulted), run(explicit_off));
+}
+
+}  // namespace
+}  // namespace o1mem

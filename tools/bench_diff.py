@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files produced by bench/run_all.sh.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+
+Prints a per-metric / per-table-cell diff and exits nonzero when any *cost*
+series (simulated cycles or time: column or metric names containing "cycles",
+"c/op", "us", "ns" or "time") regressed by more than the threshold (default
+10%). Non-cost series (hit rates, byte gauges, ratios) are printed for
+context but never fail the diff. Stdlib only, so it runs anywhere CI does.
+"""
+
+import json
+import re
+import sys
+
+COST_PATTERN = re.compile(r"(cycles|c/op|\bus\b|\bns\b|_us$|_ns$|time)", re.IGNORECASE)
+
+
+def is_cost_name(name: str) -> bool:
+    return COST_PATTERN.search(name) is not None
+
+
+def as_number(cell):
+    """Numeric value of a metric or table cell, or None (labels, sizes)."""
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    if not isinstance(cell, str):
+        return None
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def compare(name, old, new, threshold, regressions, report):
+    if old is None or new is None:
+        return
+    if old == 0:
+        delta = 0.0 if new == 0 else float("inf")
+    else:
+        delta = (new - old) / abs(old)
+    cost = is_cost_name(name)
+    flag = ""
+    if cost and delta > threshold:
+        regressions.append((name, old, new, delta))
+        flag = "  <-- REGRESSION"
+    elif abs(delta) > threshold:
+        flag = "  (changed)"
+    if flag or cost:
+        report.append(f"  {name}: {old:g} -> {new:g} ({delta:+.1%}){flag}")
+
+
+def table_by_title(doc):
+    return {t.get("title", ""): t for t in doc.get("metrics", {}).get("tables", [])}
+
+
+def rows_by_label(table):
+    """Rows keyed by first column; duplicate labels get a #N suffix so
+    repeated sweep points (e.g. two '16M' rows at different skews) still
+    pair up positionally."""
+    out = {}
+    seen = {}
+    for row in table.get("rows", []):
+        if not row:
+            continue
+        n = seen.get(row[0], 0)
+        seen[row[0]] = n + 1
+        out[row[0] if n == 0 else f"{row[0]}#{n}"] = row
+    return out
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(paths[0]) as f:
+        old_doc = json.load(f)
+    with open(paths[1]) as f:
+        new_doc = json.load(f)
+
+    if old_doc.get("bench") != new_doc.get("bench"):
+        print(
+            f"warning: comparing different benches "
+            f"({old_doc.get('bench')} vs {new_doc.get('bench')})",
+            file=sys.stderr,
+        )
+
+    regressions = []
+    report = [f"bench: {new_doc.get('bench')}  (threshold {threshold:.0%})"]
+
+    old_metrics = old_doc.get("metrics", {})
+    new_metrics = new_doc.get("metrics", {})
+    for key, old_val in old_metrics.items():
+        if key == "tables":
+            continue
+        compare(key, as_number(old_val), as_number(new_metrics.get(key)), threshold,
+                regressions, report)
+
+    new_tables = table_by_title(new_doc)
+    for title, old_table in table_by_title(old_doc).items():
+        new_table = new_tables.get(title)
+        if new_table is None:
+            report.append(f"  table dropped: {title}")
+            continue
+        columns = old_table.get("columns", [])
+        new_columns = new_table.get("columns", [])
+        new_rows = rows_by_label(new_table)
+        for label, old_row in rows_by_label(old_table).items():
+            new_row = new_rows.get(label)
+            if new_row is None:
+                report.append(f"  row dropped: {title} / {label}")
+                continue
+            for i, col in enumerate(columns):
+                if i == 0 or col not in new_columns:
+                    continue
+                j = new_columns.index(col)
+                if i < len(old_row) and j < len(new_row):
+                    compare(f"{label} / {col}", as_number(old_row[i]),
+                            as_number(new_row[j]), threshold, regressions, report)
+
+    print("\n".join(report))
+    if regressions:
+        print(f"\n{len(regressions)} cost regression(s) above {threshold:.0%}:")
+        for name, old, new, delta in regressions:
+            print(f"  {name}: {old:g} -> {new:g} ({delta:+.1%})")
+        return 1
+    print("\nno cost regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
