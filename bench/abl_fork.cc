@@ -67,6 +67,7 @@ ForkCosts MeasureFom(uint64_t bytes) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_fork", argc, argv);
+  InitBenchObs(argc, argv);
   Table table(
       "Ablation: fork() cost vs resident size -- baseline COW fork (O(pages)) vs FOM "
       "share-on-fork (O(mappings))");

@@ -112,6 +112,7 @@ SwapCosts MeasureSwap(bool large) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_hugepages", argc, argv);
+  InitBenchObs(argc, argv);
   constexpr uint64_t kBytes = 512 * kMiB;
   const TouchCosts small = MeasureBaseline(kBytes, false);
   const TouchCosts large = MeasureBaseline(kBytes, true);

@@ -58,6 +58,7 @@ Row Measure(uint64_t dram_bytes) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_metadata", argc, argv);
+  InitBenchObs(argc, argv);
   Table table(
       "Ablation: metadata to manage M bytes -- per-page struct page vs FOM per-file "
       "(64 files)");

@@ -38,6 +38,7 @@ double FomPinUs(uint64_t bytes) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_pinning", argc, argv);
+  InitBenchObs(argc, argv);
   Table table("Ablation: pin a DMA buffer -- per-page mlock vs FOM implicit pinning");
   table.AddRow({"size", "baseline mlock us", "fom pin us", "speedup"});
   struct Row {

@@ -109,6 +109,7 @@ ShootdownTraffic MeasureShootdownTraffic(uint64_t bytes, bool batched) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_reclaim", argc, argv);
+  InitBenchObs(argc, argv);
   Table table(
       "Ablation: reclaim half of W resident bytes -- page scanning + swap (clock/2Q) vs "
       "FOM file deletion (simulated)");

@@ -101,6 +101,7 @@ Row MeasureFileCount(uint64_t files) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_recovery", argc, argv);
+  InitBenchObs(argc, argv);
 
   Table by_journal("Ablation: recovery and online scrub latency vs journal length "
                    "(8 files, simulated us)");

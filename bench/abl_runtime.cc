@@ -119,6 +119,7 @@ RestartCosts MeasureRestart(uint64_t object_bytes) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_runtime", argc, argv);
+  InitBenchObs(argc, argv);
   Table frees("Ablation: free N 96-byte objects -- per-object free vs O(1) arena reset");
   frees.AddRow({"objects", "per-object free us", "arena reset us", "ratio"});
   for (int objects : {1000, 10000, 100000}) {

@@ -144,6 +144,7 @@ ShootdownResult MeasureShootdown(int cpus, bool batched) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_smp_scaling", argc, argv);
+  InitBenchObs(argc, argv);
   const std::vector<int> cpu_counts = {1, 2, 4, 8, 16};
   json.Config("region_bytes", static_cast<double>(RegionBytes()));
 

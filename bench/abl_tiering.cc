@@ -201,6 +201,7 @@ Overhead MeasureOverhead(uint64_t bytes) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_tiering", argc, argv);
+  InitBenchObs(argc, argv);
 
   Table conv(
       "Tiering convergence: hot-extent access vs pure DRAM / NVM home under zipf "

@@ -75,6 +75,7 @@ WalkCosts MeasureRange(bool virtualized) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_virt_walks", argc, argv);
+  InitBenchObs(argc, argv);
   const WalkCosts native4 = MeasurePageWalks(4, false);
   const WalkCosts native5 = MeasurePageWalks(5, false);
   const WalkCosts virt4 = MeasurePageWalks(4, true);

@@ -100,6 +100,7 @@ AnonZeroing MeasureAnonFaults(uint64_t bytes, bool fast_paths) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("abl_zeroing", argc, argv);
+  InitBenchObs(argc, argv);
   Table table(
       "Ablation: eager zeroing vs zero-epoch (O(1) erase) on recycled NVM blocks "
       "(simulated us)");

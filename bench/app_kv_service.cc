@@ -23,6 +23,16 @@ constexpr uint64_t kRecordBytes = 1024;
 constexpr int kOps = 20000;
 constexpr uint64_t kRecords = kStateBytes / kRecordBytes;
 
+// --procfs-dump: print the /proc-style snapshot of each backend's System at
+// the end of its run (meminfo/vmstat/tierstat/pmfs/trace/latency sections).
+bool g_procfs_dump = false;
+
+void MaybeProcfsDump(System& sys, const char* which) {
+  if (g_procfs_dump) {
+    std::printf("\n--- procfs snapshot (%s) ---\n%s", which, sys.DumpProcSnapshot().c_str());
+  }
+}
+
 struct Phase {
   double startup_us;
   double ops_us;
@@ -123,6 +133,7 @@ Phase RunBaseline(int workers) {
                                System::ReclaimPolicy::kClock)
                .ok());
   phase.pressure_us = timer.ElapsedUs();
+  MaybeProcfsDump(sys, "baseline");
   return phase;
 }
 
@@ -233,6 +244,7 @@ Phase RunFom(int workers, bool tier) {
   timer.Restart();
   O1_CHECK(sys.ReclaimFom(kStateBytes / 4).ok());
   phase.pressure_us = timer.ElapsedUs();
+  MaybeProcfsDump(sys, "fom");
   return phase;
 }
 
@@ -242,6 +254,7 @@ Phase RunFom(int workers, bool tier) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("app_kv_service", argc, argv);
+  InitBenchObs(argc, argv);
   int workers = 1;
   if (auto w = ExtractFlag(argc, argv, "workers")) {
     workers = std::max(1, std::atoi(w->c_str()));
@@ -250,6 +263,7 @@ int main(int argc, char** argv) {
   if (auto t = ExtractFlag(argc, argv, "tier")) {
     tier = (*t == "on");
   }
+  g_procfs_dump = ExtractBoolFlag(argc, argv, "procfs-dump");
   json.Config("workers", static_cast<double>(workers));
   json.Config("tier", tier ? "on" : "off");
   const Phase baseline = RunBaseline(workers);

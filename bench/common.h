@@ -15,9 +15,13 @@
 
 #include <cstdlib>
 #include <functional>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/json_out.h"
+#include "src/obs/exporters.h"
 #include "src/os/malloc.h"
 #include "src/os/system.h"
 #include "src/support/table.h"
@@ -46,12 +50,62 @@ inline std::vector<uint64_t> MaybeShrink(std::vector<uint64_t> sizes) {
   return kept;
 }
 
-// Default bench machine: 4 GiB DRAM + 16 GiB NVM at 2 GHz.
+// Observability collected across every System a bench builds (benches make
+// one machine per measurement): histogram registries merge, trace rings
+// drain into per-System Chrome pid groups. Recording never charges cycles
+// (src/obs/observer.h), so enabling it cannot move any printed number.
+struct BenchObsState {
+  std::optional<std::string> trace_path;  // --trace=<path>, unset = no trace
+  HistogramRegistry hist;                 // merged across all Systems
+  std::vector<TraceGroup> groups;         // one Chrome pid per drained System
+  uint64_t next_pid = 1;
+  double cpu_ghz = 2.0;  // for cycle->us conversion in the trace file
+};
+
+inline BenchObsState& BenchObs() {
+  static BenchObsState state;
+  return state;
+}
+
+// Call first in main (before BenchConfig() is used): pulls --trace=<path>
+// out of argv -- google-benchmark aborts on flags it does not know -- and
+// arms the trace ring for every System built via BenchConfig().
+inline void InitBenchObs(int& argc, char** argv) {
+  BenchObs().trace_path = ExtractFlag(argc, argv, "trace");
+}
+
+// Drains `sys`'s observer into the bench-wide state: histograms merge,
+// trace events (if any) become one pid group. SimTimer calls this on
+// destruction; helpers without a timer can call it directly before their
+// System dies. Safe to call repeatedly (drain semantics, no double count).
+inline void CaptureObs(System& sys) {
+  BenchObsState& state = BenchObs();
+  Observer& obs = sys.machine().observer();
+  state.cpu_ghz = sys.ctx().cost().cpu_ghz;
+  if (obs.hist() != nullptr) {
+    state.hist.Merge(*obs.hist());
+    obs.hist()->Reset();
+  }
+  if (obs.ring() != nullptr && obs.ring()->total_pushed() != 0) {
+    TraceGroup group;
+    group.pid = state.next_pid++;
+    group.label = "sys" + std::to_string(group.pid);
+    group.dropped = obs.ring()->dropped();
+    group.events = obs.ring()->Drain();
+    state.groups.push_back(std::move(group));
+  }
+}
+
+// Default bench machine: 4 GiB DRAM + 16 GiB NVM at 2 GHz. Histograms are
+// always on (free: the observer never charges cycles); the trace ring only
+// when --trace was passed.
 inline SystemConfig BenchConfig() {
   SystemConfig config;
   config.machine.dram_bytes = 4 * kGiB;
   config.machine.nvm_bytes = 16 * kGiB;
   config.tmpfs_quota_bytes = 3 * kGiB;
+  config.machine.obs.histograms = true;
+  config.machine.obs.trace = BenchObs().trace_path.has_value();
   return config;
 }
 
@@ -88,6 +142,33 @@ inline TierOccupancy& LastOccupancy() {
 
 inline void CaptureOccupancy(System& sys) { LastOccupancy() = sys.Occupancy(); }
 
+// Mirrors the merged latency histograms as a table in the bench JSON (one
+// row per non-empty (op, size class) slot). Column names carry "cycles" so
+// tools/bench_diff.py gates the tail latencies like any other cost column.
+inline void RecordLatency(BenchJson& json) {
+  const BenchObsState& state = BenchObs();
+  Table table("latency histograms (cycles)");
+  table.AddRow({"op", "class", "count", "p50_cycles", "p99_cycles", "max_cycles"});
+  state.hist.ForEachNonEmpty([&table](TraceKind kind, SizeClass size_class,
+                                      const LatencyHistogram& h) {
+    table.AddRow({TraceKindName(kind), SizeClassName(size_class),
+                  std::to_string(h.count()), std::to_string(h.Percentile(50)),
+                  std::to_string(h.Percentile(99)), std::to_string(h.max())});
+  });
+  json.AddTable(table);
+}
+
+// Writes the merged Chrome trace when --trace=<path> was passed.
+inline void WriteBenchTrace() {
+  const BenchObsState& state = BenchObs();
+  if (!state.trace_path.has_value()) {
+    return;
+  }
+  if (!WriteChromeTraceFile(*state.trace_path, state.groups, state.cpu_ghz)) {
+    std::fprintf(stderr, "cannot write trace %s\n", state.trace_path->c_str());
+  }
+}
+
 inline void RecordOccupancy(BenchJson& json) {
   const TierOccupancy& o = LastOccupancy();
   json.Metric("dram_total_bytes", static_cast<double>(o.dram_total_bytes));
@@ -99,15 +180,24 @@ inline void RecordOccupancy(BenchJson& json) {
   json.Metric("dram_cache_bytes", static_cast<double>(o.dram_cache_bytes));
   json.Metric("dram_cache_used_bytes", static_cast<double>(o.dram_cache_used_bytes));
   json.Metric("dram_cache_free_bytes", static_cast<double>(o.dram_cache_free_bytes));
+  // Every main calls RecordOccupancy once right before json.Write(); ride
+  // along so each bench also gets the latency table and its --trace file
+  // without per-bench wiring.
+  RecordLatency(json);
+  WriteBenchTrace();
 }
 
 // RAII stopwatch over the simulated clock.
 class SimTimer {
  public:
   explicit SimTimer(System& sys) : sys_(sys), start_(sys.ctx().now()) {}
-  // Leaves a final occupancy snapshot behind (the System outlives the
-  // timer's scope), so every timed measurement feeds RecordOccupancy.
-  ~SimTimer() { CaptureOccupancy(sys_); }
+  // Leaves a final occupancy snapshot behind and drains the observer (the
+  // System outlives the timer's scope), so every timed measurement feeds
+  // RecordOccupancy/RecordLatency and the merged --trace file.
+  ~SimTimer() {
+    CaptureOccupancy(sys_);
+    CaptureObs(sys_);
+  }
   double ElapsedUs() const { return sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - start_); }
   void Restart() { start_ = sys_.ctx().now(); }
 

@@ -84,6 +84,7 @@ void RegisterGbench(const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("fig1a_mmap_cost", argc, argv);
+  InitBenchObs(argc, argv);
   const std::vector<Row> rows = RunSweep();
   Table table(
       "Figure 1a/6a: mmap() cost vs file size (simulated us; paper: demand flat, populate "

@@ -66,6 +66,7 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("fig1b_touch_pages", argc, argv);
+  InitBenchObs(argc, argv);
   std::vector<Row> rows;
   for (uint64_t size : FileSizeSweep()) {
     rows.push_back(Row{.size = size,

@@ -107,6 +107,7 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("fig2_alloc_anon_vs_pmfs", argc, argv);
+  InitBenchObs(argc, argv);
   std::vector<Row> rows;
   for (int pages : {1, 2, 4, 16, 64, 256, 1024, 4096, 16384}) {
     const auto n = static_cast<uint64_t>(pages);

@@ -29,6 +29,7 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("fig3_shared_mappings", argc, argv);
+  InitBenchObs(argc, argv);
   const std::vector<int> proc_counts = {1, 2, 4, 8, 16, 32};
   std::vector<Row> rows;
 

@@ -106,6 +106,7 @@ Row RunOne(int procs, int files) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("fig8_pbm", argc, argv);
+  InitBenchObs(argc, argv);
   std::vector<Row> rows;
   for (int procs : {1, 2, 4, 8, 16}) {
     rows.push_back(RunOne(procs, /*files=*/16));

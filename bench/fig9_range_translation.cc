@@ -81,6 +81,7 @@ AccessCosts MeasureAccess(MapMechanism mech) {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("fig9_range_translation", argc, argv);
+  InitBenchObs(argc, argv);
 
   Table ops(
       "Figure 9 (part 1): map/protect/unmap cost vs size (simulated us) -- per-page vs "

@@ -39,6 +39,21 @@ inline std::optional<std::string> ExtractFlag(int& argc, char** argv, const std:
   return std::nullopt;
 }
 
+// Removes a bare `--name` from argv; true when it was present.
+inline bool ExtractBoolFlag(int& argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) {
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
 inline std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

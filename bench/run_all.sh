@@ -38,8 +38,14 @@ for bench in "${BENCHES[@]}"; do
   fi
   echo "=== $bench ==="
   # The tables are simulated and already measured; skip the google-benchmark
-  # re-run (filter matches nothing) so the sweep stays fast.
-  "$bin" "--json=$OUT_DIR/BENCH_$bench.json" '--benchmark_filter=^$'
+  # re-run (filter matches nothing) so the sweep stays fast. app_kv_service
+  # also writes one sample Chrome trace (TRACE_*.json, Perfetto-loadable) so
+  # every artifact set carries a browsable timeline.
+  extra=()
+  if [[ "$bench" == "app_kv_service" ]]; then
+    extra+=("--trace=$OUT_DIR/TRACE_$bench.json")
+  fi
+  "$bin" "--json=$OUT_DIR/BENCH_$bench.json" "${extra[@]}" '--benchmark_filter=^$'
 done
 
 echo "wrote ${#BENCHES[@]} JSON files to $OUT_DIR"

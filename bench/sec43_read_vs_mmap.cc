@@ -89,6 +89,7 @@ double MappedStreamingUs() {
 int main(int argc, char** argv) {
   using namespace o1mem;
   BenchJson json("sec43_read_vs_mmap", argc, argv);
+  InitBenchObs(argc, argv);
   const double read_us = ReadSyscallUs();
   const double chased_us = MappedChasedUs();
   const double streaming_us = MappedStreamingUs();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/obs/span.h"
 #include "src/support/crc32.h"
 
 namespace o1mem {
@@ -347,6 +348,9 @@ Result<Vaddr> FomManager::Map(FomProcess& proc, InodeId inode, Prot prot,
     return InvalidArgument("cannot map an empty file");
   }
   SimContext& ctx = machine_->ctx();
+  // Whole-file map: the operand is the full file size, the exact axis the
+  // paper's O(1) claim must be flat along.
+  ObsSpan span(ctx, TraceKind::kFomMap, stat->size);
   ctx.Charge(ctx.cost().fom_map_base_cycles);
   const MapMechanism mech = options.mechanism.value_or(config_.default_mechanism);
   const uint64_t bytes = AlignUp(stat->size, kPageSize);
@@ -401,6 +405,7 @@ Status FomManager::Unmap(FomProcess& proc, Vaddr vaddr) {
     observer_->OnUnmapping(proc, vaddr);
   }
   SimContext& ctx = machine_->ctx();
+  ObsSpan span(ctx, TraceKind::kFomUnmap, it->second.bytes);
   ctx.Charge(ctx.cost().fom_map_base_cycles);
   FomProcess::Mapping& m = it->second;
   switch (m.mech) {

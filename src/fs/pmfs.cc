@@ -1,5 +1,7 @@
 #include "src/fs/pmfs.h"
 
+#include "src/obs/span.h"
+
 #include <algorithm>
 #include <cstring>
 #include <tuple>
@@ -229,6 +231,7 @@ Status Pmfs::ReserveJournal(uint64_t len) {
 }
 
 Status Pmfs::AppendRecord(std::vector<uint8_t>& rec) {
+  ObsSpan span(machine_->ctx(), TraceKind::kJournalCommit, rec.size());
   StampRecord(rec, generation_);
   const Paddr at = SlotBase(active_slot_) + journal_tail_bytes_;
   O1_RETURN_IF_ERROR(machine_->phys().Write(at, rec));
@@ -1155,12 +1158,17 @@ Status Pmfs::OnCrash() {
   }
 
   // 2. Replay the valid journal prefix.
-  const SlotProbe replay = ParseSlot(slot, /*apply=*/true, gen);
-  active_slot_ = slot;
-  generation_ = std::max<uint64_t>({replay.generation, gen, 1});
-  journal_tail_bytes_ = replay.bytes;
-  ctx.Charge(ctx.cost().NvmReadBulkCycles(std::max<uint64_t>(replay.bytes, 64)) +
-             replay.records * ctx.cost().journal_record_cycles / 4);
+  SlotProbe replay;
+  {
+    ObsSpan replay_span(ctx, TraceKind::kJournalReplay);
+    replay = ParseSlot(slot, /*apply=*/true, gen);
+    active_slot_ = slot;
+    generation_ = std::max<uint64_t>({replay.generation, gen, 1});
+    journal_tail_bytes_ = replay.bytes;
+    ctx.Charge(ctx.cost().NvmReadBulkCycles(std::max<uint64_t>(replay.bytes, 64)) +
+               replay.records * ctx.cost().journal_record_cycles / 4);
+    replay_span.set_operand(replay.bytes);
+  }
 
   // 3. Processes died with the power: all open/map references vanish, and
   //    volatile files go with them (metadata-only teardown; the closing

@@ -1,5 +1,7 @@
 #include "src/mm/demand_pager.h"
 
+#include "src/obs/span.h"
+
 namespace o1mem {
 
 DemandPager::DemandPager(Machine* machine, PhysManager* phys_mgr, SwapDevice* swap,
@@ -30,6 +32,7 @@ std::unordered_map<Vaddr, DemandPager::PageState>::iterator DemandPager::FindRes
 
 Status DemandPager::HandleFault(Vaddr vaddr, AccessType type) {
   SimContext& ctx = machine_->ctx();
+  ObsSpan span(ctx, TraceKind::kFault, kPageSize);
   ctx.Charge(ctx.cost().fault_handler_base_cycles);
   auto vma = vmas_->Find(vaddr);
   if (!vma.has_value()) {

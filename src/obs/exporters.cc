@@ -1,0 +1,105 @@
+#include "src/obs/exporters.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace o1mem {
+
+const char* TraceCategoryName(TraceCategory cat) {
+  switch (cat) {
+    case kCatSyscall: return "syscall";
+    case kCatFault: return "fault";
+    case kCatShootdown: return "shootdown";
+    case kCatTier: return "tier";
+    case kCatReclaim: return "reclaim";
+    case kCatJournal: return "journal";
+    case kCatInjector: return "injector";
+    default: return "other";
+  }
+}
+
+namespace {
+
+void AppendEvent(std::string& out, const TraceEvent& e, uint64_t pid, double cycles_to_us) {
+  char buf[512];
+  const double ts = static_cast<double>(e.start_cycles) * cycles_to_us;
+  if (e.instant != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"ts\":%.3f,"
+                  "\"pid\":%" PRIu64 ",\"tid\":%u,\"args\":{\"bytes\":%" PRIu64
+                  ",\"size_class\":\"%s\"}}",
+                  TraceKindName(e.kind), TraceCategoryName(CategoryOf(e.kind)), ts, pid,
+                  static_cast<unsigned>(e.cpu), e.operand_bytes, SizeClassName(e.size_class));
+  } else {
+    const double dur = static_cast<double>(e.duration_cycles) * cycles_to_us;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                  "\"pid\":%" PRIu64 ",\"tid\":%u,\"args\":{\"bytes\":%" PRIu64
+                  ",\"size_class\":\"%s\",\"cycles\":%" PRIu64 "}}",
+                  TraceKindName(e.kind), TraceCategoryName(CategoryOf(e.kind)), ts, dur, pid,
+                  static_cast<unsigned>(e.cpu), e.operand_bytes, SizeClassName(e.size_class),
+                  e.duration_cycles);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceGroup>& groups, double cpu_ghz) {
+  // One cycle = 1/ghz ns = 1/(ghz*1000) us.
+  const double cycles_to_us = cpu_ghz > 0 ? 1.0 / (cpu_ghz * 1000.0) : 1.0;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const TraceGroup& g : groups) {
+    // Process-name metadata record so Perfetto labels the group.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu64
+                  ",\"args\":{\"name\":\"%s%s\"}}",
+                  first ? "" : ",", g.pid, g.label.c_str(),
+                  g.dropped != 0 ? " (ring wrapped: oldest events dropped)" : "");
+    out += buf;
+    first = false;
+    for (const TraceEvent& e : g.events) {
+      out += ',';
+      AppendEvent(out, e, g.pid, cycles_to_us);
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path, const std::vector<TraceGroup>& groups,
+                          double cpu_ghz) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ChromeTraceJson(groups, cpu_ghz);
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return n == json.size();
+}
+
+std::string HistogramSummaryText(const HistogramRegistry& hist) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-16s %-5s %10s %12s %12s %12s\n", "op", "class", "count",
+                "p50_cycles", "p99_cycles", "max_cycles");
+  out += buf;
+  bool any = false;
+  hist.ForEachNonEmpty([&](TraceKind kind, SizeClass c, const LatencyHistogram& h) {
+    any = true;
+    std::snprintf(buf, sizeof(buf), "%-16s %-5s %10" PRIu64 " %12" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 "\n",
+                  TraceKindName(kind), SizeClassName(c), h.count(), h.Percentile(50),
+                  h.Percentile(99), h.max());
+    out += buf;
+  });
+  if (!any) {
+    out += "(none)\n";
+  }
+  return out;
+}
+
+}  // namespace o1mem

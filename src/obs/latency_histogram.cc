@@ -1,0 +1,55 @@
+#include "src/obs/latency_histogram.h"
+
+namespace o1mem {
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Nearest-rank on the bucketed CDF: the ceil(p/100 * count)-th sample
+  // (rank >= 1 so p=0 degenerates to the smallest sample's bucket).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.999999);
+  if (rank == 0) {
+    rank = 1;
+  }
+  if (rank > count_) {
+    rank = count_;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Bucket b holds cycles whose bit_width is b: [2^(b-1), 2^b - 1]
+      // (bucket 0 holds only the value 0). Report the inclusive upper bound.
+      return b == 0 ? 0 : (b >= 64 ? ~0ull : (1ull << b) - 1);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+}
+
+void HistogramRegistry::Merge(const HistogramRegistry& other) {
+  for (uint32_t k = 0; k < kTraceKindCount; ++k) {
+    for (uint32_t c = 0; c < kSizeClassCount; ++c) {
+      hist_[k][c].Merge(other.hist_[k][c]);
+    }
+  }
+}
+
+}  // namespace o1mem

@@ -1,0 +1,99 @@
+// HDR-style log2-bucketed latency histograms, keyed by (op kind,
+// operand-size class).
+//
+// Record() is O(1): one bit_width + one array increment. Memory is a fixed
+// kTraceKindCount x kSizeClassCount x 64-bucket array -- independent of
+// sample count, which is what lets the instrumentation observe a system
+// whose thesis is bounded cost without itself violating it.
+//
+// The (kind, size class) cross-section is the paper's claim made checkable:
+// an operation is O(1) in its operand iff the per-class distributions
+// coincide. Percentile() answers from bucket boundaries (the value returned
+// is the inclusive upper bound of the bucket holding the requested rank), so
+// two distributions that land in the same buckets compare exactly equal.
+#ifndef O1MEM_SRC_OBS_LATENCY_HISTOGRAM_H_
+#define O1MEM_SRC_OBS_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/obs/trace_event.h"
+
+namespace o1mem {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;  // bucket b holds cycles with bit_width == b
+
+  void Record(uint64_t cycles) {
+    ++buckets_[std::bit_width(cycles)];
+    ++count_;
+    sum_ += cycles;
+    if (cycles > max_) {
+      max_ = cycles;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+  uint64_t bucket(int b) const { return buckets_[static_cast<size_t>(b)]; }
+
+  // Value at percentile p (0..100]: the upper bound (2^b - 1) of the bucket
+  // containing the ceil(p/100 * count)-th smallest sample; 0 when empty.
+  uint64_t Percentile(double p) const;
+
+  // Bucket-wise merge (for aggregating several machines' histograms).
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  std::array<uint64_t, kBuckets + 1> buckets_{};  // bit_width in [0, 64]
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Fixed-size registry: every (kind, size class) pair has a histogram slot
+// from construction, so recording never allocates.
+class HistogramRegistry {
+ public:
+  void Record(TraceKind kind, SizeClass size_class, uint64_t cycles) {
+    At(kind, size_class).Record(cycles);
+  }
+
+  LatencyHistogram& At(TraceKind kind, SizeClass size_class) {
+    return hist_[static_cast<size_t>(kind)][static_cast<size_t>(size_class)];
+  }
+  const LatencyHistogram& At(TraceKind kind, SizeClass size_class) const {
+    return hist_[static_cast<size_t>(kind)][static_cast<size_t>(size_class)];
+  }
+
+  void Merge(const HistogramRegistry& other);
+
+  // Forget all samples. Lets a harness drain several short-lived machines'
+  // registries into one merged registry without double counting.
+  void Reset() { hist_ = {}; }
+
+  // Calls fn(kind, size_class, histogram) for every non-empty slot, kinds in
+  // enum order, classes smallest-first.
+  template <typename Fn>
+  void ForEachNonEmpty(Fn&& fn) const {
+    for (uint32_t k = 0; k < kTraceKindCount; ++k) {
+      for (uint32_t c = 0; c < kSizeClassCount; ++c) {
+        const LatencyHistogram& h = hist_[k][c];
+        if (h.count() != 0) {
+          fn(static_cast<TraceKind>(k), static_cast<SizeClass>(c), h);
+        }
+      }
+    }
+  }
+
+ private:
+  std::array<std::array<LatencyHistogram, kSizeClassCount>, kTraceKindCount> hist_{};
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OBS_LATENCY_HISTOGRAM_H_

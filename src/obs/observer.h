@@ -1,0 +1,82 @@
+// Observer: the per-machine observability bundle -- one TraceRing plus one
+// HistogramRegistry behind the ObsConfig switches.
+//
+// Components reach it through SimContext::obs() (never null once a Machine
+// exists); every hook first asks WantsSpan()/WantsEvent(), which is a
+// branch or two when everything is off. The observer NEVER charges simulated
+// cycles: with obs on or off, the machine's clock and counters are
+// bit-identical (tests/obs/obs_system_test.cc asserts this), so observing
+// the system cannot perturb the O(1) claims it exists to check.
+#ifndef O1MEM_SRC_OBS_OBSERVER_H_
+#define O1MEM_SRC_OBS_OBSERVER_H_
+
+#include <memory>
+
+#include "src/obs/latency_histogram.h"
+#include "src/obs/obs_config.h"
+#include "src/obs/trace_ring.h"
+
+namespace o1mem {
+
+class Observer {
+ public:
+  explicit Observer(const ObsConfig& config) : config_(config) {
+    if (config_.trace) {
+      ring_ = std::make_unique<TraceRing>(config_.ring_capacity);
+    }
+    if (config_.histograms) {
+      hist_ = std::make_unique<HistogramRegistry>();
+    }
+  }
+
+  const ObsConfig& config() const { return config_; }
+  bool trace_enabled() const { return ring_ != nullptr; }
+  bool hist_enabled() const { return hist_ != nullptr; }
+
+  // True when a span of `kind` would be recorded anywhere (ring or
+  // histogram) -- the one branch every disabled instrumentation site costs.
+  bool WantsSpan(TraceKind kind) const {
+    return hist_ != nullptr || WantsEvent(kind);
+  }
+  bool WantsEvent(TraceKind kind) const {
+    return ring_ != nullptr && (config_.categories & CategoryOf(kind)) != 0;
+  }
+
+  void Emit(const TraceEvent& e) {
+    if (WantsEvent(e.kind)) {
+      ring_->Push(e);
+    }
+  }
+
+  // Records a completed span in both sinks (each subject to its switch).
+  void RecordSpan(TraceKind kind, uint8_t cpu, uint64_t start_cycles, uint64_t duration_cycles,
+                  uint64_t operand_bytes) {
+    const SizeClass size_class = SizeClassOf(operand_bytes);
+    if (hist_ != nullptr) {
+      hist_->Record(kind, size_class, duration_cycles);
+    }
+    Emit(TraceEvent{.start_cycles = start_cycles,
+                    .duration_cycles = duration_cycles,
+                    .operand_bytes = operand_bytes,
+                    .kind = kind,
+                    .cpu = cpu,
+                    .instant = 0,
+                    .size_class = size_class});
+  }
+
+  // Null when tracing is off.
+  TraceRing* ring() { return ring_.get(); }
+  const TraceRing* ring() const { return ring_.get(); }
+  // Null when histograms are off.
+  HistogramRegistry* hist() { return hist_.get(); }
+  const HistogramRegistry* hist() const { return hist_.get(); }
+
+ private:
+  ObsConfig config_;
+  std::unique_ptr<TraceRing> ring_;
+  std::unique_ptr<HistogramRegistry> hist_;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OBS_OBSERVER_H_

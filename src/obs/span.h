@@ -1,0 +1,67 @@
+// Scoped instrumentation helpers gluing the Observer to the SimContext.
+//
+// ObsSpan brackets one operation: it stamps the sim clock on entry and, on
+// destruction, records a complete (begin + duration) event into the ring and
+// the (kind, size-class) histogram. When the machine's observer wants
+// neither (the default), construction is one pointer test + one branch and
+// destruction is one branch -- and in every case zero simulated cycles.
+//
+// Header-only on top of SimContext so any layer holding a SimContext* can
+// instrument without new link dependencies.
+#ifndef O1MEM_SRC_OBS_SPAN_H_
+#define O1MEM_SRC_OBS_SPAN_H_
+
+#include "src/obs/observer.h"
+#include "src/sim/context.h"
+
+namespace o1mem {
+
+class ObsSpan {
+ public:
+  // `operand_bytes` is the length the operation acts on (0 = no byte
+  // operand); it can be refined later via set_operand() once known.
+  ObsSpan(SimContext& ctx, TraceKind kind, uint64_t operand_bytes = 0)
+      : kind_(kind), operand_(operand_bytes) {
+    Observer* obs = ctx.obs();
+    if (obs != nullptr && obs->WantsSpan(kind)) {
+      ctx_ = &ctx;
+      start_ = ctx.now();
+    }
+  }
+
+  ~ObsSpan() {
+    if (ctx_ != nullptr) {
+      ctx_->obs()->RecordSpan(kind_, static_cast<uint8_t>(ctx_->current_cpu()), start_,
+                              ctx_->now() - start_, operand_);
+    }
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  void set_operand(uint64_t operand_bytes) { operand_ = operand_bytes; }
+
+ private:
+  SimContext* ctx_ = nullptr;  // non-null only when the span is live
+  TraceKind kind_;
+  uint64_t operand_;
+  uint64_t start_ = 0;
+};
+
+// Point event (no duration): fault-injector trigger, crash, ...
+inline void ObsInstant(SimContext& ctx, TraceKind kind, uint64_t operand_bytes = 0) {
+  Observer* obs = ctx.obs();
+  if (obs != nullptr && obs->WantsEvent(kind)) {
+    obs->Emit(TraceEvent{.start_cycles = ctx.now(),
+                         .duration_cycles = 0,
+                         .operand_bytes = operand_bytes,
+                         .kind = kind,
+                         .cpu = static_cast<uint8_t>(ctx.current_cpu()),
+                         .instant = 1,
+                         .size_class = SizeClassOf(operand_bytes)});
+  }
+}
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OBS_SPAN_H_

@@ -1,0 +1,61 @@
+// TraceRing: fixed-capacity, overwrite-oldest ring of TraceEvents.
+//
+// Push is O(1) (one store + one index increment, no allocation after
+// construction); memory is capacity * 32 bytes regardless of how long the
+// simulation runs. When the ring wraps, the oldest events are silently
+// overwritten -- `dropped()` reports how many, so exporters can say what the
+// window excludes.
+#ifndef O1MEM_SRC_OBS_TRACE_RING_H_
+#define O1MEM_SRC_OBS_TRACE_RING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/obs/trace_event.h"
+
+namespace o1mem {
+
+class TraceRing {
+ public:
+  // A zero capacity is clamped to one slot so Push stays unconditional.
+  explicit TraceRing(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+
+  size_t capacity() const { return buf_.size(); }
+  // Events currently held (<= capacity).
+  size_t size() const { return pushed_ < buf_.size() ? static_cast<size_t>(pushed_) : buf_.size(); }
+  uint64_t total_pushed() const { return pushed_; }
+  uint64_t dropped() const { return pushed_ - size(); }
+
+  void Push(const TraceEvent& e) {
+    buf_[static_cast<size_t>(pushed_ % buf_.size())] = e;
+    ++pushed_;
+  }
+
+  // The held events, oldest first.
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> out;
+    const size_t n = size();
+    out.reserve(n);
+    const uint64_t first = pushed_ - n;
+    for (uint64_t i = first; i < pushed_; ++i) {
+      out.push_back(buf_[static_cast<size_t>(i % buf_.size())]);
+    }
+    return out;
+  }
+
+  // Snapshot + clear: lets a harness collect events from several short-lived
+  // machines into one merged trace without duplicates.
+  std::vector<TraceEvent> Drain() {
+    std::vector<TraceEvent> out = Snapshot();
+    pushed_ = 0;
+    return out;
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  uint64_t pushed_ = 0;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OBS_TRACE_RING_H_

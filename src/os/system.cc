@@ -1,6 +1,10 @@
 #include "src/os/system.h"
 
 #include <algorithm>
+#include <sstream>
+
+#include "src/obs/exporters.h"
+#include "src/obs/span.h"
 
 namespace o1mem {
 
@@ -53,6 +57,8 @@ void System::ChargeSyscall() {
 }
 
 Result<Process*> System::Launch(Backend backend, const ProcessImage& image) {
+  ObsSpan span(ctx(), TraceKind::kLaunch,
+               image.code_bytes + image.stack_bytes + image.heap_bytes);
   ChargeSyscall();
   auto proc = std::unique_ptr<Process>(new Process(next_pid_++, backend));
   if (backend == Backend::kBaseline) {
@@ -113,6 +119,7 @@ Result<Process*> System::Launch(Backend backend, const ProcessImage& image) {
 }
 
 Result<Process*> System::Fork(Process& parent) {
+  ObsSpan span(ctx(), TraceKind::kFork);
   ChargeSyscall();
   auto child = std::unique_ptr<Process>(new Process(next_pid_++, parent.backend_));
   child->code_base_ = parent.code_base_;
@@ -157,6 +164,7 @@ Result<Process*> System::Fork(Process& parent) {
 
 Status System::Exit(Process* proc) {
   O1_CHECK(proc != nullptr);
+  ObsSpan span(ctx(), TraceKind::kExit);
   ChargeSyscall();
   if (proc->backend_ == Backend::kFom) {
     O1_RETURN_IF_ERROR(fom_->ExitProcess(*proc->fom_));
@@ -277,6 +285,7 @@ Result<Vaddr> System::Mmap(Process& proc, const MmapArgs& args) {
   if (args.length == 0) {
     return InvalidArgument("zero-length mmap");
   }
+  ObsSpan span(ctx(), TraceKind::kMmap, args.length);
   ChargeSyscall();
   if (proc.backend_ == Backend::kFom) {
     return MmapFom(proc, args);
@@ -285,6 +294,7 @@ Result<Vaddr> System::Mmap(Process& proc, const MmapArgs& args) {
 }
 
 Status System::Munmap(Process& proc, Vaddr vaddr, uint64_t length) {
+  ObsSpan span(ctx(), TraceKind::kMunmap, length);
   ChargeSyscall();
   if (proc.backend_ == Backend::kFom) {
     // FOM reclaims in units of whole files (Sec. 3.1); partial unmaps would
@@ -322,6 +332,7 @@ Status System::Munmap(Process& proc, Vaddr vaddr, uint64_t length) {
 }
 
 Status System::Mprotect(Process& proc, Vaddr vaddr, uint64_t length, Prot prot) {
+  ObsSpan span(ctx(), TraceKind::kMprotect, length);
   ChargeSyscall();
   if (proc.backend_ == Backend::kFom) {
     return fom_->Protect(*proc.fom_, vaddr, prot);
@@ -335,6 +346,7 @@ Status System::Mprotect(Process& proc, Vaddr vaddr, uint64_t length, Prot prot) 
 }
 
 Status System::Mlock(Process& proc, Vaddr vaddr, uint64_t length) {
+  ObsSpan span(ctx(), TraceKind::kMlock, length);
   ChargeSyscall();
   if (proc.backend_ == Backend::kFom) {
     // Implicitly pinned: frames never move while the file is mapped. Only
@@ -349,6 +361,7 @@ Status System::Mlock(Process& proc, Vaddr vaddr, uint64_t length) {
 }
 
 Status System::Munlock(Process& proc, Vaddr vaddr, uint64_t length) {
+  ObsSpan span(ctx(), TraceKind::kMunlock, length);
   ChargeSyscall();
   if (proc.backend_ == Backend::kFom) {
     auto it = proc.fom_->mappings().find(vaddr);
@@ -362,6 +375,7 @@ Status System::Munlock(Process& proc, Vaddr vaddr, uint64_t length) {
 
 Status System::RegisterUserFault(Process& proc, Vaddr vaddr, uint64_t length,
                                  UserFaultHandler* handler) {
+  ObsSpan span(ctx(), TraceKind::kOtherSyscall, length);
   ChargeSyscall();
   if (handler == nullptr) {
     return InvalidArgument("null userfault handler");
@@ -380,6 +394,7 @@ Status System::RegisterUserFault(Process& proc, Vaddr vaddr, uint64_t length,
 }
 
 Result<int> System::Open(Process& proc, std::string_view path) {
+  ObsSpan span(ctx(), TraceKind::kOpen);
   ChargeSyscall();
   FileSystem* fs = nullptr;
   InodeId inode = kInvalidInode;
@@ -400,6 +415,7 @@ Result<int> System::Open(Process& proc, std::string_view path) {
 
 Result<int> System::Creat(Process& proc, FileSystem& fs, std::string_view path,
                           const FileFlags& flags) {
+  ObsSpan span(ctx(), TraceKind::kCreat);
   ChargeSyscall();
   auto inode = fs.Create(path, flags);
   if (!inode.ok()) {
@@ -412,6 +428,7 @@ Result<int> System::Creat(Process& proc, FileSystem& fs, std::string_view path,
 }
 
 Status System::Close(Process& proc, int fd) {
+  ObsSpan span(ctx(), TraceKind::kClose);
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
   O1_RETURN_IF_ERROR(open_file->fs->DropOpenRef(open_file->inode));
@@ -420,6 +437,7 @@ Status System::Close(Process& proc, int fd) {
 }
 
 Result<uint64_t> System::Read(Process& proc, int fd, std::span<uint8_t> out) {
+  ObsSpan span(ctx(), TraceKind::kRead, out.size());
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
   if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
@@ -434,6 +452,7 @@ Result<uint64_t> System::Read(Process& proc, int fd, std::span<uint8_t> out) {
 }
 
 Result<uint64_t> System::Write(Process& proc, int fd, std::span<const uint8_t> data) {
+  ObsSpan span(ctx(), TraceKind::kWrite, data.size());
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
   if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
@@ -448,6 +467,7 @@ Result<uint64_t> System::Write(Process& proc, int fd, std::span<const uint8_t> d
 }
 
 Result<uint64_t> System::Pread(Process& proc, int fd, uint64_t offset, std::span<uint8_t> out) {
+  ObsSpan span(ctx(), TraceKind::kRead, out.size());
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
   if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
@@ -458,6 +478,7 @@ Result<uint64_t> System::Pread(Process& proc, int fd, uint64_t offset, std::span
 
 Result<uint64_t> System::Pwrite(Process& proc, int fd, uint64_t offset,
                                 std::span<const uint8_t> data) {
+  ObsSpan span(ctx(), TraceKind::kWrite, data.size());
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
   if (tier_ != nullptr && open_file->fs == pmfs_.get()) {
@@ -467,12 +488,14 @@ Result<uint64_t> System::Pwrite(Process& proc, int fd, uint64_t offset,
 }
 
 Status System::Ftruncate(Process& proc, int fd, uint64_t size) {
+  ObsSpan span(ctx(), TraceKind::kFtruncate, size);
   ChargeSyscall();
   O1_ASSIGN_OR_RETURN(Process::OpenFile * open_file, GetOpenFile(proc, fd));
   return open_file->fs->Resize(open_file->inode, size);
 }
 
 Status System::Unlink(std::string_view path) {
+  ObsSpan span(ctx(), TraceKind::kUnlink);
   ChargeSyscall();
   if (pmfs_->LookupPath(path).ok()) {
     return pmfs_->Unlink(path);
@@ -481,26 +504,31 @@ Status System::Unlink(std::string_view path) {
 }
 
 Status System::Mkdir(FileSystem& fs, std::string_view path) {
+  ObsSpan span(ctx(), TraceKind::kOtherSyscall);
   ChargeSyscall();
   return fs.Mkdir(path);
 }
 
 Status System::Rmdir(FileSystem& fs, std::string_view path) {
+  ObsSpan span(ctx(), TraceKind::kOtherSyscall);
   ChargeSyscall();
   return fs.Rmdir(path);
 }
 
 Result<std::vector<DirEntry>> System::List(FileSystem& fs, std::string_view path) {
+  ObsSpan span(ctx(), TraceKind::kOtherSyscall);
   ChargeSyscall();
   return fs.List(path);
 }
 
 Status System::Link(FileSystem& fs, std::string_view existing, std::string_view new_path) {
+  ObsSpan span(ctx(), TraceKind::kOtherSyscall);
   ChargeSyscall();
   return fs.Link(existing, new_path);
 }
 
 Status System::Rename(std::string_view from, std::string_view to) {
+  ObsSpan span(ctx(), TraceKind::kOtherSyscall);
   ChargeSyscall();
   if (pmfs_->LookupPath(from).ok() || pmfs_->List(from).ok()) {
     return pmfs_->Rename(from, to);
@@ -555,6 +583,7 @@ Status System::UserFlush(Process& proc, Vaddr vaddr, uint64_t len) {
 }
 
 Status System::Msync(Process& proc, Vaddr vaddr, uint64_t len) {
+  ObsSpan span(ctx(), TraceKind::kMsync, len);
   ChargeSyscall();
   return UserFlush(proc, vaddr, len);
 }
@@ -579,10 +608,12 @@ Status System::TierTick() {
   if (tier_ == nullptr) {
     return Unsupported("tiering is disabled (MachineConfig::tier)");
   }
+  ObsSpan span(ctx(), TraceKind::kTierTick);
   return tier_->Tick();
 }
 
 Status System::MadviseTier(Process& proc, Vaddr vaddr, uint64_t len, TierHint hint) {
+  ObsSpan span(ctx(), TraceKind::kMadviseTier, len);
   ChargeSyscall();
   if (tier_ == nullptr) {
     return Unsupported("tiering is disabled (MachineConfig::tier)");
@@ -598,6 +629,7 @@ Result<ReclaimStats> System::ReclaimBaseline(Process& proc, uint64_t pages,
   if (proc.backend_ != Backend::kBaseline) {
     return InvalidArgument("baseline reclaim on a FOM process");
   }
+  ObsSpan span(ctx(), TraceKind::kReclaim, pages * kPageSize);
   Result<ReclaimStats> stats = [&] {
     if (policy == ReclaimPolicy::kClock) {
       ClockReclaimer reclaimer(proc.pager_.get());
@@ -612,7 +644,75 @@ Result<ReclaimStats> System::ReclaimBaseline(Process& proc, uint64_t pages,
 }
 
 Result<uint64_t> System::ReclaimFom(uint64_t bytes_needed) {
+  ObsSpan span(ctx(), TraceKind::kFomReclaim, bytes_needed);
   return fom_->HandlePressure(bytes_needed);
+}
+
+std::string System::DumpProcSnapshot() {
+  std::ostringstream out;
+  const TierOccupancy o = Occupancy();
+  auto kb = [](uint64_t bytes) { return bytes / 1024; };
+
+  out << "== meminfo ==\n";
+  out << "DramTotal:      " << kb(o.dram_total_bytes) << " kB\n";
+  out << "DramUsed:       " << kb(o.dram_used_bytes) << " kB\n";
+  out << "DramFree:       " << kb(o.dram_free_bytes) << " kB\n";
+  out << "NvmTotal:       " << kb(o.nvm_total_bytes) << " kB\n";
+  out << "NvmUsed:        " << kb(o.nvm_used_bytes) << " kB\n";
+  out << "NvmFree:        " << kb(o.nvm_free_bytes) << " kB\n";
+  out << "DramCache:      " << kb(o.dram_cache_bytes) << " kB\n";
+  out << "DramCacheUsed:  " << kb(o.dram_cache_used_bytes) << " kB\n";
+  out << "DramCacheFree:  " << kb(o.dram_cache_free_bytes) << " kB\n";
+
+  out << "\n== vmstat ==\n";
+  ctx().counters().ForEachField(
+      [&](const char* name, uint64_t value) { out << name << " " << value << "\n"; });
+
+  out << "\n== tierstat ==\n";
+  out << "enabled " << (tier_ != nullptr ? 1 : 0) << "\n";
+  if (tier_ != nullptr) {
+    out << "promoted_bytes " << tier_->promoted_bytes() << "\n";
+  }
+
+  out << "\n== pmfs ==\n";
+  out << "mount_mode " << (pmfs_->mount_mode() == MountMode::kReadWrite ? "rw" : "degraded")
+      << "\n";
+  out << "journal_records " << pmfs_->journal_records() << "\n";
+  out << "journal_tail_bytes " << pmfs_->journal_tail_bytes() << "\n";
+  out << "journal_slot_bytes " << pmfs_->journal_slot_bytes() << "\n";
+
+  const Observer& obs = machine_->observer();
+  out << "\n== trace ==\n";
+  out << "enabled " << (obs.trace_enabled() ? 1 : 0) << "\n";
+  if (obs.trace_enabled()) {
+    out << "capacity " << obs.ring()->capacity() << "\n";
+    out << "held " << obs.ring()->size() << "\n";
+    out << "total " << obs.ring()->total_pushed() << "\n";
+    out << "dropped " << obs.ring()->dropped() << "\n";
+  }
+
+  out << "\n== latency ==\n";
+  if (obs.hist_enabled()) {
+    out << HistogramSummaryText(*obs.hist());
+  } else {
+    out << "(histograms off)\n";
+  }
+  return out.str();
+}
+
+Status System::WriteTrace(const std::string& path) {
+  Observer& obs = machine_->observer();
+  if (!obs.trace_enabled()) {
+    return Unsupported("tracing is disabled (MachineConfig::obs.trace)");
+  }
+  std::vector<TraceGroup> groups(1);
+  groups[0].label = "o1mem";
+  groups[0].dropped = obs.ring()->dropped();
+  groups[0].events = obs.ring()->Snapshot();
+  if (!WriteChromeTraceFile(path, groups, ctx().cost().cpu_ghz)) {
+    return InvalidArgument("cannot write trace file: " + path);
+  }
+  return OkStatus();
 }
 
 Status System::Crash() {

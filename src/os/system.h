@@ -180,6 +180,18 @@ class System {
   // FOM process.
   Status MadviseTier(Process& proc, Vaddr vaddr, uint64_t len, TierHint hint);
 
+  // --- Observability ---------------------------------------------------------
+  // procfs-style text snapshot: vmstat (every event counter via the X-macro
+  // visitor), meminfo (per-tier occupancy), tierstat, the PMFS journal
+  // gauges, trace-ring fill, and latency-histogram summaries. Purely
+  // observational -- reads state, charges no cycles.
+  std::string DumpProcSnapshot();
+
+  // Writes the machine's trace ring as Chrome trace_event JSON (loadable in
+  // Perfetto / about:tracing). kUnsupported when MachineConfig::obs.trace is
+  // off; a host I/O failure surfaces as kInvalidArgument naming the path.
+  Status WriteTrace(const std::string& path);
+
   // --- Pressure and persistence ---------------------------------------------
   // Baseline pressure response: scan-and-swap via the given reclaimer type.
   enum class ReclaimPolicy { kClock, kTwoQueue };

@@ -20,6 +20,8 @@
 
 namespace o1mem {
 
+class Observer;
+
 // The machine's SMP shape and the per-CPU fast-path features layered on it.
 // All default to the seed's single-CPU behaviour so existing configurations
 // are bit-for-bit unchanged.
@@ -99,6 +101,12 @@ class SimContext {
     redirect_ = nullptr;
   }
 
+  // The machine's observability sink (src/obs). Null only for a bare
+  // SimContext outside a Machine; instrumentation sites treat null as
+  // "everything off". Never charges cycles -- see src/obs/observer.h.
+  Observer* obs() const { return obs_; }
+  void SetObserver(Observer* obs) { obs_ = obs; }
+
   // Convenience: current simulated time in cycles / microseconds.
   uint64_t now() const { return clock_.now(); }
   double ElapsedUs(uint64_t start_cycles) const { return clock_.ElapsedUs(start_cycles); }
@@ -111,6 +119,7 @@ class SimContext {
   int current_cpu_ = 0;
   std::vector<uint64_t> cpu_cycles_ = std::vector<uint64_t>(1, 0);
   uint64_t* redirect_ = nullptr;
+  Observer* obs_ = nullptr;
 };
 
 }  // namespace o1mem

@@ -3,113 +3,104 @@
 // Benchmarks snapshot these around a measured region to report fault counts,
 // TLB behaviour, PTEs written, bytes zeroed, etc. (e.g. the page-fault-count
 // plot that corroborates Figure 1b).
+//
+// The field list is a single X-macro so a new counter can never be silently
+// dropped from Delta(), the procfs-style vmstat dump, or bench JSON: adding
+// a field anywhere but O1MEM_COUNTER_FIELDS breaks the static size check
+// (tests/sim/counters_test.cc) at compile/test time.
 #ifndef O1MEM_SRC_SIM_COUNTERS_H_
 #define O1MEM_SRC_SIM_COUNTERS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace o1mem {
 
+// X(name) for every counter, grouped as the old hand-written struct was.
+#define O1MEM_COUNTER_FIELDS(X)                                                          \
+  /* Translation. */                                                                     \
+  X(tlb_l1_hits)                                                                         \
+  X(tlb_l2_hits)                                                                         \
+  X(tlb_misses)                                                                          \
+  X(range_tlb_hits)                                                                      \
+  X(range_table_walks)                                                                   \
+  X(page_walks)                                                                          \
+  X(pwc_hits)                                                                            \
+  X(tlb_shootdowns)                                                                      \
+  /* Faults and syscalls. */                                                             \
+  X(minor_faults)                                                                        \
+  X(major_faults)                                                                        \
+  X(segv_faults)                                                                         \
+  X(syscalls)                                                                            \
+  /* Mapping machinery. */                                                               \
+  X(ptes_written)                                                                        \
+  X(pt_nodes_allocated)                                                                  \
+  X(subtree_splices)                                                                     \
+  X(range_entries_installed)                                                             \
+  /* Physical memory. */                                                                 \
+  X(frames_allocated)                                                                    \
+  X(frames_freed)                                                                        \
+  X(bytes_zeroed)                                                                        \
+  X(bytes_copied)                                                                        \
+  /* Reclamation. */                                                                     \
+  X(pages_scanned)                                                                       \
+  X(pages_swapped_out)                                                                   \
+  X(pages_swapped_in)                                                                    \
+  X(files_reclaimed)                                                                     \
+  /* SMP: shootdown traffic and per-CPU allocation fast paths. */                        \
+  X(shootdown_ipis_sent)        /* remote CPUs actually interrupted */                   \
+  X(shootdown_invals_batched)   /* invalidations queued instead of IPI'd */              \
+  X(shootdown_translate_drains) /* lazy-queue drains forced by a translation */          \
+  X(shootdown_cycles)           /* cycles charged to shootdown work (all paths) */       \
+  X(frames_from_pcp)            /* allocs served by a per-CPU frame cache */             \
+  X(frames_from_buddy)          /* allocs that took the shared buddy/pool path */        \
+  X(prezero_hits)               /* zeroed allocs served without an inline Zero() */      \
+  X(prezero_misses)             /* zeroed allocs that zeroed on the critical path */     \
+  /* Tiering: DAMON-style monitoring and extent migration between NVM and                \
+     the DRAM file cache. */                                                             \
+  X(tier_region_splits)   /* monitoring regions split */                                 \
+  X(tier_region_merges)   /* monitoring regions merged */                                \
+  X(tier_promotions)      /* extents moved NVM -> DRAM cache */                          \
+  X(tier_demotions)       /* extents restored to their NVM home */                       \
+  X(tier_writeback_bytes) /* dirty cached bytes written back to NVM */                   \
+  X(tier_hot_hits_dram)   /* user accesses served from a promoted extent */              \
+  X(tier_migrated_bytes)  /* bytes moved by PhysicalMemory::Move */
+
 struct EventCounters {
-  // Translation.
-  uint64_t tlb_l1_hits = 0;
-  uint64_t tlb_l2_hits = 0;
-  uint64_t tlb_misses = 0;
-  uint64_t range_tlb_hits = 0;
-  uint64_t range_table_walks = 0;
-  uint64_t page_walks = 0;
-  uint64_t pwc_hits = 0;
-  uint64_t tlb_shootdowns = 0;
+#define O1MEM_DECLARE_COUNTER(name) uint64_t name = 0;
+  O1MEM_COUNTER_FIELDS(O1MEM_DECLARE_COUNTER)
+#undef O1MEM_DECLARE_COUNTER
 
-  // Faults and syscalls.
-  uint64_t minor_faults = 0;
-  uint64_t major_faults = 0;
-  uint64_t segv_faults = 0;
-  uint64_t syscalls = 0;
-
-  // Mapping machinery.
-  uint64_t ptes_written = 0;
-  uint64_t pt_nodes_allocated = 0;
-  uint64_t subtree_splices = 0;
-  uint64_t range_entries_installed = 0;
-
-  // Physical memory.
-  uint64_t frames_allocated = 0;
-  uint64_t frames_freed = 0;
-  uint64_t bytes_zeroed = 0;
-  uint64_t bytes_copied = 0;
-
-  // Reclamation.
-  uint64_t pages_scanned = 0;
-  uint64_t pages_swapped_out = 0;
-  uint64_t pages_swapped_in = 0;
-  uint64_t files_reclaimed = 0;
-
-  // SMP: shootdown traffic and per-CPU allocation fast paths.
-  uint64_t shootdown_ipis_sent = 0;        // remote CPUs actually interrupted
-  uint64_t shootdown_invals_batched = 0;   // invalidations queued instead of IPI'd
-  uint64_t shootdown_translate_drains = 0; // lazy-queue drains forced by a translation
-  uint64_t shootdown_cycles = 0;           // cycles charged to shootdown work (all paths)
-  uint64_t frames_from_pcp = 0;            // allocs served by a per-CPU frame cache
-  uint64_t frames_from_buddy = 0;          // allocs that took the shared buddy/pool path
-  uint64_t prezero_hits = 0;               // zeroed allocs served without an inline Zero()
-  uint64_t prezero_misses = 0;             // zeroed allocs that zeroed on the critical path
-
-  // Tiering: DAMON-style monitoring and extent migration between NVM and
-  // the DRAM file cache.
-  uint64_t tier_region_splits = 0;    // monitoring regions split
-  uint64_t tier_region_merges = 0;    // monitoring regions merged
-  uint64_t tier_promotions = 0;       // extents moved NVM -> DRAM cache
-  uint64_t tier_demotions = 0;        // extents restored to their NVM home
-  uint64_t tier_writeback_bytes = 0;  // dirty cached bytes written back to NVM
-  uint64_t tier_hot_hits_dram = 0;    // user accesses served from a promoted extent
-  uint64_t tier_migrated_bytes = 0;   // bytes moved by PhysicalMemory::Move
+  // Number of fields in the X-macro list. The struct is all-uint64_t with no
+  // padding, so sizeof(EventCounters) == kFieldCount * 8 iff every field
+  // went through the macro.
+  static constexpr size_t kFieldCount = 0
+#define O1MEM_COUNT_COUNTER(name) +1
+      O1MEM_COUNTER_FIELDS(O1MEM_COUNT_COUNTER)
+#undef O1MEM_COUNT_COUNTER
+      ;
 
   EventCounters Delta(const EventCounters& since) const {
     EventCounters d;
-    d.tlb_l1_hits = tlb_l1_hits - since.tlb_l1_hits;
-    d.tlb_l2_hits = tlb_l2_hits - since.tlb_l2_hits;
-    d.tlb_misses = tlb_misses - since.tlb_misses;
-    d.range_tlb_hits = range_tlb_hits - since.range_tlb_hits;
-    d.range_table_walks = range_table_walks - since.range_table_walks;
-    d.page_walks = page_walks - since.page_walks;
-    d.pwc_hits = pwc_hits - since.pwc_hits;
-    d.tlb_shootdowns = tlb_shootdowns - since.tlb_shootdowns;
-    d.minor_faults = minor_faults - since.minor_faults;
-    d.major_faults = major_faults - since.major_faults;
-    d.segv_faults = segv_faults - since.segv_faults;
-    d.syscalls = syscalls - since.syscalls;
-    d.ptes_written = ptes_written - since.ptes_written;
-    d.pt_nodes_allocated = pt_nodes_allocated - since.pt_nodes_allocated;
-    d.subtree_splices = subtree_splices - since.subtree_splices;
-    d.range_entries_installed = range_entries_installed - since.range_entries_installed;
-    d.frames_allocated = frames_allocated - since.frames_allocated;
-    d.frames_freed = frames_freed - since.frames_freed;
-    d.bytes_zeroed = bytes_zeroed - since.bytes_zeroed;
-    d.bytes_copied = bytes_copied - since.bytes_copied;
-    d.pages_scanned = pages_scanned - since.pages_scanned;
-    d.pages_swapped_out = pages_swapped_out - since.pages_swapped_out;
-    d.pages_swapped_in = pages_swapped_in - since.pages_swapped_in;
-    d.files_reclaimed = files_reclaimed - since.files_reclaimed;
-    d.shootdown_ipis_sent = shootdown_ipis_sent - since.shootdown_ipis_sent;
-    d.shootdown_invals_batched = shootdown_invals_batched - since.shootdown_invals_batched;
-    d.shootdown_translate_drains =
-        shootdown_translate_drains - since.shootdown_translate_drains;
-    d.shootdown_cycles = shootdown_cycles - since.shootdown_cycles;
-    d.frames_from_pcp = frames_from_pcp - since.frames_from_pcp;
-    d.frames_from_buddy = frames_from_buddy - since.frames_from_buddy;
-    d.prezero_hits = prezero_hits - since.prezero_hits;
-    d.prezero_misses = prezero_misses - since.prezero_misses;
-    d.tier_region_splits = tier_region_splits - since.tier_region_splits;
-    d.tier_region_merges = tier_region_merges - since.tier_region_merges;
-    d.tier_promotions = tier_promotions - since.tier_promotions;
-    d.tier_demotions = tier_demotions - since.tier_demotions;
-    d.tier_writeback_bytes = tier_writeback_bytes - since.tier_writeback_bytes;
-    d.tier_hot_hits_dram = tier_hot_hits_dram - since.tier_hot_hits_dram;
-    d.tier_migrated_bytes = tier_migrated_bytes - since.tier_migrated_bytes;
+#define O1MEM_DELTA_COUNTER(name) d.name = name - since.name;
+    O1MEM_COUNTER_FIELDS(O1MEM_DELTA_COUNTER)
+#undef O1MEM_DELTA_COUNTER
     return d;
   }
+
+  // Visits fn("name", value) for every counter, in declaration order. The
+  // vmstat section of System::DumpProcSnapshot() and the counters dumps in
+  // benches go through this, so they always carry the full list.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define O1MEM_VISIT_COUNTER(name) fn(#name, name);
+    O1MEM_COUNTER_FIELDS(O1MEM_VISIT_COUNTER)
+#undef O1MEM_VISIT_COUNTER
+  }
 };
+
+static_assert(sizeof(EventCounters) == EventCounters::kFieldCount * sizeof(uint64_t),
+              "every EventCounters field must be declared via O1MEM_COUNTER_FIELDS");
 
 }  // namespace o1mem
 

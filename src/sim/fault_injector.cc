@@ -1,5 +1,7 @@
 #include "src/sim/fault_injector.h"
 
+#include "src/obs/span.h"
+
 #include <string>
 
 #include "src/sim/phys_mem.h"
@@ -69,6 +71,9 @@ bool FaultInjector::NoteNvmLineWrites(uint64_t lines) {
   // mid-burst, so the whole call stays volatile.
   if (armed_write_.has_value() && !triggered_ && write_count_ + lines > *armed_write_) {
     triggered_ = true;
+    if (ctx_ != nullptr) {
+      ObsInstant(*ctx_, TraceKind::kFaultInject, *armed_write_);
+    }
   }
   write_count_ += lines;
   return triggered_;
@@ -77,6 +82,9 @@ bool FaultInjector::NoteNvmLineWrites(uint64_t lines) {
 bool FaultInjector::NoteFlush() {
   if (armed_flush_.has_value() && !triggered_ && flush_count_ >= *armed_flush_) {
     triggered_ = true;
+    if (ctx_ != nullptr) {
+      ObsInstant(*ctx_, TraceKind::kFaultInject, *armed_flush_);
+    }
   }
   ++flush_count_;
   return triggered_;

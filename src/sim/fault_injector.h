@@ -39,6 +39,7 @@
 namespace o1mem {
 
 class PhysicalMemory;
+class SimContext;
 
 class FaultInjector {
  public:
@@ -49,6 +50,8 @@ class FaultInjector {
 
   // Wired up by Machine (or by a test driving a raw PhysicalMemory).
   void AttachPhys(PhysicalMemory* phys) { phys_ = phys; }
+  // Lets trigger transitions emit trace events (src/obs); optional.
+  void AttachCtx(SimContext* ctx) { ctx_ = ctx; }
 
   // --- Crash points -------------------------------------------------------
 
@@ -148,6 +151,7 @@ class FaultInjector {
   uint64_t torn_seed_ = 0;
   uint32_t torn_persist_percent_ = 50;
 
+  SimContext* ctx_ = nullptr;
   std::unordered_map<Paddr, bool> poisoned_;  // line base -> sticky
 };
 

@@ -1,5 +1,7 @@
 #include "src/sim/machine.h"
 
+#include "src/obs/span.h"
+
 namespace o1mem {
 
 namespace {
@@ -11,8 +13,11 @@ constexpr uint64_t kRebootCycles = 1000000;
 Machine::Machine(const MachineConfig& config)
     : config_(config),
       ctx_(config.cost, config.smp),
+      obs_(config.obs),
       phys_(&ctx_, config.dram_bytes, config.nvm_bytes, config.persistence),
       mmu_(&ctx_, &phys_, config.mmu) {
+  ctx_.SetObserver(&obs_);
+  injector_.AttachCtx(&ctx_);
   phys_.AttachFaultInjector(&injector_);
 }
 
@@ -21,6 +26,7 @@ std::unique_ptr<AddressSpace> Machine::CreateAddressSpace() {
 }
 
 void Machine::Crash() {
+  ObsInstant(ctx_, TraceKind::kCrash);
   phys_.DropVolatile();
   injector_.OnMachineCrash();
   mmu_.InvalidateAll();

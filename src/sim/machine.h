@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/observer.h"
 #include "src/sim/address_space.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/mmu.h"
@@ -31,6 +32,10 @@ struct MachineConfig {
   // promotion. All-off by default (cycle-identical to the seed); the engine
   // itself lives in src/tier and is instantiated by the System when enabled.
   TierConfig tier;
+  // Observability: bounded trace ring + latency histograms. All-off by
+  // default; the observer never charges cycles, so enabling it leaves every
+  // simulated result bit-identical (asserted by tests/obs).
+  ObsConfig obs;
   int page_table_depth = 4;  // 4- or 5-level paging
   // kAutoDurable (eADR-style, the default) or kExplicitFlush (clwb/fence
   // required; crash reverts unflushed NVM lines).
@@ -48,6 +53,8 @@ class Machine {
   PhysicalMemory& phys() { return phys_; }
   Mmu& mmu() { return mmu_; }
   FaultInjector& fault_injector() { return injector_; }
+  Observer& observer() { return obs_; }
+  const Observer& observer() const { return obs_; }
   const MachineConfig& config() const { return config_; }
 
   // Creates a new hardware address space with a fresh ASID.
@@ -62,6 +69,7 @@ class Machine {
  private:
   MachineConfig config_;
   SimContext ctx_;
+  Observer obs_;
   FaultInjector injector_;
   PhysicalMemory phys_;
   Mmu mmu_;

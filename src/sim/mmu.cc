@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/span.h"
+
 namespace o1mem {
 
 namespace {
@@ -337,6 +339,16 @@ void Mmu::FlushPending() {
   if (!batched_) {
     return;
   }
+  size_t queued = 0;
+  for (const CpuState& state : cpus_) {
+    queued += state.pending.size();
+  }
+  if (queued == 0) {
+    return;  // nothing pending: no IPI round, no trace event
+  }
+  // Operand = invalidations retired this round, in page units, so the O(1)
+  // verdict can ask whether one flush stays flat as the batch grows.
+  ObsSpan span(*ctx_, TraceKind::kShootdownFlush, queued * kPageSize);
   const CostModel& c = ctx_->cost();
   const int self = ctx_->current_cpu();
   for (size_t i = 0; i < cpus_.size(); ++i) {

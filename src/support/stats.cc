@@ -32,6 +32,8 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 double Samples::Percentile(double p) const {
   O1_CHECK(p >= 0.0 && p <= 100.0);
+  // Empty guard: no samples means no distribution; report 0 rather than
+  // reading past the end.
   if (values_.empty()) {
     return 0.0;
   }
@@ -39,6 +41,8 @@ double Samples::Percentile(double p) const {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;
   }
+  // Linear interpolation between closest ranks (numpy.percentile default);
+  // clamping hi keeps p=100 (rank == n-1) inside the vector.
   const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
   const auto lo = static_cast<size_t>(rank);
   const auto hi = std::min(lo + 1, values_.size() - 1);

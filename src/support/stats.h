@@ -31,9 +31,17 @@ class RunningStat {
 
 // Stores samples and answers percentile queries; used where a bench reports
 // tail latency rather than a mean.
+//
+// Percentile uses linear interpolation between closest ranks (the same
+// definition as numpy.percentile's default): rank = p/100 * (n-1), value =
+// v[floor(rank)] + frac * (v[floor(rank)+1] - v[floor(rank)]). p=0 is the
+// minimum, p=100 the maximum, and an empty sample set answers 0.
 class Samples {
  public:
-  void Add(double x) { values_.push_back(x); }
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;  // a sample added after a query invalidates the sort
+  }
   size_t count() const { return values_.size(); }
   double Percentile(double p) const;  // p in [0, 100]
   double Mean() const;

@@ -1,5 +1,7 @@
 #include "src/tier/migration_engine.h"
 
+#include "src/obs/span.h"
+
 #include <cstdlib>
 #include <string>
 
@@ -14,6 +16,7 @@ MigrationEngine::MigrationEngine(Machine* machine, PhysManager* phys_mgr, Pmfs* 
 Result<PromotedExtent> MigrationEngine::Promote(InodeId inode, uint64_t off, uint64_t bytes,
                                                 Paddr home,
                                                 std::vector<TierMappingRef>& maps) {
+  ObsSpan span(ctx(), TraceKind::kTierPromote, bytes);
   auto cache = phys_mgr_->AllocCache(bytes);
   if (!cache.ok()) {
     return cache.status();
@@ -39,6 +42,7 @@ Result<PromotedExtent> MigrationEngine::Promote(InodeId inode, uint64_t off, uin
 
 Status MigrationEngine::Demote(InodeId inode, PromotedExtent& e, bool persistent,
                                std::vector<TierMappingRef>& maps) {
+  ObsSpan span(ctx(), TraceKind::kTierDemote, e.bytes);
   if (e.dirty) {
     if (persistent) {
       O1_RETURN_IF_ERROR(WriteBack(inode, e));
@@ -181,6 +185,7 @@ Status MigrationEngine::DirectWriteBack(PromotedExtent& e, std::span<const uint8
 }
 
 Status MigrationEngine::WriteBack(InodeId inode, PromotedExtent& e) {
+  ObsSpan span(ctx(), TraceKind::kTierWriteback, e.bytes);
   std::vector<uint8_t> buf(e.bytes);
   O1_RETURN_IF_ERROR(machine_->phys().Read(e.cache, buf));
   if (pmfs_->mount_mode() == MountMode::kDegraded) {

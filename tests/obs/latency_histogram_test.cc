@@ -1,0 +1,109 @@
+#include "src/obs/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace_event.h"
+#include "src/support/units.h"
+
+namespace o1mem {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(LatencyHistogramTest, BucketsByBitWidth) {
+  LatencyHistogram h;
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1
+  h.Record(5);    // bucket 3: [4, 7]
+  h.Record(7);    // bucket 3
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_DOUBLE_EQ(h.mean(), 13.0 / 4.0);
+}
+
+TEST(LatencyHistogramTest, PercentileIsBucketUpperBound) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.Record(3);  // bucket 2: [2, 3]
+  }
+  h.Record(1000);  // bucket 10: [512, 1023]
+  EXPECT_EQ(h.Percentile(50), 3u);
+  // Rank ceil(0.99 * 100) = 99 still lands in the small bucket...
+  EXPECT_EQ(h.Percentile(99), 3u);
+  // ...and only p100 reaches the outlier's bucket.
+  EXPECT_EQ(h.Percentile(100), 1023u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(LatencyHistogramTest, PercentileZeroIsSmallestBucket) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(100000);
+  EXPECT_EQ(h.Percentile(0), 127u);  // bucket 7: [64, 127]
+}
+
+TEST(LatencyHistogramTest, MergeAddsCountsAndMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(3);
+  b.Record(3);
+  b.Record(400);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket(2), 2u);
+  EXPECT_EQ(a.max(), 400u);
+}
+
+TEST(HistogramRegistryTest, RecordsPerKindAndClass) {
+  HistogramRegistry reg;
+  reg.Record(TraceKind::kMmap, SizeClass::k4K, 10);
+  reg.Record(TraceKind::kMmap, SizeClass::k1G, 50);
+  reg.Record(TraceKind::kFault, SizeClass::k4K, 20);
+  EXPECT_EQ(reg.At(TraceKind::kMmap, SizeClass::k4K).count(), 1u);
+  EXPECT_EQ(reg.At(TraceKind::kMmap, SizeClass::k1G).count(), 1u);
+  EXPECT_EQ(reg.At(TraceKind::kMmap, SizeClass::k2M).count(), 0u);
+
+  int slots = 0;
+  reg.ForEachNonEmpty([&](TraceKind kind, SizeClass size_class, const LatencyHistogram& h) {
+    ++slots;
+    EXPECT_EQ(h.count(), 1u);
+    if (kind == TraceKind::kFault) {
+      EXPECT_EQ(size_class, SizeClass::k4K);
+    }
+  });
+  EXPECT_EQ(slots, 3);
+}
+
+TEST(HistogramRegistryTest, MergeAndReset) {
+  HistogramRegistry a;
+  HistogramRegistry b;
+  a.Record(TraceKind::kRead, SizeClass::k4K, 5);
+  b.Record(TraceKind::kRead, SizeClass::k4K, 9);
+  a.Merge(b);
+  EXPECT_EQ(a.At(TraceKind::kRead, SizeClass::k4K).count(), 2u);
+  a.Reset();
+  EXPECT_EQ(a.At(TraceKind::kRead, SizeClass::k4K).count(), 0u);
+}
+
+TEST(SizeClassTest, BoundariesAreInclusive) {
+  EXPECT_EQ(SizeClassOf(0), SizeClass::kNone);
+  EXPECT_EQ(SizeClassOf(1), SizeClass::k4K);
+  EXPECT_EQ(SizeClassOf(4 * kKiB), SizeClass::k4K);
+  EXPECT_EQ(SizeClassOf(4 * kKiB + 1), SizeClass::k2M);
+  EXPECT_EQ(SizeClassOf(2 * kMiB), SizeClass::k2M);
+  EXPECT_EQ(SizeClassOf(kGiB), SizeClass::k1G);
+  EXPECT_EQ(SizeClassOf(kGiB + 1), SizeClass::kHuge);
+}
+
+}  // namespace
+}  // namespace o1mem

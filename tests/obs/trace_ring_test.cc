@@ -1,0 +1,81 @@
+#include "src/obs/trace_ring.h"
+
+#include <gtest/gtest.h>
+
+namespace o1mem {
+namespace {
+
+TraceEvent Ev(uint64_t start) {
+  TraceEvent e;
+  e.start_cycles = start;
+  e.kind = TraceKind::kMmap;
+  return e;
+}
+
+TEST(TraceRingTest, FillsThenOverwritesOldest) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ring.Push(Ev(i));
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, events 0 and 1 overwritten.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].start_cycles, 2 + i);
+  }
+}
+
+TEST(TraceRingTest, PartialFillSnapshotsInOrder) {
+  TraceRing ring(8);
+  ring.Push(Ev(10));
+  ring.Push(Ev(11));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].start_cycles, 10u);
+  EXPECT_EQ(events[1].start_cycles, 11u);
+}
+
+TEST(TraceRingTest, DrainResetsForReuse) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 9; ++i) {
+    ring.Push(Ev(i));
+  }
+  const auto first = ring.Drain();
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_pushed(), 0u);
+  ring.Push(Ev(100));
+  const auto second = ring.Snapshot();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].start_cycles, 100u);
+}
+
+TEST(TraceRingTest, ZeroCapacityClampsToOneSlot) {
+  TraceRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Push(Ev(1));
+  ring.Push(Ev(2));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.Snapshot()[0].start_cycles, 2u);
+}
+
+TEST(TraceRingTest, MemoryIsCapacityTimesSlotSize) {
+  // The O(1)-memory contract: the slot is 32 bytes and the buffer never
+  // grows past construction, no matter how much is pushed.
+  static_assert(sizeof(TraceEvent) == 32);
+  TraceRing ring(16);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ring.Push(Ev(i));
+  }
+  EXPECT_EQ(ring.capacity(), 16u);
+  EXPECT_EQ(ring.size(), 16u);
+}
+
+}  // namespace
+}  // namespace o1mem

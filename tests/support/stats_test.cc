@@ -45,6 +45,32 @@ TEST(SamplesTest, PercentilesInterpolate) {
   EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
 }
 
+TEST(SamplesTest, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.Percentile(0), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.Percentile(100), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(SamplesTest, SingleSampleIsEveryPercentile) {
+  Samples s;
+  s.Add(42);
+  EXPECT_NEAR(s.Percentile(0), 42.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 42.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 42.0, 1e-9);
+}
+
+TEST(SamplesTest, TwoSamplesInterpolateBetweenRanks) {
+  Samples s;
+  s.Add(10);
+  s.Add(20);
+  EXPECT_NEAR(s.Percentile(0), 10.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(25), 12.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 15.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 20.0, 1e-9);
+}
+
 TEST(SamplesTest, PercentileAfterLateAddRestoresOrder) {
   Samples s;
   s.Add(10);

@@ -6,16 +6,19 @@ Usage:
 
 Prints a per-metric / per-table-cell diff and exits nonzero when any *cost*
 series (simulated cycles or time: column or metric names containing "cycles",
-"c/op", "us", "ns" or "time") regressed by more than the threshold (default
-10%). Non-cost series (hit rates, byte gauges, ratios) are printed for
-context but never fail the diff. Stdlib only, so it runs anywhere CI does.
+"c/op", "us", "ns", "time", or a percentile like "p50"/"p99") regressed by
+more than the threshold (default 10%). Tail-latency columns from the bench
+latency-histogram tables (p50_cycles/p99_cycles/max_cycles) are gated like
+any other cost, so a p99 regression fails CI even when means stay flat.
+Non-cost series (hit rates, byte gauges, ratios) are printed for context but
+never fail the diff. Stdlib only, so it runs anywhere CI does.
 """
 
 import json
 import re
 import sys
 
-COST_PATTERN = re.compile(r"(cycles|c/op|\bus\b|\bns\b|_us$|_ns$|time)", re.IGNORECASE)
+COST_PATTERN = re.compile(r"(cycles|c/op|\bus\b|\bns\b|_us$|_ns$|time|\bp\d+\b)", re.IGNORECASE)
 
 
 def is_cost_name(name: str) -> bool:

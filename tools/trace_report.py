@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Latency report + O(1) verdict over a Chrome trace produced by the simulator.
+
+Reads the trace_event JSON written by System::WriteTrace() or the bench
+harness (--trace=<path>), prints per-(op, size class) p50/p99/max in cycles,
+then the verdict table: an op kind is flagged LINEAR when its p99 grows
+super-constant across operand size classes (4K -> 2M -> 1G -> >1G). This is
+the paper's claim made mechanical: an O(1) operation's latency distribution
+must not depend on how many bytes the operand names.
+
+Exit codes:
+  0  report printed, all requested checks passed
+  1  malformed/unreadable trace
+  2  a --check-o1/--expect-flagged assertion failed
+
+CI self-check (bench-smoke) runs, over a fig1a_mmap_cost trace:
+  trace_report.py TRACE.json --check-o1=fom --expect-flagged=mmap
+i.e. the FOM mapping ops must be flat while the baseline mmap (whose
+MAP_POPULATE path is linear in file size) must be caught.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Size classes in growth order, as emitted by SizeClassName(); "-" marks ops
+# with no byte operand, which have nothing to be linear in.
+CLASS_ORDER = ["4K", "2M", "1G", ">1G"]
+NO_OPERAND = "-"
+
+
+def percentile(sorted_vals, p):
+    """Nearest-rank percentile (matches LatencyHistogram's convention)."""
+    if not sorted_vals:
+        return 0
+    rank = max(1, math.ceil(p / 100.0 * len(sorted_vals)))
+    return sorted_vals[min(rank, len(sorted_vals)) - 1]
+
+
+def load_events(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"trace_report: cannot parse {path}: {e}")
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        raise SystemExit(f"trace_report: {path}: no traceEvents array")
+    return events
+
+
+def collect(events):
+    """-> {op: {size_class: [cycles...]}} from complete ("X") spans."""
+    by_op = {}
+    for e in events:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        args = e.get("args", {})
+        name = e.get("name")
+        if name is None or "cycles" not in args:
+            continue
+        size_class = args.get("size_class", NO_OPERAND)
+        by_op.setdefault(name, {}).setdefault(size_class, []).append(
+            int(args["cycles"]))
+    for classes in by_op.values():
+        for vals in classes.values():
+            vals.sort()
+    return by_op
+
+
+def print_latency_table(by_op):
+    rows = [("op", "class", "count", "p50", "p99", "max")]
+    for op in sorted(by_op):
+        classes = by_op[op]
+        order = CLASS_ORDER + [NO_OPERAND]
+        for c in sorted(classes, key=lambda c: order.index(c) if c in order else 99):
+            vals = classes[c]
+            rows.append((op, c, str(len(vals)), str(percentile(vals, 50)),
+                         str(percentile(vals, 99)), str(vals[-1])))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    print("per-op latency (cycles)")
+    for r in rows:
+        print("  " + "  ".join(v.ljust(w) for v, w in zip(r, widths)))
+
+
+def verdicts(by_op, threshold):
+    """-> [(op, {class: p99}, ratio, flagged)] for ops with >= 2 size classes.
+
+    ratio = p99 of the largest operand class / p99 of the smallest; an O(1)
+    op holds it near 1 no matter how far apart the classes are, a linear op
+    grows it with the operand span.
+    """
+    out = []
+    for op in sorted(by_op):
+        p99s = {c: percentile(v, 99) for c, v in by_op[op].items() if c != NO_OPERAND}
+        present = [c for c in CLASS_ORDER if c in p99s]
+        if len(present) < 2:
+            continue
+        lo = max(1, p99s[present[0]])
+        hi = p99s[present[-1]]
+        ratio = hi / lo
+        out.append((op, p99s, ratio, ratio > threshold))
+    return out
+
+
+def print_verdict_table(results, threshold):
+    print(f"\nO(1) verdict (p99 growth {CLASS_ORDER[0]} -> largest class, "
+          f"threshold {threshold:g}x)")
+    if not results:
+        print("  (no op spans more than one size class)")
+        return
+    rows = [("op",) + tuple(CLASS_ORDER) + ("ratio", "verdict")]
+    for op, p99s, ratio, flagged in results:
+        rows.append((op,) + tuple(str(p99s.get(c, "-")) for c in CLASS_ORDER)
+                    + (f"{ratio:.1f}", "LINEAR (flagged)" if flagged else "O(1)"))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for r in rows:
+        print("  " + "  ".join(v.ljust(w) for v, w in zip(r, widths)))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--threshold", type=float, default=8.0,
+                    help="p99 growth ratio above which an op is flagged "
+                         "(default 8: two log2 buckets of slack)")
+    ap.add_argument("--check-o1", metavar="PREFIX", action="append", default=[],
+                    help="fail (exit 2) if any op named PREFIX* is flagged")
+    ap.add_argument("--expect-flagged", metavar="OP", action="append", default=[],
+                    help="fail (exit 2) unless op OP is flagged (sanity-checks "
+                         "that the verdict has teeth on a known-linear op)")
+    args = ap.parse_args()
+
+    by_op = collect(load_events(args.trace))
+    if not by_op:
+        raise SystemExit(f"trace_report: {args.trace}: no complete spans")
+    print_latency_table(by_op)
+    results = verdicts(by_op, args.threshold)
+    print_verdict_table(results, args.threshold)
+
+    flagged = {op for op, _, _, f in results if f}
+    failures = []
+    for prefix in args.check_o1:
+        bad = sorted(op for op in flagged if op.startswith(prefix))
+        if bad:
+            failures.append(f"ops {bad} flagged LINEAR but expected O(1) "
+                            f"(--check-o1={prefix})")
+    for op in args.expect_flagged:
+        if op not in flagged:
+            failures.append(f"op {op!r} not flagged LINEAR "
+                            f"(--expect-flagged={op}); flagged set: {sorted(flagged)}")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(2 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()
