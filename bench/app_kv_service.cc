@@ -11,8 +11,17 @@
 //     pressure is clock reclaim.
 //   * FOM: state lives directly in a persistent segment (no snapshots);
 //     caches are discardable files; restart is an O(1) remap.
+// --shards=N (or --campaign=...) switches to the chaos-serving mode: an
+// N-shard SMP service (src/chaos/shard_service.h) with per-request
+// deadlines, seeded-jitter retry, and a heartbeat watchdog, optionally under
+// a deterministic fault campaign (--campaign=<spec|default>,
+// --chaos-seed=S). Recovery SLOs -- time-to-first-served after a kill, p99
+// during the recovery window, retries/op, degraded-mode ops -- land in
+// --json for tools/bench_diff.py gating. Without these flags the legacy
+// single-process comparison below runs exactly as before.
 #include "bench/common.h"
 
+#include "src/chaos/shard_service.h"
 #include "src/support/zipf.h"
 
 namespace o1mem {
@@ -248,6 +257,144 @@ Phase RunFom(int workers, bool tier) {
   return phase;
 }
 
+// --- chaos-serving mode ----------------------------------------------------
+
+// Percentiles converted to simulated us while the System is still alive.
+struct ChaosMetrics {
+  ShardServiceReport report;
+  double nominal_p50_us = 0;
+  double nominal_p99_us = 0;
+  double recovery_p50_us = 0;
+  double recovery_p99_us = 0;
+  double disrupted_p99_us = 0;
+};
+
+ChaosMetrics RunChaosService(int shards, const std::string& campaign_spec, uint64_t seed,
+                             bool tier) {
+  SystemConfig config = WorkerConfig(shards);
+  if (tier) {
+    config.machine.tier.enabled = true;
+    config.machine.tier.dram_cache_bytes = 32 * kMiB;
+    config.machine.tier.aggregation_ticks = 8;
+    config.machine.tier.min_region_bytes = 64 * kPageSize;
+    config.machine.tier.min_regions = 16;
+    config.machine.tier.max_regions = 64;
+    config.machine.tier.hot_threshold = 2;
+    config.machine.tier.promote_after = 1;
+    config.machine.tier.demote_after = 8;
+  }
+  config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
+  System sys(config);
+
+  ShardServiceConfig service_config;
+  service_config.shards = shards;
+  service_config.shard_bytes = BenchSmall() ? 4 * kMiB : 32 * kMiB;
+  service_config.ops = BenchSmall() ? 4000 : static_cast<uint64_t>(kOps);
+  service_config.tier_tick_every = tier ? 1024 : 0;
+  if (!campaign_spec.empty()) {
+    const std::string spec = campaign_spec == "default"
+                                 ? DefaultCampaignSpec(service_config.ops)
+                                 : campaign_spec;
+    auto chaos = ParseCampaign(spec, seed);
+    O1_CHECK(chaos.ok());
+    service_config.chaos = *chaos;
+  }
+
+  SimTimer timer(sys);  // drains obs + occupancy into the bench-wide state
+  ShardedKvService service(sys, service_config);
+  ChaosMetrics m;
+  m.report = service.Run();
+  auto us = [&sys](const LatencyHistogram& h, double p) {
+    return sys.ctx().clock().CyclesToUs(h.Percentile(p));
+  };
+  m.nominal_p50_us = us(m.report.nominal, 50);
+  m.nominal_p99_us = us(m.report.nominal, 99);
+  m.recovery_p50_us = us(m.report.recovery, 50);
+  m.recovery_p99_us = us(m.report.recovery, 99);
+  m.disrupted_p99_us = us(m.report.disrupted, 99);
+  MaybeProcfsDump(sys, "chaos");
+  return m;
+}
+
+int ChaosMain(BenchJson& json, int shards, const std::string& campaign_spec, uint64_t seed,
+              bool tier, bool print_log) {
+  json.Config("mode", "chaos");
+  json.Config("shards", static_cast<double>(shards));
+  json.Config("campaign", campaign_spec.empty() ? "off" : campaign_spec);
+  json.Config("chaos_seed", static_cast<double>(seed));
+  const ChaosMetrics m = RunChaosService(shards, campaign_spec, seed, tier);
+  const ShardServiceReport& r = m.report;
+
+  // The service guarantees graceful degradation: every arrival is eventually
+  // served (zero lost) and every get returned current data.
+  O1_CHECK(r.ops_lost == 0);
+  O1_CHECK(r.verify_failures == 0);
+
+  Table table("Chaos serving: " + std::to_string(shards) +
+              " shards, deadline+retry clients, watchdog recovery (simulated us)");
+  table.AddRow({"event", "shard", "cause", "down@tick", "detect@tick", "scrub_us", "remap_us",
+                "first_served_us", "replay_recs"});
+  int event_index = 0;
+  for (const RecoveryEvent& e : r.recoveries) {
+    table.AddRow({std::to_string(event_index++),
+                  e.shard < 0 ? std::string("all") : std::to_string(e.shard), e.cause,
+                  std::to_string(e.down_tick), std::to_string(e.detect_tick),
+                  Table::Num(e.scrub_us), Table::Num(e.remap_us),
+                  Table::Num(e.time_to_first_served_us), std::to_string(e.replay_records)});
+  }
+  table.Print();
+  MaybePrintCsv(table);
+  json.AddTable(table);
+
+  double ttfs_max_us = 0;
+  double scrub_max_us = 0;
+  double remap_max_us = 0;
+  uint64_t replay_max = 0;
+  for (const RecoveryEvent& e : r.recoveries) {
+    ttfs_max_us = std::max(ttfs_max_us, e.time_to_first_served_us);
+    scrub_max_us = std::max(scrub_max_us, e.scrub_us);
+    remap_max_us = std::max(remap_max_us, e.remap_us);
+    replay_max = std::max(replay_max, e.replay_records);
+  }
+  json.Metric("nominal_p50_us", m.nominal_p50_us);
+  json.Metric("nominal_p99_us", m.nominal_p99_us);
+  json.Metric("recovery_p50_us", m.recovery_p50_us);
+  json.Metric("recovery_p99_us", m.recovery_p99_us);
+  json.Metric("disrupted_p99_us", m.disrupted_p99_us);
+  json.Metric("time_to_first_served_us", ttfs_max_us);
+  json.Metric("recovery_scrub_us", scrub_max_us);
+  json.Metric("recovery_remap_us", remap_max_us);
+  json.Metric("recovery_replay_records", static_cast<double>(replay_max));
+  json.Metric("retries_per_op",
+              r.ops_attempted == 0
+                  ? 0
+                  : static_cast<double>(r.retries) / static_cast<double>(r.ops_attempted));
+  json.Metric("timeouts", static_cast<double>(r.timeouts));
+  json.Metric("ops_lost", static_cast<double>(r.ops_lost));
+  json.Metric("media_repairs", static_cast<double>(r.media_repairs));
+  json.Metric("degraded_reads", static_cast<double>(r.degraded_reads));
+  json.Metric("poison_quarantines", static_cast<double>(r.poison_quarantines));
+  json.Metric("chaos_kills", static_cast<double>(r.kills));
+  json.Metric("chaos_hangs", static_cast<double>(r.hangs));
+  json.Metric("watchdog_kills", static_cast<double>(r.watchdog_kills));
+  json.Metric("machine_crashes", static_cast<double>(r.machine_crashes));
+
+  std::printf(
+      "\nchaos: %llu ops (%llu retries, %llu timeouts, 0 lost), %llu kills + %llu hangs + %llu "
+      "machine crashes, p99 %.1f us nominal / %.1f us recovery window\n",
+      static_cast<unsigned long long>(r.ops_ok), static_cast<unsigned long long>(r.retries),
+      static_cast<unsigned long long>(r.timeouts), static_cast<unsigned long long>(r.kills),
+      static_cast<unsigned long long>(r.hangs),
+      static_cast<unsigned long long>(r.machine_crashes), m.nominal_p99_us, m.recovery_p99_us);
+  if (print_log && !r.chaos_log.empty()) {
+    std::printf("--- chaos log ---\n%s", r.chaos_log.c_str());
+  }
+
+  RecordOccupancy(json);
+  json.Write();
+  return 0;
+}
+
 }  // namespace
 }  // namespace o1mem
 
@@ -264,6 +411,29 @@ int main(int argc, char** argv) {
     tier = (*t == "on");
   }
   g_procfs_dump = ExtractBoolFlag(argc, argv, "procfs-dump");
+  // Chaos-serving mode: engaged only by its own flags, so the legacy
+  // comparison below stays cycle-identical when they are absent.
+  int shards = 0;
+  if (auto s = ExtractFlag(argc, argv, "shards")) {
+    shards = std::max(1, std::atoi(s->c_str()));
+  }
+  std::string campaign_spec;
+  if (auto c = ExtractFlag(argc, argv, "campaign")) {
+    campaign_spec = *c;
+  }
+  uint64_t chaos_seed = 1;
+  if (auto s = ExtractFlag(argc, argv, "chaos-seed")) {
+    chaos_seed = std::strtoull(s->c_str(), nullptr, 10);
+  }
+  const bool chaos_log = ExtractBoolFlag(argc, argv, "chaos-log");
+  if (shards > 0 || !campaign_spec.empty()) {
+    const int rc = ChaosMain(json, shards > 0 ? shards : 4, campaign_spec, chaos_seed, tier,
+                             chaos_log);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return rc;
+  }
   json.Config("workers", static_cast<double>(workers));
   json.Config("tier", tier ? "on" : "off");
   const Phase baseline = RunBaseline(workers);

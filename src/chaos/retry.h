@@ -1,0 +1,36 @@
+// Client-side retry policy: capped exponential backoff with full jitter
+// (the AWS architecture-blog shape: sleep = uniform[1, min(cap, base*2^n)]).
+// Jitter comes from a caller-owned seeded Rng, so retry timing is exactly as
+// deterministic as the rest of the simulation -- a chaos campaign replays
+// with identical retry schedules.
+#ifndef O1MEM_SRC_CHAOS_RETRY_H_
+#define O1MEM_SRC_CHAOS_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/support/rng.h"
+
+namespace o1mem {
+
+struct RetryPolicy {
+  int max_attempts = 8;           // total tries (first attempt included)
+  uint64_t base_delay_ticks = 4;  // backoff cap after the first failure
+  uint64_t max_delay_ticks = 512;
+
+  // Delay before attempt `attempt`+1, given `attempt` failures so far
+  // (attempt >= 1). Uniform in [1, min(max, base * 2^(attempt-1))].
+  uint64_t BackoffTicks(int attempt, Rng& rng) const {
+    O1_CHECK(attempt >= 1);
+    uint64_t cap = base_delay_ticks;
+    for (int i = 1; i < attempt && cap < max_delay_ticks; ++i) {
+      cap *= 2;
+    }
+    cap = std::max<uint64_t>(1, std::min(cap, max_delay_ticks));
+    return 1 + rng.NextBelow(cap);
+  }
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_CHAOS_RETRY_H_

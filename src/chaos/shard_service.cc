@@ -1,0 +1,444 @@
+#include "src/chaos/shard_service.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obs/span.h"
+
+namespace o1mem {
+
+namespace {
+// Every put writes (and every get reads) one 64 B line of the record:
+// [version u64][key u64][payload fill]. One line keeps op cost realistic
+// without dominating the campaign with bulk copies.
+constexpr uint64_t kLineBytes = 64;
+
+void EncodeRecord(uint8_t* line, uint64_t version, uint64_t key) {
+  std::memcpy(line, &version, sizeof(version));
+  std::memcpy(line + sizeof(version), &key, sizeof(key));
+  std::memset(line + 16, static_cast<int>(version & 0xff), kLineBytes - 16);
+}
+}  // namespace
+
+ShardedKvService::ShardedKvService(System& sys, const ShardServiceConfig& config)
+    : sys_(sys),
+      config_(config),
+      client_version_(static_cast<uint64_t>(config.shards) *
+                      (config.shard_bytes / config.record_bytes)),
+      workload_rng_(config.workload_seed),
+      retry_rng_(config.chaos.seed ^ 0x9e3779b97f4a7c15ULL),
+      zipf_(client_version_.size(), config.zipf_theta) {
+  O1_CHECK(config.shards > 0);
+  O1_CHECK(config.record_bytes >= kLineBytes);
+  O1_CHECK(config.shard_bytes % config.record_bytes == 0);
+  if (config_.chaos.enabled) {
+    campaign_ = std::make_unique<CampaignEngine>(config_.chaos, config_.shards);
+  }
+  num_cpus_ = sys_.machine().config().smp.num_cpus;
+}
+
+void ShardedKvService::BringUp(int index) {
+  Shard& shard = shards_[static_cast<size_t>(index)];
+  auto proc = sys_.Launch(Backend::kFom);
+  O1_CHECK(proc.ok());
+  shard.proc = *proc;
+  auto seg = sys_.fom().OpenSegment("/srv/shard" + std::to_string(index));
+  O1_CHECK(seg.ok());
+  shard.inode = *seg;
+  auto base = sys_.fom().Map(shard.proc->fom(), *seg, Prot::kReadWrite);
+  O1_CHECK(base.ok());
+  shard.base = *base;
+}
+
+void ShardedKvService::SetupShards() {
+  for (int i = 0; i < config_.shards; ++i) {
+    auto inode = sys_.fom().CreateSegment(
+        "/srv/shard" + std::to_string(i), config_.shard_bytes,
+        SegmentOptions{.flags = FileFlags{.persistent = true}});
+    O1_CHECK(inode.ok());
+    shards_.emplace_back(config_);
+    BringUp(i);
+  }
+}
+
+bool ShardedKvService::FaultActive() const {
+  for (const Shard& shard : shards_) {
+    if (shard.state != ShardState::kUp || shard.awaiting_first_serve) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardedKvService::PoisonShard(int index, bool sticky, bool dram_cache, uint64_t tick) {
+  Shard& shard = shards_[static_cast<size_t>(index)];
+  FaultInjector& injector = sys_.machine().fault_injector();
+  if (dram_cache) {
+    TierEngine* tier = sys_.tier();
+    if (tier == nullptr) {
+      campaign_->Note("t=" + std::to_string(tick) + " poisondram skipped (tier off)");
+      return;
+    }
+    std::vector<PromotedExtent> promoted = tier->PromotedOf(shard.inode);
+    if (promoted.empty()) {
+      campaign_->Note("t=" + std::to_string(tick) + " poisondram skipped (nothing promoted)");
+      return;
+    }
+    const PromotedExtent& e = promoted[campaign_->Draw(promoted.size())];
+    const uint64_t line = campaign_->Draw(e.bytes / kLineBytes);
+    injector.MarkUnreadable(e.cache + line * kLineBytes, /*sticky=*/false);
+    campaign_->Note("t=" + std::to_string(tick) + " poisondram shard=" + std::to_string(index) +
+                    " off=" + std::to_string(e.off + line * kLineBytes));
+    return;
+  }
+  auto extents = sys_.pmfs().Extents(shard.inode);
+  if (!extents.ok() || extents->empty()) {
+    campaign_->Note("t=" + std::to_string(tick) + " poison skipped (no extents)");
+    return;
+  }
+  const FileExtentView& e = (*extents)[campaign_->Draw(extents->size())];
+  const uint64_t line = campaign_->Draw(e.bytes / kLineBytes);
+  injector.MarkUnreadable(e.paddr + line * kLineBytes, sticky);
+  campaign_->Note("t=" + std::to_string(tick) + " poison shard=" + std::to_string(index) +
+                  " off=" + std::to_string(e.file_offset + line * kLineBytes) +
+                  (sticky ? " sticky" : ""));
+}
+
+void ShardedKvService::ApplyFiring(const ChaosFiring& firing, uint64_t tick) {
+  switch (firing.kind) {
+    case ChaosKind::kKillShard: {
+      Shard& shard = shards_[static_cast<size_t>(firing.shard)];
+      if (shard.state != ShardState::kUp) {
+        campaign_->Note("t=" + std::to_string(tick) + " kill skipped (shard already down)");
+        return;
+      }
+      O1_CHECK(sys_.Exit(shard.proc).ok());
+      shard.proc = nullptr;
+      shard.state = ShardState::kDown;
+      shard.down_tick = tick;
+      shard.down_cycles = sys_.ctx().now();
+      shard.down_cause = "kill";
+      report_.kills++;
+      return;
+    }
+    case ChaosKind::kHangShard: {
+      Shard& shard = shards_[static_cast<size_t>(firing.shard)];
+      if (shard.state != ShardState::kUp) {
+        campaign_->Note("t=" + std::to_string(tick) + " hang skipped (shard not up)");
+        return;
+      }
+      shard.state = ShardState::kHung;
+      shard.hang_until = tick + firing.duration_ticks;
+      shard.down_tick = tick;
+      shard.down_cycles = sys_.ctx().now();
+      shard.down_cause = "watchdog";
+      report_.hangs++;
+      return;
+    }
+    case ChaosKind::kPoisonNvm:
+      PoisonShard(firing.shard, firing.sticky, /*dram_cache=*/false, tick);
+      return;
+    case ChaosKind::kPoisonDram:
+      PoisonShard(firing.shard, /*sticky=*/false, /*dram_cache=*/true, tick);
+      return;
+    case ChaosKind::kCrashMachine:
+      MachineCrashRecover(tick);
+      return;
+    case ChaosKind::kTornWriteCrash:
+      sys_.machine().fault_injector().EnableTornPersists(config_.chaos.seed);
+      sys_.machine().fault_injector().ArmCrashAtNvmWrite(firing.event_index);
+      return;
+    case ChaosKind::kTornFlushCrash:
+      sys_.machine().fault_injector().EnableTornPersists(config_.chaos.seed);
+      sys_.machine().fault_injector().ArmCrashAtFlush(firing.event_index);
+      return;
+  }
+}
+
+Status ShardedKvService::ServeOnce(Shard& shard, const Request& req) {
+  ObsSpan span(sys_.ctx(), TraceKind::kServiceOp, kLineBytes);
+  const Vaddr addr = shard.base + Offset(req.key);
+  uint8_t line[kLineBytes];
+  if (req.is_put) {
+    EncodeRecord(line, client_version_[req.key] + 1, req.key);
+    O1_RETURN_IF_ERROR(sys_.UserWrite(*shard.proc, addr, line));
+    O1_RETURN_IF_ERROR(sys_.UserFlush(*shard.proc, addr, kLineBytes));
+    client_version_[req.key]++;
+    return OkStatus();
+  }
+  Status read = sys_.UserRead(*shard.proc, addr, line);
+  if (read.code() == StatusCode::kMediaError) {
+    // Degraded serving: the client copy is authoritative, so repair the
+    // record by rewriting it. Transient poison heals on the overwrite;
+    // sticky poison keeps failing reads, but the op still succeeds from the
+    // client copy either way.
+    EncodeRecord(line, client_version_[req.key], req.key);
+    O1_RETURN_IF_ERROR(sys_.UserWrite(*shard.proc, addr, line));
+    O1_RETURN_IF_ERROR(sys_.UserFlush(*shard.proc, addr, kLineBytes));
+    report_.media_repairs++;
+    return OkStatus();
+  }
+  O1_RETURN_IF_ERROR(read);
+  if (config_.verify && client_version_[req.key] != 0) {
+    uint64_t version = 0;
+    uint64_t key = 0;
+    std::memcpy(&version, line, sizeof(version));
+    std::memcpy(&key, line + sizeof(version), sizeof(key));
+    if (version != client_version_[req.key] || key != req.key) {
+      report_.verify_failures++;
+    }
+  }
+  return OkStatus();
+}
+
+bool ShardedKvService::AttemptRequest(Request& req, uint64_t tick) {
+  const int index = static_cast<int>(req.key % static_cast<uint64_t>(config_.shards));
+  Shard& shard = shards_[static_cast<size_t>(index)];
+  req.attempts++;
+  bool served = false;
+  if (shard.state == ShardState::kUp) {
+    sys_.ctx().SetCurrentCpu(index % num_cpus_);
+    Status s = ServeOnce(shard, req);
+    sys_.ctx().SetCurrentCpu(0);
+    O1_CHECK(s.ok());  // media errors are absorbed inside ServeOnce
+    served = true;
+  } else if (shard.state == ShardState::kHung) {
+    report_.timeouts++;
+  }
+  if (served) {
+    report_.ops_ok++;
+    const uint64_t latency = sys_.ctx().now() - req.arrival_cycles;
+    if (req.attempts > 1) {
+      report_.disrupted.Record(latency);
+    } else if (FaultActive()) {
+      report_.recovery.Record(latency);
+    } else {
+      report_.nominal.Record(latency);
+    }
+    if (shard.awaiting_first_serve) {
+      shard.awaiting_first_serve = false;
+      const double ttfs = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - shard.down_cycles);
+      // Fill the newest recovery event covering this shard (per-shard or
+      // whole-machine).
+      for (auto it = report_.recoveries.rbegin(); it != report_.recoveries.rend(); ++it) {
+        if ((it->shard == index || it->shard == -1) && it->time_to_first_served_us == 0) {
+          it->time_to_first_served_us = ttfs;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+  // Failed attempt: hung shards cost the client its deadline before it gives
+  // up; a known-dead shard fails fast.
+  if (req.attempts >= config_.retry.max_attempts) {
+    report_.ops_lost++;
+    return true;
+  }
+  report_.retries++;
+  const uint64_t wait = (shard.state == ShardState::kHung ? config_.deadline_ticks : 0) +
+                        config_.retry.BackoffTicks(req.attempts, retry_rng_);
+  req.due_tick = tick + wait;
+  return false;
+}
+
+void ShardedKvService::RecoverShard(int index, uint64_t tick, const char* cause) {
+  Shard& shard = shards_[static_cast<size_t>(index)];
+  RecoveryEvent event;
+  event.shard = index;
+  event.cause = cause;
+  event.down_tick = shard.down_tick;
+  event.detect_tick = tick;
+  if (shard.proc != nullptr) {  // hung zombie: kill it first
+    O1_CHECK(sys_.Exit(shard.proc).ok());
+    shard.proc = nullptr;
+  }
+  const uint64_t scrub_start = sys_.ctx().now();
+  auto scrub = sys_.pmfs().Scrub();
+  O1_CHECK(scrub.ok());
+  event.scrub_us = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - scrub_start);
+  event.replay_records = scrub->journal_records_checked;
+  const uint64_t remap_start = sys_.ctx().now();
+  BringUp(index);
+  event.remap_us = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - remap_start);
+  shard.state = ShardState::kUp;
+  shard.awaiting_first_serve = true;
+  shard.dog.Rearm(tick);
+  LogNote("t=" + std::to_string(tick) + " recover shard=" + std::to_string(index) +
+                  " cause=" + cause + " replay=" + std::to_string(event.replay_records));
+  report_.recoveries.push_back(event);
+}
+
+void ShardedKvService::MachineCrashRecover(uint64_t tick) {
+  report_.machine_crashes++;
+  const uint64_t down_cycles = sys_.ctx().now();
+  uint64_t down_tick_min = tick;
+  for (Shard& shard : shards_) {
+    if (shard.state == ShardState::kUp) {
+      shard.down_tick = tick;
+      shard.down_cycles = down_cycles;
+    } else {
+      down_tick_min = std::min(down_tick_min, shard.down_tick);
+    }
+    shard.proc = nullptr;  // Crash() invalidates every Process*
+    shard.state = ShardState::kDown;
+  }
+  O1_CHECK(sys_.Crash().ok());
+  RecoveryEvent event;
+  event.shard = -1;
+  event.cause = "machine";
+  event.down_tick = down_tick_min;
+  event.detect_tick = tick;
+  const uint64_t scrub_start = sys_.ctx().now();
+  auto scrub = sys_.pmfs().Scrub();
+  O1_CHECK(scrub.ok());
+  event.scrub_us = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - scrub_start);
+  event.replay_records = scrub->journal_records_checked;
+  const uint64_t remap_start = sys_.ctx().now();
+  for (int i = 0; i < config_.shards; ++i) {
+    BringUp(i);
+    Shard& shard = shards_[static_cast<size_t>(i)];
+    shard.state = ShardState::kUp;
+    shard.awaiting_first_serve = true;
+    shard.dog.Rearm(tick);
+  }
+  event.remap_us = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - remap_start);
+  // Lost-ack reconciliation: a put acknowledged in the crash tick may not
+  // have reached media (its lines stayed volatile once the armed index
+  // tripped). The client audit resyncs to the durable state -- a version
+  // regression is the expected lost-ack window, but a wrong key or a
+  // version from the future is real corruption and still counts.
+  for (uint64_t key = 0; key < client_version_.size(); ++key) {
+    if (client_version_[key] == 0) {
+      continue;
+    }
+    const int index = static_cast<int>(key % static_cast<uint64_t>(config_.shards));
+    Shard& shard = shards_[static_cast<size_t>(index)];
+    uint8_t line[kLineBytes];
+    if (!sys_.UserRead(*shard.proc, shard.base + Offset(key), line).ok()) {
+      continue;  // poisoned record: the next get repairs it
+    }
+    uint64_t version = 0;
+    uint64_t stored_key = 0;
+    std::memcpy(&version, line, sizeof(version));
+    std::memcpy(&stored_key, line + sizeof(version), sizeof(stored_key));
+    if (version == 0 && stored_key == 0) {
+      client_version_[key] = 0;  // the record's only put fully reverted
+    } else if (stored_key != key || version > client_version_[key]) {
+      report_.verify_failures++;
+    } else {
+      client_version_[key] = version;
+    }
+  }
+  LogNote("t=" + std::to_string(tick) + " recover machine replay=" +
+                  std::to_string(event.replay_records));
+  report_.recoveries.push_back(event);
+}
+
+ShardServiceReport ShardedKvService::Run() {
+  const uint64_t run_start = sys_.ctx().now();
+  SetupShards();
+  FaultInjector& injector = sys_.machine().fault_injector();
+  uint64_t next_arrival = 0;
+  uint64_t tick = 0;
+  // Generous runaway guard: every request resolves within max_attempts
+  // backoffs, so the queue must drain well before this.
+  const uint64_t max_ticks =
+      config_.ops + 1000 + static_cast<uint64_t>(config_.retry.max_attempts) *
+                               (config_.retry.max_delay_ticks + config_.deadline_ticks) * 64;
+  for (;; ++tick) {
+    O1_CHECK(tick < max_ticks);
+    sys_.ctx().Charge(config_.tick_cycles);
+    if (campaign_ != nullptr) {
+      for (const ChaosFiring& firing : campaign_->Poll(tick)) {
+        ApplyFiring(firing, tick);
+      }
+      // An armed torn-write/flush crash trips mid-op; the power actually
+      // fails at the next tick boundary.
+      if (injector.triggered()) {
+        campaign_->Note("t=" + std::to_string(tick) + " armed crash tripped");
+        MachineCrashRecover(tick);
+      }
+    }
+    // Hang expiry before the watchdog check: a shard whose hang was shorter
+    // than the watchdog allowance resumes beating and is never killed.
+    for (int i = 0; i < config_.shards; ++i) {
+      Shard& shard = shards_[static_cast<size_t>(i)];
+      if (shard.state == ShardState::kHung && tick >= shard.hang_until) {
+        shard.state = ShardState::kUp;
+        shard.awaiting_first_serve = false;
+        shard.dog.Beat(tick);
+        LogNote("t=" + std::to_string(tick) + " unhang shard=" + std::to_string(i));
+      }
+      if (shard.state != ShardState::kUp && shard.dog.Expired(tick)) {
+        RecoverShard(i, tick, shard.down_cause);
+        report_.watchdog_kills++;
+      }
+    }
+    // Heartbeats from live shards.
+    if (tick % config_.heartbeat_interval_ticks == 0) {
+      for (Shard& shard : shards_) {
+        if (shard.state == ShardState::kUp) {
+          shard.dog.Beat(tick);
+        }
+      }
+    }
+    // Due retries, in arrival order.
+    for (size_t i = 0; i < pending_.size();) {
+      if (pending_[i].due_tick <= tick && AttemptRequest(pending_[i], tick)) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    // One new client arrival per tick.
+    if (next_arrival < config_.ops) {
+      Request req;
+      req.key = zipf_.Next(workload_rng_);
+      req.is_put = workload_rng_.NextBool(config_.write_fraction);
+      req.arrival_cycles = sys_.ctx().now();
+      report_.ops_attempted++;
+      next_arrival++;
+      if (!AttemptRequest(req, tick)) {
+        pending_.push_back(req);
+      }
+    }
+    if (config_.tier_tick_every != 0 && sys_.tier() != nullptr &&
+        tick % config_.tier_tick_every == config_.tier_tick_every - 1) {
+      O1_CHECK(sys_.TierTick().ok());
+    }
+    if (injector.triggered()) {
+      // Tripped during this tick's ops (outside the campaign poll above).
+      LogNote("t=" + std::to_string(tick) + " armed crash tripped");
+      MachineCrashRecover(tick);
+    }
+    if (next_arrival >= config_.ops && pending_.empty()) {
+      // Drain: a shard recovered after the last client arrival would wait
+      // forever for its first serve. Health-check probes (one get of the
+      // shard's record 0) resolve time-to-first-served deterministically.
+      for (int i = 0; i < config_.shards; ++i) {
+        Shard& shard = shards_[static_cast<size_t>(i)];
+        if (shard.state == ShardState::kUp && shard.awaiting_first_serve) {
+          Request probe;
+          probe.key = static_cast<uint64_t>(i);  // key i routes to shard i
+          probe.arrival_cycles = sys_.ctx().now();
+          report_.ops_attempted++;
+          AttemptRequest(probe, tick);
+        }
+      }
+      if (!FaultActive()) {
+        break;
+      }
+    }
+  }
+  report_.ticks = tick + 1;
+  report_.run_us = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - run_start);
+  report_.degraded_reads = sys_.ctx().counters().degraded_reads;
+  report_.poison_quarantines = sys_.ctx().counters().poison_quarantines;
+  if (campaign_ != nullptr) {
+    report_.chaos_log = campaign_->LogString();
+  }
+  return report_;
+}
+
+}  // namespace o1mem

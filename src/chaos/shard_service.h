@@ -1,0 +1,183 @@
+// ShardedKvService: an N-shard KV service over FOM segments that keeps
+// serving through a chaos campaign -- the crash-kill-recover half of the
+// chaos subsystem (src/chaos/campaign.h schedules the faults; this applies
+// them and measures what the client sees).
+//
+// Shape: shard k is one FOM process serving a persistent segment
+// /srv/shard<k>; request keys route key % N. The driver is tick-based (one
+// client arrival per tick, a fixed cycle charge per tick so client-perceived
+// time advances even while a shard is dead):
+//
+//   * every request carries a deadline; a request to a hung shard times out
+//     after deadline_ticks, a request to a dead shard fails fast; either way
+//     the client retries with capped exponential backoff + full jitter
+//     (src/chaos/retry.h, seeded -- deterministic), up to max_attempts; a
+//     request that exhausts its attempts is LOST, and campaigns assert zero;
+//   * every shard heartbeats its watchdog (src/chaos/watchdog.h) each
+//     heartbeat interval; the supervisor kills and recovers a shard whose
+//     watchdog expires (missed_beats full intervals without a beat), while
+//     the other shards keep serving;
+//   * recovery = exit the zombie (if any), PMFS scrub (journal replay +
+//     media patrol), relaunch, remap -- each leg timed separately so the
+//     recovery SLO decomposes (detect / scrub / remap / first-served);
+//   * a get that hits a media error (poisoned line) repairs the record by
+//     rewriting it from the client's authoritative copy -- transient poison
+//     heals on overwrite, sticky poison still serves the client copy -- so
+//     media faults degrade, never fail, a request;
+//   * whole-machine crashes (crash@T, torn write/flush triggers) take every
+//     shard down and recover them all through the normal journal-replay
+//     boot.
+//
+// Client-perceived latency (arrival to success, retries included) lands in
+// three histograms: nominal (no fault active), recovery (first-try ops
+// served while some shard is down/recovering -- the "surviving shards"
+// SLO), and disrupted (ops that needed at least one retry). With
+// ChaosConfig.enabled == false no engine is built and no fault path runs.
+#ifndef O1MEM_SRC_CHAOS_SHARD_SERVICE_H_
+#define O1MEM_SRC_CHAOS_SHARD_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/campaign.h"
+#include "src/chaos/retry.h"
+#include "src/chaos/watchdog.h"
+#include "src/obs/latency_histogram.h"
+#include "src/os/system.h"
+#include "src/support/zipf.h"
+
+namespace o1mem {
+
+struct ShardServiceConfig {
+  int shards = 4;
+  uint64_t shard_bytes = 8 * kMiB;
+  uint64_t record_bytes = 1024;
+  uint64_t ops = 20000;  // client arrivals (one per tick)
+  double write_fraction = 0.3;
+  double zipf_theta = 0.99;
+  uint64_t workload_seed = 7;  // key/op mix; independent of the chaos seed
+
+  uint64_t deadline_ticks = 8;  // client timeout on a hung shard
+  RetryPolicy retry;
+  uint64_t heartbeat_interval_ticks = 4;
+  uint64_t missed_beats = 3;
+  uint64_t tick_cycles = 2000;  // client-side time per tick (1 us at 2 GHz)
+
+  uint64_t tier_tick_every = 0;  // run System::TierTick every N ticks (0=off)
+  bool verify = true;            // audit every get against the client copy
+
+  ChaosConfig chaos;
+};
+
+// One shard recovery, decomposed. shard == -1 means a whole-machine crash
+// (every shard went down and came back together).
+struct RecoveryEvent {
+  int shard = 0;
+  const char* cause = "";     // "kill" | "watchdog" | "machine"
+  uint64_t down_tick = 0;     // when the shard stopped serving
+  uint64_t detect_tick = 0;   // when the supervisor noticed
+  double scrub_us = 0;        // PMFS scrub/journal-replay leg
+  double remap_us = 0;        // relaunch + open + map leg
+  double time_to_first_served_us = 0;  // down -> first successful op
+  uint64_t replay_records = 0;         // journal records checked by the scrub
+};
+
+struct ShardServiceReport {
+  uint64_t ops_attempted = 0;  // client arrivals
+  uint64_t ops_ok = 0;
+  uint64_t ops_lost = 0;  // exhausted retries (campaign asserts zero)
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;       // attempts that hit a hung shard
+  uint64_t media_repairs = 0;  // gets that re-wrote a poisoned record
+  uint64_t verify_failures = 0;
+
+  uint64_t kills = 0;  // kill firings applied
+  uint64_t hangs = 0;
+  uint64_t watchdog_kills = 0;  // recoveries triggered by the watchdog
+  uint64_t machine_crashes = 0;
+
+  LatencyHistogram nominal;    // no fault active, first-try ops
+  LatencyHistogram recovery;   // first-try ops while some shard was down
+  LatencyHistogram disrupted;  // ops that needed at least one retry
+  std::vector<RecoveryEvent> recoveries;
+
+  uint64_t degraded_reads = 0;       // EventCounters snapshot at the end
+  uint64_t poison_quarantines = 0;
+  std::string chaos_log;  // replayable firing/recovery record
+  double run_us = 0;
+  uint64_t ticks = 0;
+};
+
+class ShardedKvService {
+ public:
+  // `sys` must outlive the service; the caller picks the machine shape
+  // (SMP, tier, persistence model). Shards serve on CPU shard % num_cpus.
+  ShardedKvService(System& sys, const ShardServiceConfig& config);
+
+  // Builds the shards, runs the campaign to completion (all arrivals
+  // resolved, all shards back up), and reports. Call once.
+  ShardServiceReport Run();
+
+ private:
+  enum class ShardState { kUp, kHung, kDown };
+
+  struct Shard {
+    Process* proc = nullptr;
+    InodeId inode = 0;
+    Vaddr base = 0;
+    ShardState state = ShardState::kUp;
+    Watchdog dog;
+    uint64_t hang_until = 0;
+    uint64_t down_tick = 0;
+    uint64_t down_cycles = 0;
+    bool awaiting_first_serve = false;
+    const char* down_cause = "";
+
+    explicit Shard(const ShardServiceConfig& config)
+        : dog(config.heartbeat_interval_ticks, config.missed_beats) {}
+  };
+
+  struct Request {
+    uint64_t key = 0;
+    bool is_put = false;
+    int attempts = 0;
+    uint64_t arrival_cycles = 0;
+    uint64_t due_tick = 0;
+  };
+
+  void SetupShards();
+  void ApplyFiring(const ChaosFiring& firing, uint64_t tick);
+  void PoisonShard(int shard, bool sticky, bool dram_cache, uint64_t tick);
+  // True when the request is finished (served or lost); false = retry queued.
+  bool AttemptRequest(Request& req, uint64_t tick);
+  Status ServeOnce(Shard& shard, const Request& req);
+  void RecoverShard(int index, uint64_t tick, const char* cause);
+  void MachineCrashRecover(uint64_t tick);
+  void LogNote(const std::string& line) {
+    if (campaign_ != nullptr) {
+      campaign_->Note(line);
+    }
+  }
+  void BringUp(int index);  // launch + open + map (no timing)
+  bool FaultActive() const;
+  uint64_t Offset(uint64_t key) const {
+    return (key / static_cast<uint64_t>(config_.shards)) * config_.record_bytes;
+  }
+
+  System& sys_;
+  ShardServiceConfig config_;
+  std::vector<Shard> shards_;
+  std::vector<uint64_t> client_version_;  // authoritative per-key audit copy
+  std::unique_ptr<CampaignEngine> campaign_;
+  Rng workload_rng_;
+  Rng retry_rng_;
+  ZipfGenerator zipf_;
+  std::vector<Request> pending_;  // retry queue, arrival order preserved
+  ShardServiceReport report_;
+  int num_cpus_ = 1;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_CHAOS_SHARD_SERVICE_H_

@@ -53,6 +53,7 @@ enum class TraceKind : uint8_t {
   kTierPromote,
   kTierDemote,
   kTierWriteback,
+  kTierQuarantine,
   // Reclaim.
   kReclaim,
   kFomReclaim,
@@ -62,6 +63,8 @@ enum class TraceKind : uint8_t {
   // Fault injection / power failure.
   kFaultInject,
   kCrash,
+  // Application-level request service (bench/app_kv_service shard ops).
+  kServiceOp,
   kKindCount,
 };
 
@@ -95,12 +98,14 @@ constexpr const char* TraceKindName(TraceKind kind) {
     case TraceKind::kTierPromote: return "tier_promote";
     case TraceKind::kTierDemote: return "tier_demote";
     case TraceKind::kTierWriteback: return "tier_writeback";
+    case TraceKind::kTierQuarantine: return "tier_quarantine";
     case TraceKind::kReclaim: return "reclaim";
     case TraceKind::kFomReclaim: return "fom_reclaim";
     case TraceKind::kJournalCommit: return "journal_commit";
     case TraceKind::kJournalReplay: return "journal_replay";
     case TraceKind::kFaultInject: return "fault_inject";
     case TraceKind::kCrash: return "crash";
+    case TraceKind::kServiceOp: return "service_op";
     case TraceKind::kKindCount: break;
   }
   return "?";
@@ -119,6 +124,7 @@ constexpr TraceCategory CategoryOf(TraceKind kind) {
     case TraceKind::kTierPromote:
     case TraceKind::kTierDemote:
     case TraceKind::kTierWriteback:
+    case TraceKind::kTierQuarantine:
       return kCatTier;
     case TraceKind::kReclaim:
     case TraceKind::kFomReclaim:

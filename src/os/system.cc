@@ -672,6 +672,7 @@ std::string System::DumpProcSnapshot() {
   out << "enabled " << (tier_ != nullptr ? 1 : 0) << "\n";
   if (tier_ != nullptr) {
     out << "promoted_bytes " << tier_->promoted_bytes() << "\n";
+    out << "quarantined_bytes " << tier_->quarantined_bytes() << "\n";
   }
 
   out << "\n== pmfs ==\n";

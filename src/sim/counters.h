@@ -64,7 +64,10 @@ namespace o1mem {
   X(tier_demotions)       /* extents restored to their NVM home */                       \
   X(tier_writeback_bytes) /* dirty cached bytes written back to NVM */                   \
   X(tier_hot_hits_dram)   /* user accesses served from a promoted extent */              \
-  X(tier_migrated_bytes)  /* bytes moved by PhysicalMemory::Move */
+  X(tier_migrated_bytes)  /* bytes moved by PhysicalMemory::Move */                      \
+  /* Degraded mode: media poison caught during tier migration/writeback. */              \
+  X(poison_quarantines)   /* extents fenced off after a media error */                   \
+  X(degraded_reads)       /* reads served degraded from a quarantined extent's home */
 
 struct EventCounters {
 #define O1MEM_DECLARE_COUNTER(name) uint64_t name = 0;

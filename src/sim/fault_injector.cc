@@ -20,7 +20,7 @@ uint64_t Mix(uint64_t x) {
 }
 
 Status MediaErrorAt(Paddr line) {
-  return MediaError("unreadable NVM line at paddr " + std::to_string(line));
+  return MediaError("unreadable memory line at paddr " + std::to_string(line));
 }
 
 }  // namespace
@@ -178,6 +178,20 @@ void FaultInjector::OnMachineCrash() {
   armed_flush_.reset();
   triggered_ = false;
   post_trigger_lines_.clear();
+  if (phys_ == nullptr) {
+    return;
+  }
+  // Transient DRAM-tier poison is a latched ECC event in a tier whose
+  // contents just evaporated: the reboot clears it. Sticky lines (worn
+  // cells) and all NVM poison persist.
+  const Paddr dram_limit = phys_->dram_bytes();
+  for (auto it = poisoned_.begin(); it != poisoned_.end();) {
+    if (!it->second && it->first < dram_limit) {
+      it = poisoned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace o1mem

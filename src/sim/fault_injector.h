@@ -17,10 +17,14 @@
 //     this, Crash() reverts every unflushed line, which is the *kindest*
 //     legal outcome and hides recovery bugs.
 //
-//  3. Media faults. MarkUnreadable poisons a 64 B line so reads return
-//     StatusCode::kMediaError (transient poison clears on overwrite;
-//     sticky poison models a worn-out cell and never clears). FlipBit
-//     silently corrupts a stored bit, which checksums must catch.
+//  3. Media faults. MarkUnreadable poisons a 64 B line -- NVM or DRAM-tier
+//     alike -- so reads return StatusCode::kMediaError (transient poison
+//     clears on overwrite; sticky poison models a worn-out cell and never
+//     clears). DRAM-tier poison caught mid-migration exercises the tier
+//     engine's extent quarantine path; at machine crash, transient DRAM
+//     poison clears with the power cycle (the latched ECC error is gone)
+//     while sticky poison survives in either tier. FlipBit silently
+//     corrupts a stored bit, which checksums must catch.
 //
 // An idle injector (nothing armed, no poison) is behaviorally invisible:
 // PhysicalMemory's semantics and charges are bit-identical with or without
@@ -88,9 +92,10 @@ class FaultInjector {
 
   // --- Media faults -------------------------------------------------------
 
-  // Poisons the 64 B line containing `paddr`: reads overlapping it return
-  // kMediaError. Transient poison (sticky=false) clears when the line is
-  // rewritten; sticky poison models uncorrectable wear and never clears.
+  // Poisons the 64 B line containing `paddr` (any tier): reads overlapping
+  // it return kMediaError. Transient poison (sticky=false) clears when the
+  // line is rewritten; sticky poison models uncorrectable wear and never
+  // clears.
   void MarkUnreadable(Paddr paddr, bool sticky);
   void ClearUnreadable(Paddr paddr);
   bool has_poison() const { return !poisoned_.empty(); }
@@ -131,8 +136,10 @@ class FaultInjector {
   bool IsSticky(Paddr paddr) const;
 
   // Called by Machine::Crash() after DropVolatile: the armed crash has
-  // happened, so trigger state resets. Media poison survives -- decay is a
-  // property of the part, not of the power supply.
+  // happened, so trigger state resets. NVM poison and sticky poison in any
+  // tier survive -- decay is a property of the part, not of the power
+  // supply -- but transient DRAM-tier poison (a latched, correctable ECC
+  // event) clears with the power cycle, like the DRAM contents themselves.
   void OnMachineCrash();
 
  private:

@@ -23,12 +23,17 @@ void PhysicalMemory::AttachFaultInjector(FaultInjector* injector) {
 }
 
 bool PhysicalMemory::NoteNvmWrite(Paddr paddr, uint64_t len) {
-  if (injector_ == nullptr || len == 0 || paddr + len <= dram_bytes_) {
+  if (injector_ == nullptr || len == 0) {
     return false;
+  }
+  // Overwrites heal transient poison in either tier: a rewritten DRAM line
+  // re-latches clean ECC just like a rewritten NVM line. Sticky poison stays.
+  injector_->NoteWriteForPoison(paddr, len);
+  if (paddr + len <= dram_bytes_) {
+    return false;  // pure DRAM write: no NVM durability events
   }
   const Paddr nvm_start = std::max(paddr, dram_bytes_);
   const uint64_t nvm_len = paddr + len - nvm_start;
-  injector_->NoteWriteForPoison(nvm_start, nvm_len);
   const uint64_t lines =
       (AlignDown(nvm_start + nvm_len - 1, 64) - AlignDown(nvm_start, 64)) / 64 + 1;
   return injector_->NoteNvmLineWrites(lines);

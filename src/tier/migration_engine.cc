@@ -59,6 +59,15 @@ Status MigrationEngine::Demote(InodeId inode, PromotedExtent& e, bool persistent
   return phys_mgr_->FreeCache(e.cache, e.bytes);
 }
 
+Status MigrationEngine::Abandon(InodeId inode, PromotedExtent& e,
+                                std::vector<TierMappingRef>& maps) {
+  ObsSpan span(ctx(), TraceKind::kTierQuarantine, e.bytes);
+  for (const TierMappingRef& ref : maps) {
+    O1_RETURN_IF_ERROR(Repoint(inode, ref, e, /*to_cache=*/false));
+  }
+  return phys_mgr_->FreeCache(e.cache, e.bytes);
+}
+
 Status MigrationEngine::Repoint(InodeId inode, const TierMappingRef& ref, PromotedExtent& e,
                                 bool to_cache) {
   auto it = ref.proc->mappings().find(ref.base);

@@ -85,6 +85,13 @@ class MigrationEngine {
   // Durable writeback only: the extent stays promoted, dirty is cleared.
   Status WriteBack(InodeId inode, PromotedExtent& e);
 
+  // Degraded-mode demotion: restores the home translations and frees the
+  // cache copy WITHOUT writing it back -- used when the cache copy itself
+  // has become unreadable (DRAM media poison caught by Demote/WriteBack).
+  // Any dirty delta in the cache is lost; the intact NVM home serves reads
+  // from here on. The caller quarantines the extent so it never re-promotes.
+  Status Abandon(InodeId inode, PromotedExtent& e, std::vector<TierMappingRef>& maps);
+
   // Post-crash: finish committed writebacks, discard uncommitted staging.
   Status Recover();
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/span.h"
+
 namespace o1mem {
 
 TierEngine::TierEngine(Machine* machine, PhysManager* phys_mgr, Pmfs* pmfs, FomManager* fom)
@@ -59,6 +61,47 @@ void TierEngine::NoteAccess(FomProcess& proc, Vaddr vaddr, uint64_t len, AccessT
   if (hit) {
     machine_->ctx().counters().tier_hot_hits_dram++;
   }
+  if (type == AccessType::kRead && QuarantinedOverlap(st, off, len)) {
+    machine_->ctx().counters().degraded_reads++;
+  }
+}
+
+bool TierEngine::QuarantinedOverlap(const InodeState& st, uint64_t off, uint64_t bytes) {
+  if (st.quarantined.empty() || bytes == 0) {
+    return false;
+  }
+  auto it = st.quarantined.upper_bound(off);
+  if (it != st.quarantined.begin() &&
+      std::prev(it)->first + std::prev(it)->second > off) {
+    return true;
+  }
+  return it != st.quarantined.end() && it->first < off + bytes;
+}
+
+void TierEngine::QuarantineRange(InodeState& st, uint64_t off, uint64_t bytes) {
+  // Coalescing is not worth the code: campaigns poison a handful of lines.
+  uint64_t end = off + bytes;
+  auto it = st.quarantined.upper_bound(off);
+  if (it != st.quarantined.begin() &&
+      std::prev(it)->first + std::prev(it)->second >= off) {
+    --it;
+    off = it->first;
+    end = std::max(end, it->first + it->second);
+    it = st.quarantined.erase(it);
+  }
+  while (it != st.quarantined.end() && it->first <= end) {
+    end = std::max(end, it->first + it->second);
+    it = st.quarantined.erase(it);
+  }
+  st.quarantined[off] = end - off;
+  machine_->ctx().counters().poison_quarantines++;
+  ObsInstant(machine_->ctx(), TraceKind::kTierQuarantine, bytes);
+}
+
+Status TierEngine::QuarantinePromoted(InodeId inode, InodeState& st, PromotedExtent& e) {
+  Status s = migration_.Abandon(inode, e, st.maps);
+  QuarantineRange(st, e.off, e.bytes);
+  return s;
 }
 
 Status TierEngine::Tick() {
@@ -91,6 +134,10 @@ Status TierEngine::Tick() {
 
 Status TierEngine::PromoteUnit(InodeId inode, InodeState& st, uint64_t off, uint64_t bytes,
                                Paddr home, bool* admitted) {
+  if (QuarantinedOverlap(st, off, bytes)) {
+    *admitted = true;  // fenced off: keep serving degraded from the home
+    return OkStatus();
+  }
   *admitted = policy_.AdmitPromotion(bytes, phys_mgr_->dram_cache_used(),
                                      phys_mgr_->dram_cache_bytes());
   if (!*admitted) {
@@ -102,6 +149,13 @@ Status TierEngine::PromoteUnit(InodeId inode, InodeState& st, uint64_t off, uint
   if (!e.ok()) {
     if (e.status().code() == StatusCode::kOutOfMemory) {
       *admitted = false;  // cache fragmented/full: stop promoting this round
+      return OkStatus();
+    }
+    if (e.status().code() == StatusCode::kMediaError) {
+      // The promotion copy read a poisoned home line. Promote() failed
+      // without side effects (the home stays mapped), so fence the unit off
+      // and keep serving it -- degraded -- from NVM.
+      QuarantineRange(st, off, bytes);
       return OkStatus();
     }
     return e.status();
@@ -203,6 +257,15 @@ Status TierEngine::DemoteOne(InodeId inode, InodeState& st, uint64_t off) {
   const uint64_t t0 = machine_->ctx().now();
   Status s = migration_.Demote(inode, it->second, st.persistent, st.maps);
   migration_cycles_ += machine_->ctx().now() - t0;
+  if (s.code() == StatusCode::kMediaError) {
+    // The dirty cache copy is unreadable (DRAM poison): the writeback read
+    // failed before any home byte was touched. Degrade instead of failing
+    // the caller: abandon the cache copy and fence the range off.
+    O1_RETURN_IF_ERROR(QuarantinePromoted(inode, st, it->second));
+    st.promoted.erase(it);
+    machine_->ctx().counters().tier_demotions++;
+    return OkStatus();
+  }
   O1_RETURN_IF_ERROR(s);
   st.promoted.erase(it);
   machine_->ctx().counters().tier_demotions++;
@@ -247,14 +310,26 @@ Status TierEngine::FlushRange(FomProcess& proc, Vaddr vaddr, uint64_t len) {
   if (it != st.promoted.begin() && std::prev(it)->second.end() > lo) {
     --it;
   }
-  for (; it != st.promoted.end() && it->second.off < hi; ++it) {
+  while (it != st.promoted.end() && it->second.off < hi) {
     if (!it->second.dirty) {
+      ++it;
       continue;
     }
     const uint64_t t0 = machine_->ctx().now();
     Status s = migration_.WriteBack(m->second.inode, it->second);
     migration_cycles_ += machine_->ctx().now() - t0;
+    if (s.code() == StatusCode::kMediaError) {
+      // Unreadable cache copy: degrade (abandon + fence off) and keep
+      // flushing the rest of the span. The msync contract is already void
+      // for these bytes -- their dirty delta is gone.
+      O1_RETURN_IF_ERROR(QuarantinePromoted(m->second.inode, st, it->second));
+      it = st.promoted.erase(it);
+      machine_->ctx().counters().tier_demotions++;
+      machine_->mmu().FlushPending();
+      continue;
+    }
     O1_RETURN_IF_ERROR(s);
+    ++it;
   }
   return OkStatus();
 }
@@ -389,6 +464,28 @@ uint64_t TierEngine::promoted_bytes() const {
     }
   }
   return n;
+}
+
+uint64_t TierEngine::quarantined_bytes() const {
+  uint64_t n = 0;
+  for (const auto& [inode, st] : inodes_) {
+    for (const auto& [off, bytes] : st.quarantined) {
+      n += bytes;
+    }
+  }
+  return n;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> TierEngine::QuarantinedOf(InodeId inode) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  auto it = inodes_.find(inode);
+  if (it == inodes_.end()) {
+    return out;
+  }
+  for (const auto& [off, bytes] : it->second.quarantined) {
+    out.emplace_back(off, bytes);
+  }
+  return out;
 }
 
 std::vector<PromotedExtent> TierEngine::PromotedOf(InodeId inode) const {

@@ -22,6 +22,16 @@
 //     extents before touching the home copy;
 //   * UserFlush writes dirty promoted spans back through the journaled
 //     writeback protocol before the caller's own line flushes run.
+//
+// Degraded mode: a media error surfaced by migration -- a poisoned home
+// line read during promotion, or a poisoned DRAM cache line read during
+// writeback/demotion -- never propagates as a failure of the whole
+// operation. The extent is quarantined instead: mappings are repointed to
+// the intact NVM home, the cache copy (if any) is abandoned without
+// writeback (its dirty delta is lost -- promoted dirty data sits outside
+// the eADR domain, DESIGN.md Sec. 9.5/11), and the range is fenced off so
+// it never re-promotes. Subsequent reads of the range are served from the
+// home copy and counted as `degraded_reads`.
 #ifndef O1MEM_SRC_TIER_TIER_ENGINE_H_
 #define O1MEM_SRC_TIER_TIER_ENGINE_H_
 
@@ -86,6 +96,10 @@ class TierEngine : public FomMapObserver {
   uint64_t migration_cycles() const { return migration_cycles_; }
   // Snapshot of an inode's promoted extents (tests).
   std::vector<PromotedExtent> PromotedOf(InodeId inode) const;
+  // Bytes fenced off after media errors (degraded, served from NVM home).
+  uint64_t quarantined_bytes() const;
+  // Snapshot of an inode's quarantined ranges as (offset, bytes) (tests).
+  std::vector<std::pair<uint64_t, uint64_t>> QuarantinedOf(InodeId inode) const;
 
  private:
   struct InodeState {
@@ -95,11 +109,22 @@ class TierEngine : public FomMapObserver {
     bool ptsplice = false;  // any splice mapping => 2 MiB promotion units
     std::vector<TierMappingRef> maps;
     std::map<uint64_t, PromotedExtent> promoted;  // keyed by file offset
+    // Ranges fenced off after a media error (off -> bytes): never promoted
+    // again, reads served degraded from the NVM home.
+    std::map<uint64_t, uint64_t> quarantined;
   };
 
   // The mapping containing `vaddr`, or nullptr.
   static const std::pair<const Vaddr, FomProcess::Mapping>* FindMapping(const FomProcess& proc,
                                                                         Vaddr vaddr);
+
+  static bool QuarantinedOverlap(const InodeState& st, uint64_t off, uint64_t bytes);
+  // Fences off [off, off+bytes): records the range and bumps the counter.
+  void QuarantineRange(InodeState& st, uint64_t off, uint64_t bytes);
+  // Degraded demotion of a promoted extent whose cache copy is unreadable:
+  // abandon the cache (no writeback -- dirty delta lost), repoint home,
+  // fence the range off.
+  Status QuarantinePromoted(InodeId inode, InodeState& st, PromotedExtent& e);
 
   Status PromoteSpan(InodeId inode, InodeState& st, uint64_t lo, uint64_t hi);
   Status PromoteUnit(InodeId inode, InodeState& st, uint64_t off, uint64_t bytes, Paddr home,

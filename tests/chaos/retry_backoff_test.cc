@@ -1,0 +1,77 @@
+// RetryPolicy: capped exponential backoff with full jitter must be
+// deterministic per seed, bounded by [1, min(cap, base * 2^(n-1))], and
+// clamped at max_delay_ticks for deep retries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/chaos/retry.h"
+
+namespace o1mem {
+namespace {
+
+TEST(RetryPolicyTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  Rng a(42);
+  Rng b(42);
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    EXPECT_EQ(policy.BackoffTicks(attempt, a), policy.BackoffTicks(attempt, b));
+  }
+}
+
+TEST(RetryPolicyTest, DifferentSeedsDiverge) {
+  RetryPolicy policy;
+  Rng a(1);
+  Rng b(2);
+  std::vector<uint64_t> sa;
+  std::vector<uint64_t> sb;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    sa.push_back(policy.BackoffTicks(attempt, a));
+    sb.push_back(policy.BackoffTicks(attempt, b));
+  }
+  EXPECT_NE(sa, sb);
+}
+
+TEST(RetryPolicyTest, BoundedByExponentialCap) {
+  RetryPolicy policy{.max_attempts = 8, .base_delay_ticks = 4, .max_delay_ticks = 512};
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (int attempt = 1; attempt <= 12; ++attempt) {
+      const uint64_t delay = policy.BackoffTicks(attempt, rng);
+      EXPECT_GE(delay, 1u);
+      uint64_t cap = policy.base_delay_ticks;
+      for (int i = 1; i < attempt && cap < policy.max_delay_ticks; ++i) {
+        cap *= 2;
+      }
+      cap = std::min(cap, policy.max_delay_ticks);
+      EXPECT_LE(delay, cap) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicyTest, DeepRetriesClampAtMaxDelay) {
+  RetryPolicy policy{.max_attempts = 64, .base_delay_ticks = 4, .max_delay_ticks = 64};
+  Rng rng(9);
+  uint64_t max_seen = 0;
+  for (int attempt = 20; attempt <= 40; ++attempt) {
+    for (int trial = 0; trial < 100; ++trial) {
+      max_seen = std::max(max_seen, policy.BackoffTicks(attempt, rng));
+    }
+  }
+  EXPECT_LE(max_seen, policy.max_delay_ticks);
+  // Full jitter still spreads over the cap (not pinned to one value).
+  EXPECT_GT(max_seen, policy.max_delay_ticks / 2);
+}
+
+TEST(RetryPolicyTest, FirstRetryUsesBaseWindow) {
+  RetryPolicy policy{.max_attempts = 4, .base_delay_ticks = 8, .max_delay_ticks = 512};
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t delay = policy.BackoffTicks(1, rng);
+    EXPECT_GE(delay, 1u);
+    EXPECT_LE(delay, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -1,0 +1,65 @@
+// Watchdog contract: a shard is declared dead only after missed_beats full
+// heartbeat intervals with no beat; a slow-but-alive shard that beats at
+// (or before) the deadline is never flagged.
+#include <gtest/gtest.h>
+
+#include "src/chaos/watchdog.h"
+
+namespace o1mem {
+namespace {
+
+TEST(WatchdogTest, ExpiresOnlyPastTheFullAllowance) {
+  Watchdog dog(/*heartbeat_interval_ticks=*/4, /*missed_beats=*/3);
+  dog.Beat(0);
+  EXPECT_EQ(dog.deadline_ticks(), 12u);
+  for (uint64_t t = 0; t <= 12; ++t) {
+    EXPECT_FALSE(dog.Expired(t)) << "tick " << t;
+  }
+  EXPECT_TRUE(dog.Expired(13));
+}
+
+TEST(WatchdogTest, RegularBeatsNeverExpire) {
+  Watchdog dog(4, 3);
+  for (uint64_t t = 0; t < 1000; ++t) {
+    if (t % 4 == 0) {
+      dog.Beat(t);
+    }
+    EXPECT_FALSE(dog.Expired(t)) << "tick " << t;
+  }
+}
+
+TEST(WatchdogTest, SlowButAliveIsNeverFlagged) {
+  // Beating exactly at the deadline -- misses_ * interval_ ticks apart, the
+  // slowest legal shard -- must never trip the watchdog.
+  Watchdog dog(4, 3);
+  dog.Beat(0);
+  for (uint64_t t = 1; t < 600; ++t) {
+    if (t % 12 == 0) {
+      dog.Beat(t);
+    }
+    EXPECT_FALSE(dog.Expired(t)) << "tick " << t;
+  }
+}
+
+TEST(WatchdogTest, MissedBeatsAreDetected) {
+  Watchdog dog(4, 3);
+  dog.Beat(100);  // last sign of life
+  EXPECT_FALSE(dog.Expired(112));
+  EXPECT_TRUE(dog.Expired(113));
+  EXPECT_TRUE(dog.Expired(500));  // stays expired until rearmed
+}
+
+TEST(WatchdogTest, DisarmAndRearm) {
+  Watchdog dog(4, 3);
+  dog.Beat(0);
+  dog.Disarm();
+  EXPECT_FALSE(dog.armed());
+  EXPECT_FALSE(dog.Expired(1000));  // disarmed: never fires during recovery
+  dog.Rearm(1000);
+  EXPECT_TRUE(dog.armed());
+  EXPECT_FALSE(dog.Expired(1012));
+  EXPECT_TRUE(dog.Expired(1013));
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -19,7 +19,7 @@ TEST(EventCountersTest, FieldCountMatchesLayout) {
 TEST(EventCountersTest, ForEachFieldVisitsEveryCounterOnce) {
   EventCounters c;
   c.tlb_l1_hits = 7;
-  c.tier_migrated_bytes = 11;
+  c.degraded_reads = 11;
   size_t visited = 0;
   uint64_t sum = 0;
   std::vector<std::string> names;
@@ -32,7 +32,7 @@ TEST(EventCountersTest, ForEachFieldVisitsEveryCounterOnce) {
   EXPECT_EQ(sum, 18u);
   // Declaration order: first and last fields of the macro list.
   EXPECT_EQ(names.front(), "tlb_l1_hits");
-  EXPECT_EQ(names.back(), "tier_migrated_bytes");
+  EXPECT_EQ(names.back(), "degraded_reads");
 }
 
 TEST(EventCountersTest, DeltaSubtractsEveryField) {

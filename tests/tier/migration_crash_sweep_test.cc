@@ -36,6 +36,12 @@ SystemConfig SweepConfig(PersistenceModel persistence) {
   config.machine.tier.enabled = true;
   config.machine.tier.dram_cache_bytes = kMiB;
   config.machine.tier.min_region_bytes = 4 * kPageSize;
+  // Two CPUs with batched shootdowns: the sweep's crash points then also cut
+  // inside shootdown-batch flush windows (migrations defer their IPIs to one
+  // FlushPending at batch end), not just between whole migrations. The sweep
+  // is self-calibrating, so the extra events are swept automatically.
+  config.machine.smp.num_cpus = 2;
+  config.machine.smp.batched_shootdowns = true;
   config.swap_pages = 1024;
   return config;
 }

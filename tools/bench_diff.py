@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10]
+                        [--require=metric1,metric2,...]
 
 Prints a per-metric / per-table-cell diff and exits nonzero when any *cost*
 series (simulated cycles or time: column or metric names containing "cycles",
@@ -11,7 +12,10 @@ more than the threshold (default 10%). Tail-latency columns from the bench
 latency-histogram tables (p50_cycles/p99_cycles/max_cycles) are gated like
 any other cost, so a p99 regression fails CI even when means stay flat.
 Non-cost series (hit rates, byte gauges, ratios) are printed for context but
-never fail the diff. Stdlib only, so it runs anywhere CI does.
+never fail the diff. --require=a,b,c additionally fails the diff when any of
+the named metrics is missing from the candidate -- CI uses it to pin the
+chaos-campaign SLO fields so a refactor cannot silently drop them. Stdlib
+only, so it runs anywhere CI does.
 """
 
 import json
@@ -76,10 +80,13 @@ def rows_by_label(table):
 
 def main(argv):
     threshold = 0.10
+    required = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--require="):
+            required = [m for m in arg.split("=", 1)[1].split(",") if m]
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -131,7 +138,14 @@ def main(argv):
                     compare(f"{label} / {col}", as_number(old_row[i]),
                             as_number(new_row[j]), threshold, regressions, report)
 
+    missing = [m for m in required if as_number(new_metrics.get(m)) is None]
+
     print("\n".join(report))
+    if missing:
+        print(f"\n{len(missing)} required metric(s) missing from candidate:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
     if regressions:
         print(f"\n{len(regressions)} cost regression(s) above {threshold:.0%}:")
         for name, old, new, delta in regressions:
