@@ -1,0 +1,233 @@
+// Ablation: overload robustness -- open-loop arrival vs the protection stack.
+//
+// The closed-loop chaos driver (one arrival per completion) cannot overload
+// anything: it self-throttles exactly when the service slows down. This
+// bench drives the sharded KV service with *open-loop* Poisson arrivals at
+// 0.5x-3x of service capacity (shards * slots_per_tick per tick) and
+// compares two services:
+//
+//   * naive: unbounded FIFO queues, no admission control, no retry budget,
+//     no breakers, no brownout. Clients still time out after deadline_ticks
+//     and retry with backoff -- which is the collapse amplifier: past 1x,
+//     every queued request expires before it is served, retries multiply
+//     offered load, and goodput falls toward zero;
+//   * protected: bounded queues with deadline-aware shed at admission,
+//     retry-budget token bucket, per-shard circuit breakers, brownout
+//     ladder (src/chaos/admission.h, breaker.h).
+//
+// Gates (asserted here, regression-gated via --json + bench_diff.py):
+//   * protected @ 3x: goodput >= 0.8x capacity, p99 of admitted ops within
+//     3x nominal (= p99 at 1x), steady-state queue depth flat across the
+//     last two measurement windows;
+//   * protected @ 0.5x: zero breaker transitions (no false opens when the
+//     service is merely busy, not failing).
+//
+// --campaign=<spec|default> reruns the protected 2x point under a fault
+// campaign (overload + kill/hang recovery composed); the primary JSON
+// metrics then come from that run. --chaos-seed=S as elsewhere.
+#include "bench/common.h"
+
+#include "src/chaos/shard_service.h"
+
+namespace o1mem {
+namespace {
+
+constexpr int kShards = 4;
+
+struct Point {
+  double factor = 0;
+  bool protected_mode = false;
+  uint64_t arrivals = 0;
+  uint64_t served = 0;
+  uint64_t sheds = 0;
+  uint64_t rejected_final = 0;
+  uint64_t ops_lost = 0;
+  uint64_t breaker_transitions = 0;
+  uint64_t brownout_shard_ticks = 0;  // shard-ticks spent above L0
+  uint64_t max_queue_depth = 0;
+  double goodput_ratio = 0;
+  double shed_rate = 0;
+  double p99_admitted_us = 0;
+  double window_a = 0;
+  double window_b = 0;
+  uint64_t verify_failures = 0;
+};
+
+ShardServiceConfig ServiceConfig(double factor, bool protected_mode,
+                                 const std::string& campaign_spec, uint64_t seed) {
+  ShardServiceConfig config;
+  config.shards = kShards;
+  config.shard_bytes = BenchSmall() ? 4 * kMiB : 16 * kMiB;
+  config.ops = BenchSmall() ? 6000 : 20000;
+  config.arrival.enabled = true;
+  config.arrival.kind = ArrivalConfig::Kind::kPoisson;
+  config.arrival.rate = factor * static_cast<double>(kShards) *
+                        static_cast<double>(config.overload.slots_per_tick);
+  config.arrival.scan_fraction = 0.05;
+  config.arrival.scan_records = 16;
+  if (protected_mode) {
+    config.overload = OverloadConfig::Protected();
+  }
+  if (!campaign_spec.empty()) {
+    const std::string spec =
+        campaign_spec == "default" ? DefaultCampaignSpec(config.ops) : campaign_spec;
+    auto chaos = ParseCampaign(spec, seed);
+    O1_CHECK(chaos.ok());
+    config.chaos = *chaos;
+  }
+  return config;
+}
+
+Point RunPoint(double factor, bool protected_mode, const std::string& campaign_spec,
+               uint64_t seed) {
+  SystemConfig sys_config = BenchConfig();
+  sys_config.machine.smp.num_cpus = kShards;
+  sys_config.machine.smp.batched_shootdowns = true;
+  sys_config.machine.smp.percpu_frame_cache = true;
+  sys_config.machine.smp.prezero_pool = true;
+  sys_config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
+  System sys(sys_config);
+  SimTimer timer(sys);
+  ShardedKvService service(sys, ServiceConfig(factor, protected_mode, campaign_spec, seed));
+  const ShardServiceReport r = service.Run();
+  const OverloadReport& ov = r.overload;
+
+  Point p;
+  p.factor = factor;
+  p.protected_mode = protected_mode;
+  p.arrivals = ov.arrivals;
+  p.served = ov.served;
+  p.sheds = ov.sheds;
+  p.rejected_final = ov.rejected_final;
+  p.ops_lost = r.ops_lost;
+  p.verify_failures = r.verify_failures;
+  p.goodput_ratio =
+      ov.capacity_per_tick > 0 ? ov.goodput_per_tick / ov.capacity_per_tick : 0;
+  p.shed_rate = ov.arrivals == 0
+                    ? 0
+                    : static_cast<double>(ov.sheds) / static_cast<double>(ov.arrivals);
+  p.p99_admitted_us = sys.ctx().clock().CyclesToUs(ov.admitted_latency.Percentile(99));
+  p.window_a = ov.queue_depth_window_a;
+  p.window_b = ov.queue_depth_window_b;
+  for (const ShardOverloadStats& st : ov.per_shard) {
+    p.breaker_transitions += st.breaker_transitions;
+    for (size_t level = 1; level < st.brownout_ticks.size(); ++level) {
+      p.brownout_shard_ticks += st.brownout_ticks[level];
+    }
+    p.max_queue_depth = std::max(p.max_queue_depth, st.max_queue_depth);
+  }
+  return p;
+}
+
+}  // namespace
+}  // namespace o1mem
+
+int main(int argc, char** argv) {
+  using namespace o1mem;
+  BenchJson json("abl_overload", argc, argv);
+  InitBenchObs(argc, argv);
+  std::string campaign_spec;
+  if (auto c = ExtractFlag(argc, argv, "campaign")) {
+    campaign_spec = *c;
+  }
+  uint64_t chaos_seed = 1;
+  if (auto s = ExtractFlag(argc, argv, "chaos-seed")) {
+    chaos_seed = std::strtoull(s->c_str(), nullptr, 10);
+  }
+  json.Config("campaign", campaign_spec.empty() ? "off" : campaign_spec);
+  json.Config("chaos_seed", static_cast<double>(chaos_seed));
+
+  const std::vector<double> factors = {0.5, 1.0, 1.5, 2.0, 3.0};
+  Table table("Ablation: open-loop overload, naive vs protected serving (" +
+              std::to_string(kShards) + " shards, Poisson arrivals at x of capacity)");
+  table.AddRow({"load", "mode", "arrivals", "served", "goodput_x", "shed_%", "rejects",
+                "lost", "p99_adm_us", "max_depth", "brk_trans", "brownout_ticks"});
+  std::vector<Point> points;
+  for (double factor : factors) {
+    for (bool protected_mode : {false, true}) {
+      Point p = RunPoint(factor, protected_mode, /*campaign_spec=*/"", chaos_seed);
+      points.push_back(p);
+      table.AddRow({Table::Num(factor) + "x", protected_mode ? "protected" : "naive",
+                    std::to_string(p.arrivals), std::to_string(p.served),
+                    Table::Num(p.goodput_ratio), Table::Num(p.shed_rate * 100.0),
+                    std::to_string(p.rejected_final), std::to_string(p.ops_lost),
+                    Table::Num(p.p99_admitted_us), std::to_string(p.max_queue_depth),
+                    std::to_string(p.breaker_transitions),
+                    std::to_string(p.brownout_shard_ticks)});
+    }
+  }
+  table.Print();
+  MaybePrintCsv(table);
+  json.AddTable(table);
+
+  auto find = [&points](double factor, bool protected_mode) -> const Point& {
+    for (const Point& p : points) {
+      if (p.factor == factor && p.protected_mode == protected_mode) {
+        return p;
+      }
+    }
+    O1_CHECK(false);
+    return points.front();
+  };
+  const Point& low = find(0.5, true);
+  const Point& nominal = find(1.0, true);
+  const Point& peak = find(3.0, true);
+  const Point& naive_peak = find(3.0, false);
+
+  // Acceptance gates. Protected serving holds goodput and tail latency
+  // through 3x overload; an unloaded service never false-opens a breaker.
+  for (const Point& p : points) {
+    if (p.protected_mode) {
+      O1_CHECK(p.ops_lost == 0);  // every shed is a clean rejection
+    }
+    O1_CHECK(p.verify_failures == 0);
+  }
+  O1_CHECK(peak.goodput_ratio >= 0.8);
+  const double nominal_p99 = std::max(nominal.p99_admitted_us, 1.0);  // >= one tick
+  O1_CHECK(peak.p99_admitted_us <= 3.0 * nominal_p99);
+  O1_CHECK(peak.window_b <= peak.window_a * 1.5 + 2.0);  // flat steady state
+  O1_CHECK(low.breaker_transitions == 0);  // busy != failing
+
+  Point primary = peak;
+  if (!campaign_spec.empty()) {
+    // Overload and faults composed: the protected 2x point under the
+    // campaign becomes the regression-gated primary.
+    primary = RunPoint(2.0, /*protected_mode=*/true, campaign_spec, chaos_seed);
+    O1_CHECK(primary.ops_lost == 0);
+    O1_CHECK(primary.verify_failures == 0);
+  }
+  json.Metric("goodput_ratio", primary.goodput_ratio);
+  json.Metric("p99_admitted_us", primary.p99_admitted_us);
+  json.Metric("shed_rate", primary.shed_rate);
+  json.Metric("rejected_final", static_cast<double>(primary.rejected_final));
+  json.Metric("breaker_transitions", static_cast<double>(primary.breaker_transitions));
+  json.Metric("brownout_shard_ticks", static_cast<double>(primary.brownout_shard_ticks));
+  json.Metric("max_queue_depth", static_cast<double>(primary.max_queue_depth));
+  json.Metric("queue_depth_window_a", primary.window_a);
+  json.Metric("queue_depth_window_b", primary.window_b);
+  json.Metric("nominal_p99_admitted_us", nominal.p99_admitted_us);
+  json.Metric("breaker_false_opens_low_load", static_cast<double>(low.breaker_transitions));
+  json.Metric("naive_goodput_ratio_3x", naive_peak.goodput_ratio);
+  json.Metric("protected_goodput_ratio_3x", peak.goodput_ratio);
+
+  std::printf(
+      "\noverload: protected goodput %.2fx capacity at 3x offered load (naive: %.2fx), "
+      "p99 admitted %.1f us vs %.1f us nominal, shed rate %.1f%%, queue windows %.1f -> %.1f\n",
+      peak.goodput_ratio, naive_peak.goodput_ratio, peak.p99_admitted_us,
+      nominal.p99_admitted_us, peak.shed_rate * 100.0, peak.window_a, peak.window_b);
+
+  for (const Point& p : points) {
+    benchmark::RegisterBenchmark(
+        ("abl_overload/" + std::string(p.protected_mode ? "protected" : "naive") + "/x" +
+         Table::Num(p.factor))
+            .c_str(),
+        [ratio = p.goodput_ratio](benchmark::State& s) { ReportManualTime(s, ratio); })
+        ->UseManualTime();
+  }
+  RecordOccupancy(json);
+  json.Write();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -267,10 +267,12 @@ struct ChaosMetrics {
   double recovery_p50_us = 0;
   double recovery_p99_us = 0;
   double disrupted_p99_us = 0;
+  double admitted_p50_us = 0;  // open-loop mode: arrival -> completion
+  double admitted_p99_us = 0;
 };
 
-ChaosMetrics RunChaosService(int shards, const std::string& campaign_spec, uint64_t seed,
-                             bool tier) {
+ChaosMetrics RunChaosService(int shards, const std::string& campaign_spec,
+                             const std::string& arrival_spec, uint64_t seed, bool tier) {
   SystemConfig config = WorkerConfig(shards);
   if (tier) {
     config.machine.tier.enabled = true;
@@ -299,6 +301,14 @@ ChaosMetrics RunChaosService(int shards, const std::string& campaign_spec, uint6
     O1_CHECK(chaos.ok());
     service_config.chaos = *chaos;
   }
+  if (!arrival_spec.empty()) {
+    // Open-loop overload mode with the full protection stack (admission,
+    // retry budget, breakers, brownout).
+    auto arrival = ParseArrival(arrival_spec);
+    O1_CHECK(arrival.ok());
+    service_config.arrival = *arrival;
+    service_config.overload = OverloadConfig::Protected();
+  }
 
   SimTimer timer(sys);  // drains obs + occupancy into the bench-wide state
   ShardedKvService service(sys, service_config);
@@ -312,17 +322,20 @@ ChaosMetrics RunChaosService(int shards, const std::string& campaign_spec, uint6
   m.recovery_p50_us = us(m.report.recovery, 50);
   m.recovery_p99_us = us(m.report.recovery, 99);
   m.disrupted_p99_us = us(m.report.disrupted, 99);
+  m.admitted_p50_us = us(m.report.overload.admitted_latency, 50);
+  m.admitted_p99_us = us(m.report.overload.admitted_latency, 99);
   MaybeProcfsDump(sys, "chaos");
   return m;
 }
 
-int ChaosMain(BenchJson& json, int shards, const std::string& campaign_spec, uint64_t seed,
-              bool tier, bool print_log) {
-  json.Config("mode", "chaos");
+int ChaosMain(BenchJson& json, int shards, const std::string& campaign_spec,
+              const std::string& arrival_spec, uint64_t seed, bool tier, bool print_log) {
+  json.Config("mode", arrival_spec.empty() ? "chaos" : "overload");
   json.Config("shards", static_cast<double>(shards));
   json.Config("campaign", campaign_spec.empty() ? "off" : campaign_spec);
+  json.Config("arrival", arrival_spec.empty() ? "off" : arrival_spec);
   json.Config("chaos_seed", static_cast<double>(seed));
-  const ChaosMetrics m = RunChaosService(shards, campaign_spec, seed, tier);
+  const ChaosMetrics m = RunChaosService(shards, campaign_spec, arrival_spec, seed, tier);
   const ShardServiceReport& r = m.report;
 
   // The service guarantees graceful degradation: every arrival is eventually
@@ -379,6 +392,70 @@ int ChaosMain(BenchJson& json, int shards, const std::string& campaign_spec, uin
   json.Metric("watchdog_kills", static_cast<double>(r.watchdog_kills));
   json.Metric("machine_crashes", static_cast<double>(r.machine_crashes));
 
+  if (r.overload.enabled) {
+    const OverloadReport& ov = r.overload;
+    Table otable("Overload serving: per-shard admission/breaker/brownout (open loop " +
+                 std::to_string(static_cast<int>(ov.capacity_per_tick)) + " slots/tick)");
+    otable.AddRow({"shard", "admitted", "served", "shed_dl", "shed_ovf", "shed_scan",
+                   "shed_write", "expired", "fast_fail", "brk_rej", "brk_trans", "max_depth",
+                   "brownout L0..L4 ticks"});
+    for (size_t i = 0; i < ov.per_shard.size(); ++i) {
+      const ShardOverloadStats& st = ov.per_shard[i];
+      std::string residency;
+      for (size_t level = 0; level < st.brownout_ticks.size(); ++level) {
+        residency += (level == 0 ? "" : "/") + std::to_string(st.brownout_ticks[level]);
+      }
+      otable.AddRow({std::to_string(i), std::to_string(st.admitted), std::to_string(st.served),
+                     std::to_string(st.shed_deadline), std::to_string(st.shed_overflow),
+                     std::to_string(st.shed_scan), std::to_string(st.shed_write),
+                     std::to_string(st.expired_in_queue), std::to_string(st.failed_fast),
+                     std::to_string(st.breaker_rejects), std::to_string(st.breaker_transitions),
+                     std::to_string(st.max_queue_depth), residency});
+    }
+    otable.Print();
+    MaybePrintCsv(otable);
+    json.AddTable(otable);
+
+    uint64_t breaker_transitions = 0;
+    uint64_t brownout_ticks = 0;  // ticks any shard spent above L0
+    uint64_t max_depth = 0;
+    for (const ShardOverloadStats& st : ov.per_shard) {
+      breaker_transitions += st.breaker_transitions;
+      for (size_t level = 1; level < st.brownout_ticks.size(); ++level) {
+        brownout_ticks += st.brownout_ticks[level];
+      }
+      max_depth = std::max(max_depth, st.max_queue_depth);
+    }
+    const double goodput_ratio =
+        ov.capacity_per_tick > 0 ? ov.goodput_per_tick / ov.capacity_per_tick : 0;
+    const double shed_rate =
+        ov.arrivals == 0 ? 0 : static_cast<double>(ov.sheds) / static_cast<double>(ov.arrivals);
+    json.Metric("arrivals", static_cast<double>(ov.arrivals));
+    json.Metric("admitted", static_cast<double>(ov.admitted));
+    json.Metric("served", static_cast<double>(ov.served));
+    json.Metric("goodput_per_tick", ov.goodput_per_tick);
+    json.Metric("goodput_ratio", goodput_ratio);
+    json.Metric("shed_rate", shed_rate);
+    json.Metric("rejected_final", static_cast<double>(ov.rejected_final));
+    json.Metric("retry_budget_denials", static_cast<double>(ov.retry_budget_denials));
+    json.Metric("p50_admitted_us", m.admitted_p50_us);
+    json.Metric("p99_admitted_us", m.admitted_p99_us);
+    json.Metric("breaker_transitions", static_cast<double>(breaker_transitions));
+    json.Metric("brownout_ticks", static_cast<double>(brownout_ticks));
+    json.Metric("max_queue_depth", static_cast<double>(max_depth));
+    json.Metric("queue_depth_window_a", ov.queue_depth_window_a);
+    json.Metric("queue_depth_window_b", ov.queue_depth_window_b);
+    std::printf(
+        "\noverload: %llu arrivals -> %llu served (%.2fx capacity goodput), %llu shed (%.1f%%), "
+        "%llu clean rejects, p99 admitted %.1f us, %llu breaker transitions, %llu brownout "
+        "shard-ticks\n",
+        static_cast<unsigned long long>(ov.arrivals), static_cast<unsigned long long>(ov.served),
+        goodput_ratio, static_cast<unsigned long long>(ov.sheds), shed_rate * 100.0,
+        static_cast<unsigned long long>(ov.rejected_final), m.admitted_p99_us,
+        static_cast<unsigned long long>(breaker_transitions),
+        static_cast<unsigned long long>(brownout_ticks));
+  }
+
   std::printf(
       "\nchaos: %llu ops (%llu retries, %llu timeouts, 0 lost), %llu kills + %llu hangs + %llu "
       "machine crashes, p99 %.1f us nominal / %.1f us recovery window\n",
@@ -421,14 +498,21 @@ int main(int argc, char** argv) {
   if (auto c = ExtractFlag(argc, argv, "campaign")) {
     campaign_spec = *c;
   }
+  // --arrival=poisson:<rate>|burst:<rate>x<len>|ramp:<lo>-<hi> switches the
+  // shard service to open-loop overload mode (admission + breakers +
+  // brownout); combinable with --campaign.
+  std::string arrival_spec;
+  if (auto a = ExtractFlag(argc, argv, "arrival")) {
+    arrival_spec = *a;
+  }
   uint64_t chaos_seed = 1;
   if (auto s = ExtractFlag(argc, argv, "chaos-seed")) {
     chaos_seed = std::strtoull(s->c_str(), nullptr, 10);
   }
   const bool chaos_log = ExtractBoolFlag(argc, argv, "chaos-log");
-  if (shards > 0 || !campaign_spec.empty()) {
-    const int rc = ChaosMain(json, shards > 0 ? shards : 4, campaign_spec, chaos_seed, tier,
-                             chaos_log);
+  if (shards > 0 || !campaign_spec.empty() || !arrival_spec.empty()) {
+    const int rc = ChaosMain(json, shards > 0 ? shards : 4, campaign_spec, arrival_spec,
+                             chaos_seed, tier, chaos_log);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -25,6 +25,7 @@ BENCHES=(
   abl_fork
   abl_runtime
   abl_recovery
+  abl_overload
   abl_smp_scaling
   abl_tiering
   app_kv_service

@@ -35,6 +35,20 @@ ShardedKvService::ShardedKvService(System& sys, const ShardServiceConfig& config
     campaign_ = std::make_unique<CampaignEngine>(config_.chaos, config_.shards);
   }
   num_cpus_ = sys_.machine().config().smp.num_cpus;
+  if (config_.arrival.enabled) {
+    // One arrival stream per run, seeded independently of the chaos seed so
+    // (arrival spec, campaign, seed) each govern their own random stream.
+    arrival_ = std::make_unique<ArrivalProcess>(config_.arrival, config_.ops,
+                                                config_.workload_seed ^ 0xa5c1d34b9e77f210ULL);
+    retry_budget_ = std::make_unique<RetryBudget>(config_.overload.retry_budget);
+    for (int i = 0; i < config_.shards; ++i) {
+      queues_.emplace_back(config_.overload.admission, config_.overload.slots_per_tick);
+      breakers_.emplace_back(config_.overload.breaker);
+      brownouts_.emplace_back(config_.overload.brownout);
+    }
+    pressure_.resize(static_cast<size_t>(config_.shards));
+    report_.overload.per_shard.resize(static_cast<size_t>(config_.shards));
+  }
 }
 
 void ShardedKvService::BringUp(int index) {
@@ -271,6 +285,12 @@ void ShardedKvService::RecoverShard(int index, uint64_t tick, const char* cause)
 
 void ShardedKvService::MachineCrashRecover(uint64_t tick) {
   report_.machine_crashes++;
+  if (arrival_ != nullptr) {
+    // In-flight queued requests die with the machine; clients retry.
+    for (int i = 0; i < config_.shards; ++i) {
+      FailQueued(i, tick);
+    }
+  }
   const uint64_t down_cycles = sys_.ctx().now();
   uint64_t down_tick_min = tick;
   for (Shard& shard : shards_) {
@@ -336,6 +356,9 @@ void ShardedKvService::MachineCrashRecover(uint64_t tick) {
 }
 
 ShardServiceReport ShardedKvService::Run() {
+  if (config_.arrival.enabled) {
+    return RunOpenLoop();
+  }
   const uint64_t run_start = sys_.ctx().now();
   SetupShards();
   FaultInjector& injector = sys_.machine().fault_injector();
@@ -438,6 +461,478 @@ ShardServiceReport ShardedKvService::Run() {
   if (campaign_ != nullptr) {
     report_.chaos_log = campaign_->LogString();
   }
+  return report_;
+}
+
+// --- open-loop overload mode -----------------------------------------------
+
+void ShardedKvService::NoteBreakerTransitions(int index, uint64_t transitions_before,
+                                              uint64_t tick) {
+  CircuitBreaker& breaker = breakers_[static_cast<size_t>(index)];
+  const uint64_t delta = breaker.transitions() - transitions_before;
+  if (delta == 0) {
+    return;
+  }
+  sys_.ctx().counters().breaker_transitions += delta;
+  ObsInstant(sys_.ctx(), TraceKind::kBreakerTransition,
+             static_cast<uint64_t>(breaker.state()));
+  LogNote("t=" + std::to_string(tick) + " breaker shard=" + std::to_string(index) + " " +
+          CircuitBreaker::StateName(breaker.state()));
+}
+
+void ShardedKvService::ClientRetryOrReject(OpenRequest req, uint64_t tick,
+                                           uint64_t extra_wait_ticks) {
+  OverloadReport& ov = report_.overload;
+  if (req.attempts >= config_.retry.max_attempts) {
+    // Every attempt got a clean, immediate rejection or a bounded timeout;
+    // the client ends with a 503, not a lost ack -- ops_lost stays for real
+    // losses (none in overload mode; campaigns keep asserting zero).
+    ov.rejected_final++;
+    return;
+  }
+  if (!retry_budget_->TryConsume()) {
+    ov.retry_budget_denials++;
+    sys_.ctx().counters().retry_budget_denials++;
+    ov.rejected_final++;
+    return;
+  }
+  report_.retries++;
+  req.attempts++;
+  req.due_tick = tick + extra_wait_ticks +
+                 config_.retry.BackoffTicks(req.attempts - 1, retry_rng_);
+  open_pending_.push_back(req);
+}
+
+void ShardedKvService::OfferRequest(OpenRequest req, uint64_t tick) {
+  const int index = static_cast<int>(req.key % static_cast<uint64_t>(config_.shards));
+  Shard& shard = shards_[static_cast<size_t>(index)];
+  OverloadReport& ov = report_.overload;
+  ShardOverloadStats& st = ov.per_shard[static_cast<size_t>(index)];
+  CircuitBreaker& breaker = breakers_[static_cast<size_t>(index)];
+
+  const uint64_t breaker_before = breaker.transitions();
+  if (!breaker.Allow(tick)) {
+    st.breaker_rejects++;
+    ov.sheds++;
+    sys_.ctx().counters().breaker_fast_fails++;
+    ClientRetryOrReject(req, tick, 0);
+    return;
+  }
+  NoteBreakerTransitions(index, breaker_before, tick);  // open -> half_open
+
+  if (shard.state == ShardState::kDown) {
+    // Fail fast (connection refused). This is a *failure* signal -- it feeds
+    // the breaker so the next arrivals stop even reaching the shard.
+    st.failed_fast++;
+    const uint64_t before = breaker.transitions();
+    breaker.RecordFailure(tick);
+    NoteBreakerTransitions(index, before, tick);
+    ClientRetryOrReject(req, tick, 0);
+    return;
+  }
+  // A hung shard still accepts connections: requests queue and expire on
+  // their deadline (ServeTick), exactly what the client would see.
+  ShardPressure& pressure = pressure_[static_cast<size_t>(index)];
+  pressure.offers++;
+
+  const int level = brownouts_[static_cast<size_t>(index)].level();
+  if (level >= 3 && req.cls == OpClass::kScan) {
+    st.shed_scan++;
+    pressure.sheds++;
+    ov.sheds++;
+    sys_.ctx().counters().brownout_shed_scans++;
+    ObsInstant(sys_.ctx(), TraceKind::kAdmissionShed, req.key);
+    ClientRetryOrReject(req, tick, 0);
+    return;
+  }
+  if (level >= 4 && req.cls == OpClass::kWrite) {
+    st.shed_write++;
+    pressure.sheds++;
+    ov.sheds++;
+    sys_.ctx().counters().brownout_shed_writes++;
+    ObsInstant(sys_.ctx(), TraceKind::kAdmissionShed, req.key);
+    ClientRetryOrReject(req, tick, 0);
+    return;
+  }
+
+  AdmissionQueue<OpenRequest>& q = queues_[static_cast<size_t>(index)];
+  req.arrival_tick = tick;
+  switch (q.Offer(req, tick, tick + config_.deadline_ticks)) {
+    case AdmissionQueue<OpenRequest>::Verdict::kAdmit:
+      st.admitted++;
+      ov.admitted++;
+      return;
+    case AdmissionQueue<OpenRequest>::Verdict::kShedDeadline:
+      st.shed_deadline++;
+      pressure.sheds++;
+      ov.sheds++;
+      sys_.ctx().counters().admission_sheds++;
+      ObsInstant(sys_.ctx(), TraceKind::kAdmissionShed, req.key);
+      ClientRetryOrReject(req, tick, 0);
+      return;
+    case AdmissionQueue<OpenRequest>::Verdict::kShedOverflow:
+      st.shed_overflow++;
+      pressure.sheds++;
+      ov.sheds++;
+      sys_.ctx().counters().admission_overflow_sheds++;
+      ObsInstant(sys_.ctx(), TraceKind::kAdmissionShed, req.key);
+      ClientRetryOrReject(req, tick, 0);
+      return;
+  }
+}
+
+Status ShardedKvService::ServeOpen(Shard& shard, const OpenRequest& req) {
+  if (req.cls != OpClass::kScan) {
+    Request one;
+    one.key = req.key;
+    one.is_put = (req.cls == OpClass::kWrite);
+    return ServeOnce(shard, one);
+  }
+  // Scan: scan_records consecutive records of this shard (stride = shards in
+  // key space keeps every touched key on the same shard), wrapping.
+  for (uint64_t j = 0; j < config_.arrival.scan_records; ++j) {
+    Request one;
+    one.key = (req.key + j * static_cast<uint64_t>(config_.shards)) % client_version_.size();
+    one.is_put = false;
+    O1_RETURN_IF_ERROR(ServeOnce(shard, one));
+  }
+  return OkStatus();
+}
+
+void ShardedKvService::FailQueued(int index, uint64_t tick) {
+  AdmissionQueue<OpenRequest>& q = queues_[static_cast<size_t>(index)];
+  OverloadReport& ov = report_.overload;
+  ShardOverloadStats& st = ov.per_shard[static_cast<size_t>(index)];
+  CircuitBreaker& breaker = breakers_[static_cast<size_t>(index)];
+  while (!q.empty()) {
+    OpenRequest req = q.PopFront();
+    st.failed_fast++;
+    const uint64_t before = breaker.transitions();
+    breaker.RecordFailure(tick);
+    NoteBreakerTransitions(index, before, tick);
+    ClientRetryOrReject(req, tick, 0);
+  }
+}
+
+void ShardedKvService::ServeTick(int index, uint64_t tick) {
+  Shard& shard = shards_[static_cast<size_t>(index)];
+  AdmissionQueue<OpenRequest>& q = queues_[static_cast<size_t>(index)];
+  OverloadReport& ov = report_.overload;
+  ShardOverloadStats& st = ov.per_shard[static_cast<size_t>(index)];
+  CircuitBreaker& breaker = breakers_[static_cast<size_t>(index)];
+
+  // Expire overdue heads first (clients time out in queue order): each one
+  // is a real failure -- it burnt a full deadline -- so it feeds the breaker.
+  while (!q.empty() && q.front().arrival_tick + config_.deadline_ticks <= tick) {
+    OpenRequest req = q.PopFront();
+    st.expired_in_queue++;
+    report_.timeouts++;
+    sys_.ctx().counters().admission_expired_drops++;
+    const uint64_t before = breaker.transitions();
+    breaker.RecordFailure(tick);
+    NoteBreakerTransitions(index, before, tick);
+    ClientRetryOrReject(req, tick, 0);
+  }
+  if (shard.state != ShardState::kUp) {
+    return;  // hung/down shards only expire; no serving
+  }
+  if (q.empty()) {
+    q.ObserveWait(0.0);  // idle tick decays the brownout wait signal
+    return;
+  }
+  for (uint64_t slot = 0; slot < config_.overload.slots_per_tick && !q.empty(); ++slot) {
+    OpenRequest req = q.PopFront();
+    const uint64_t wait_ticks = tick - req.arrival_tick;
+    q.ObserveWait(static_cast<double>(wait_ticks));
+    sys_.ctx().SetCurrentCpu(index % num_cpus_);
+    Status s = ServeOpen(shard, req);
+    sys_.ctx().SetCurrentCpu(0);
+    O1_CHECK(s.ok());  // media errors are absorbed inside ServeOnce
+    st.served++;
+    ov.served++;
+    // Goodput is END-TO-END: the expiry loop above only bounds the wait
+    // since the *latest* offer, so a request that expired, retried and was
+    // finally served still blew its client deadline -- served, not goodput.
+    if (tick - req.first_arrival_tick <= config_.deadline_ticks) {
+      ov.served_in_deadline++;
+    }
+    if (req.cls == OpClass::kScan) {
+      ov.scan_ops++;
+    }
+    report_.ops_ok++;
+    const uint64_t latency = sys_.ctx().now() - req.first_arrival_cycles;
+    ov.admitted_latency.Record(latency);
+    if (req.attempts > 1) {
+      report_.disrupted.Record(latency);
+    } else if (FaultActive()) {
+      report_.recovery.Record(latency);
+    } else {
+      report_.nominal.Record(latency);
+    }
+    retry_budget_->OnSuccess();
+    const uint64_t before = breaker.transitions();
+    breaker.RecordSuccess(tick, wait_ticks);
+    NoteBreakerTransitions(index, before, tick);
+    if (shard.awaiting_first_serve) {
+      shard.awaiting_first_serve = false;
+      const double ttfs = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - shard.down_cycles);
+      for (auto it = report_.recoveries.rbegin(); it != report_.recoveries.rend(); ++it) {
+        if ((it->shard == index || it->shard == -1) && it->time_to_first_served_us == 0) {
+          it->time_to_first_served_us = ttfs;
+          break;
+        }
+      }
+    }
+  }
+}
+
+double ShardedKvService::BrownoutSignal(int index) const {
+  // standing: start-of-tick (post-serve) queue depth against the admission
+  // target depth (target_wait * slots). It saturates at 1.0 the moment a
+  // standing queue forms, i.e. for ANY sustained rho > 1 -- which is why it
+  // only carries half the signal. The shed-fraction EWMA grades how far
+  // past capacity demand actually is (fraction shed ~ 1 - 1/rho: ~0.2 at
+  // 1.2x, ~0.5 at 2x, ~0.67 at 3x), so deeper overload climbs to higher
+  // brownout levels while nominal load (rho <= 1: no standing queue, no
+  // sheds) stays pinned near zero and restores quickly.
+  const AdmissionQueue<OpenRequest>& q = queues_[static_cast<size_t>(index)];
+  const double target_depth =
+      static_cast<double>(std::max<uint64_t>(1, config_.overload.admission.target_wait_ticks)) *
+      static_cast<double>(std::max<uint64_t>(1, config_.overload.slots_per_tick));
+  const double standing = std::min(1.0, static_cast<double>(q.depth()) / target_depth);
+  const double& shed_ewma = pressure_[static_cast<size_t>(index)].shed_ewma;
+  return std::min(1.0, 0.5 * standing + shed_ewma);
+}
+
+void ShardedKvService::ApplyBrownoutLevels(uint64_t tick) {
+  if (!config_.overload.brownout.enabled) {
+    return;
+  }
+  int max_level = 0;
+  for (int i = 0; i < config_.shards; ++i) {
+    // Fold the previous tick's shed fraction into the pressure EWMA (decays
+    // toward zero on idle ticks), then step the ladder at most one level.
+    ShardPressure& pressure = pressure_[static_cast<size_t>(i)];
+    const double shed_frac =
+        pressure.offers == 0
+            ? 0.0
+            : std::min(1.0, static_cast<double>(pressure.sheds) /
+                                static_cast<double>(pressure.offers));
+    pressure.shed_ewma +=
+        config_.overload.admission.est_alpha * (shed_frac - pressure.shed_ewma);
+    pressure.offers = 0;
+    pressure.sheds = 0;
+    BrownoutController& b = brownouts_[static_cast<size_t>(i)];
+    const int before = b.level();
+    const int level = b.Update(BrownoutSignal(i));
+    if (level != before) {
+      sys_.ctx().counters().brownout_transitions++;
+      ObsInstant(sys_.ctx(), TraceKind::kBrownoutShift, static_cast<uint64_t>(level));
+      LogNote("t=" + std::to_string(tick) + " brownout shard=" + std::to_string(i) +
+              " level=" + std::to_string(level));
+    }
+    max_level = std::max(max_level, level);
+  }
+  // Global shed hooks follow the worst shard: L1 pauses optional tier
+  // migrations (durability writeback still runs -- the Sec. 12 invariant),
+  // L2 defers pre-zero pool refills. Both restore automatically as levels
+  // decay (reverse of the shed order, because L2 clears before L1).
+  if (sys_.tier() != nullptr) {
+    sys_.tier()->SetBrownoutPause(max_level >= 1);
+  }
+  sys_.phys_manager().SetBrownout(max_level >= 2);
+}
+
+ShardServiceReport ShardedKvService::RunOpenLoop() {
+  const uint64_t run_start = sys_.ctx().now();
+  SetupShards();
+  FaultInjector& injector = sys_.machine().fault_injector();
+  OverloadReport& ov = report_.overload;
+  ov.enabled = true;
+  ov.capacity_per_tick = static_cast<double>(config_.shards) *
+                         static_cast<double>(config_.overload.slots_per_tick);
+
+  const double mean_rate = std::max(config_.arrival.MeanRate(), 1e-9);
+  const uint64_t expected_ticks =
+      static_cast<uint64_t>(static_cast<double>(config_.ops) / mean_rate) + 1;
+  // Runaway guard: arrivals stop after config_.ops, every offer resolves
+  // within max_attempts bounded backoffs, queues drain at >= 1/tick.
+  const uint64_t max_ticks =
+      expected_ticks * 8 + static_cast<uint64_t>(config_.retry.max_attempts) *
+                               (config_.retry.max_delay_ticks + config_.deadline_ticks) * 64 +
+      config_.ops + 1000;
+
+  // Steady-state queue-depth windows (arrival phase only; the drain phase
+  // empties queues by construction and would fake flatness).
+  const uint64_t window_ticks = std::max<uint64_t>(32, expected_ticks / 8);
+  uint64_t window_depth_sum = 0;
+  uint64_t window_count = 0;
+  double window_prev = 0.0;  // mean depth, previous completed window
+  double window_last = 0.0;  // mean depth, last completed window
+  int windows_done = 0;
+  uint64_t arrival_end_tick = 0;  // first tick with the arrival budget spent
+
+  uint64_t tick = 0;
+  for (;; ++tick) {
+    O1_CHECK(tick < max_ticks);
+    sys_.ctx().Charge(config_.tick_cycles);
+    if (campaign_ != nullptr) {
+      for (const ChaosFiring& firing : campaign_->Poll(tick)) {
+        ApplyFiring(firing, tick);
+      }
+      if (injector.triggered()) {
+        campaign_->Note("t=" + std::to_string(tick) + " armed crash tripped");
+        MachineCrashRecover(tick);
+      }
+      // A killed shard refuses its queued requests immediately.
+      for (int i = 0; i < config_.shards; ++i) {
+        if (shards_[static_cast<size_t>(i)].state == ShardState::kDown) {
+          FailQueued(i, tick);
+        }
+      }
+    }
+    // Hang expiry before the watchdog check (see the closed-loop driver).
+    for (int i = 0; i < config_.shards; ++i) {
+      Shard& shard = shards_[static_cast<size_t>(i)];
+      if (shard.state == ShardState::kHung && tick >= shard.hang_until) {
+        shard.state = ShardState::kUp;
+        shard.awaiting_first_serve = false;
+        shard.dog.Beat(tick);
+        LogNote("t=" + std::to_string(tick) + " unhang shard=" + std::to_string(i));
+      }
+      if (shard.state != ShardState::kUp && shard.dog.Expired(tick)) {
+        RecoverShard(i, tick, shard.down_cause);
+        report_.watchdog_kills++;
+      }
+    }
+    // Heartbeats are out-of-band: every kUp shard beats on the interval no
+    // matter how deep its queue is or how much it is shedding. Overload is
+    // not a liveness failure -- a saturated shard must never be watchdog-
+    // killed (regression test in tests/chaos/).
+    if (tick % config_.heartbeat_interval_ticks == 0) {
+      for (Shard& shard : shards_) {
+        if (shard.state == ShardState::kUp) {
+          shard.dog.Beat(tick);
+        }
+      }
+    }
+    ApplyBrownoutLevels(tick);
+    // Due client retries re-offer in arrival order. New backoffs pushed by
+    // OfferRequest land at the back with due_tick > tick, so one pass is
+    // exact.
+    for (size_t i = 0; i < open_pending_.size();) {
+      if (open_pending_[i].due_tick <= tick) {
+        OpenRequest req = open_pending_[i];
+        open_pending_.erase(open_pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        OfferRequest(req, tick);
+      } else {
+        ++i;
+      }
+    }
+    // Open-loop arrivals: however many the process emits, whether or not
+    // the service kept up -- this is the loop the closed-loop driver closes.
+    const uint32_t arrivals = arrival_->ArrivalsAt(tick);
+    for (uint32_t a = 0; a < arrivals; ++a) {
+      OpenRequest req;
+      req.key = zipf_.Next(workload_rng_);
+      if (config_.arrival.scan_fraction > 0 &&
+          workload_rng_.NextBool(config_.arrival.scan_fraction)) {
+        req.cls = OpClass::kScan;
+      } else if (workload_rng_.NextBool(config_.write_fraction)) {
+        req.cls = OpClass::kWrite;
+      } else {
+        req.cls = OpClass::kRead;
+      }
+      req.arrival_cycles = sys_.ctx().now();
+      req.first_arrival_cycles = req.arrival_cycles;
+      req.first_arrival_tick = tick;
+      report_.ops_attempted++;
+      ov.arrivals++;
+      OfferRequest(req, tick);
+    }
+    for (int i = 0; i < config_.shards; ++i) {
+      ServeTick(i, tick);
+    }
+    if (config_.tier_tick_every != 0 && sys_.tier() != nullptr &&
+        tick % config_.tier_tick_every == config_.tier_tick_every - 1) {
+      O1_CHECK(sys_.TierTick().ok());
+    }
+    if (injector.triggered()) {
+      LogNote("t=" + std::to_string(tick) + " armed crash tripped");
+      MachineCrashRecover(tick);
+    }
+    if (!arrival_->done()) {
+      uint64_t depth = 0;
+      for (const auto& q : queues_) {
+        depth += q.depth();
+      }
+      window_depth_sum += depth;
+      if (++window_count == window_ticks) {
+        window_prev = window_last;
+        window_last = static_cast<double>(window_depth_sum) /
+                      static_cast<double>(window_ticks);
+        windows_done++;
+        window_depth_sum = 0;
+        window_count = 0;
+      }
+      arrival_end_tick = tick + 1;
+    }
+    if (arrival_->done() && open_pending_.empty()) {
+      bool queues_empty = true;
+      for (const auto& q : queues_) {
+        if (!q.empty()) {
+          queues_empty = false;
+          break;
+        }
+      }
+      if (queues_empty) {
+        // Drain-phase health probes resolve time-to-first-served for shards
+        // recovered after the last arrival (see the closed-loop driver).
+        for (int i = 0; i < config_.shards; ++i) {
+          Shard& shard = shards_[static_cast<size_t>(i)];
+          if (shard.state == ShardState::kUp && shard.awaiting_first_serve) {
+            Request probe;
+            probe.key = static_cast<uint64_t>(i);
+            probe.arrival_cycles = sys_.ctx().now();
+            report_.ops_attempted++;
+            AttemptRequest(probe, tick);
+          }
+        }
+        if (!FaultActive()) {
+          break;
+        }
+      }
+    }
+  }
+  report_.ticks = tick + 1;
+  report_.run_us = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - run_start);
+  report_.degraded_reads = sys_.ctx().counters().degraded_reads;
+  report_.poison_quarantines = sys_.ctx().counters().poison_quarantines;
+  if (campaign_ != nullptr) {
+    report_.chaos_log = campaign_->LogString();
+  }
+  if (windows_done >= 2) {
+    ov.queue_depth_window_a = window_prev;
+    ov.queue_depth_window_b = window_last;
+  }
+  // Per-tick over the offered-load window. The drain tail is excluded: it is
+  // mostly idle backoff timers running out, and end-to-end deadline
+  // accounting already voids any stale work a naive queue serves there.
+  ov.goodput_per_tick = static_cast<double>(ov.served_in_deadline) /
+                        static_cast<double>(std::max<uint64_t>(1, arrival_end_tick));
+  for (int i = 0; i < config_.shards; ++i) {
+    ShardOverloadStats& st = ov.per_shard[static_cast<size_t>(i)];
+    const CircuitBreaker& breaker = breakers_[static_cast<size_t>(i)];
+    st.breaker_transitions = breaker.transitions();
+    st.breaker_timeline = breaker.timeline();
+    st.max_queue_depth = queues_[static_cast<size_t>(i)].max_depth();
+    st.brownout_ticks = brownouts_[static_cast<size_t>(i)].residency();
+  }
+  // Leave no brownout hooks dangling past the run.
+  if (sys_.tier() != nullptr) {
+    sys_.tier()->SetBrownoutPause(false);
+  }
+  sys_.phys_manager().SetBrownout(false);
   return report_;
 }
 

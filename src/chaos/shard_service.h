@@ -36,10 +36,14 @@
 #ifndef O1MEM_SRC_CHAOS_SHARD_SERVICE_H_
 #define O1MEM_SRC_CHAOS_SHARD_SERVICE_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/chaos/admission.h"
+#include "src/chaos/arrival.h"
+#include "src/chaos/breaker.h"
 #include "src/chaos/campaign.h"
 #include "src/chaos/retry.h"
 #include "src/chaos/watchdog.h"
@@ -48,6 +52,33 @@
 #include "src/support/zipf.h"
 
 namespace o1mem {
+
+// Overload-serving defaults (open-loop mode): per-shard bounded admission
+// queues, retry budgets, circuit breakers, and a brownout ladder. All three
+// engage only when ArrivalConfig.enabled is set; the closed-loop campaign
+// mode of PR 5 runs byte-identically when it is not.
+struct OverloadConfig {
+  AdmissionConfig admission;
+  RetryBudgetConfig retry_budget;
+  BreakerConfig breaker;
+  BrownoutConfig brownout;
+
+  // Per-shard service capacity in requests per tick (open-loop mode only).
+  // Offered load / (shards * slots) is the load factor the abl_overload
+  // sweep reports against.
+  uint64_t slots_per_tick = 4;
+
+  // Everything on, standard shape: how abl_overload and --arrival runs
+  // configure the protected service.
+  static OverloadConfig Protected() {
+    OverloadConfig c;
+    c.admission.enabled = true;
+    c.retry_budget.enabled = true;
+    c.breaker.enabled = true;
+    c.brownout.enabled = true;
+    return c;
+  }
+};
 
 struct ShardServiceConfig {
   int shards = 4;
@@ -68,6 +99,10 @@ struct ShardServiceConfig {
   bool verify = true;            // audit every get against the client copy
 
   ChaosConfig chaos;
+
+  // Open-loop overload mode (default off => closed-loop PR 5 behavior).
+  ArrivalConfig arrival;
+  OverloadConfig overload;
 };
 
 // One shard recovery, decomposed. shard == -1 means a whole-machine crash
@@ -81,6 +116,45 @@ struct RecoveryEvent {
   double remap_us = 0;        // relaunch + open + map leg
   double time_to_first_served_us = 0;  // down -> first successful op
   uint64_t replay_records = 0;         // journal records checked by the scrub
+};
+
+// Per-shard overload accounting (open-loop mode).
+struct ShardOverloadStats {
+  uint64_t admitted = 0;
+  uint64_t served = 0;
+  uint64_t shed_deadline = 0;  // est. wait > remaining deadline (or target)
+  uint64_t shed_overflow = 0;  // bounded queue full
+  uint64_t shed_scan = 0;      // brownout L3: scan class rejected
+  uint64_t shed_write = 0;     // brownout L4: write class rejected
+  uint64_t expired_in_queue = 0;  // deadline passed while queued (timeout)
+  uint64_t failed_fast = 0;       // shard down/queue drained on kill
+  uint64_t breaker_rejects = 0;   // rejected while the breaker was open
+  uint64_t breaker_transitions = 0;
+  std::string breaker_timeline;  // "t=120 open; t=152 half_open; ..."
+  uint64_t max_queue_depth = 0;
+  // Ticks spent at each brownout level (index 0 = normal serving).
+  std::array<uint64_t, BrownoutController::kMaxLevel + 1> brownout_ticks{};
+};
+
+// Whole-run overload accounting (open-loop mode; zeroed in closed loop).
+struct OverloadReport {
+  bool enabled = false;
+  uint64_t arrivals = 0;           // open-loop arrivals generated
+  uint64_t admitted = 0;           // accepted into some shard queue
+  uint64_t served = 0;             // completed service
+  uint64_t served_in_deadline = 0; // completed before the client deadline
+  uint64_t sheds = 0;              // all admission-time rejections
+  uint64_t rejected_final = 0;     // sheds the client did not retry (clean 503)
+  uint64_t retry_budget_denials = 0;
+  uint64_t scan_ops = 0;
+  LatencyHistogram admitted_latency;  // arrival -> completion, admitted reqs
+  std::vector<ShardOverloadStats> per_shard;
+  // Mean queue depth (all shards) over the last two measurement windows;
+  // flat across them = no unbounded queue growth (the abl_overload gate).
+  double queue_depth_window_a = 0;
+  double queue_depth_window_b = 0;
+  double goodput_per_tick = 0;  // served_in_deadline / serving ticks
+  double capacity_per_tick = 0; // shards * slots_per_tick
 };
 
 struct ShardServiceReport {
@@ -107,6 +181,8 @@ struct ShardServiceReport {
   std::string chaos_log;  // replayable firing/recovery record
   double run_us = 0;
   uint64_t ticks = 0;
+
+  OverloadReport overload;
 };
 
 class ShardedKvService {
@@ -116,7 +192,9 @@ class ShardedKvService {
   ShardedKvService(System& sys, const ShardServiceConfig& config);
 
   // Builds the shards, runs the campaign to completion (all arrivals
-  // resolved, all shards back up), and reports. Call once.
+  // resolved, all shards back up), and reports. Call once. With
+  // config.arrival.enabled the run is open-loop (RunOpenLoop below);
+  // otherwise the closed-loop PR 5 driver runs unchanged.
   ShardServiceReport Run();
 
  private:
@@ -146,6 +224,19 @@ class ShardedKvService {
     uint64_t due_tick = 0;
   };
 
+  // Open-loop request: op class, arrival stamp, client deadline.
+  enum class OpClass : uint8_t { kRead, kWrite, kScan };
+  struct OpenRequest {
+    uint64_t key = 0;
+    OpClass cls = OpClass::kRead;
+    int attempts = 1;  // admission attempts (first offer included)
+    uint64_t arrival_cycles = 0;
+    uint64_t arrival_tick = 0;   // of the *current* offer (deadline base)
+    uint64_t first_arrival_cycles = 0;  // of the original arrival (latency base)
+    uint64_t due_tick = 0;            // retry queue: earliest re-offer tick
+    uint64_t first_arrival_tick = 0;  // end-to-end deadline reference
+  };
+
   void SetupShards();
   void ApplyFiring(const ChaosFiring& firing, uint64_t tick);
   void PoisonShard(int shard, bool sticky, bool dram_cache, uint64_t tick);
@@ -161,6 +252,26 @@ class ShardedKvService {
   }
   void BringUp(int index);  // launch + open + map (no timing)
   bool FaultActive() const;
+
+  // --- open-loop mode ------------------------------------------------------
+  ShardServiceReport RunOpenLoop();
+  // Routes one offer through breaker + brownout + admission. Sheds go back
+  // to the client (retry budget permitting) or become clean rejections.
+  void OfferRequest(OpenRequest req, uint64_t tick);
+  // Client-side failure handling shared by every shed/fail path.
+  void ClientRetryOrReject(OpenRequest req, uint64_t tick, uint64_t extra_wait_ticks);
+  // One shard's serving tick: expire overdue queue heads, then serve up to
+  // slots_per_tick requests. Heartbeats are NOT sent here -- they are
+  // out-of-band in the supervisor loop, so a saturated or shedding shard
+  // still beats (the watchdog-vs-overload regression, tests/chaos/).
+  void ServeTick(int index, uint64_t tick);
+  Status ServeOpen(Shard& shard, const OpenRequest& req);
+  // Drains a dead shard's queue back to the clients (fail-fast).
+  void FailQueued(int index, uint64_t tick);
+  double BrownoutSignal(int index) const;
+  void ApplyBrownoutLevels(uint64_t tick);
+  // Books (and logs) any breaker transitions since `transitions_before`.
+  void NoteBreakerTransitions(int index, uint64_t transitions_before, uint64_t tick);
   uint64_t Offset(uint64_t key) const {
     return (key / static_cast<uint64_t>(config_.shards)) * config_.record_bytes;
   }
@@ -176,6 +287,25 @@ class ShardedKvService {
   std::vector<Request> pending_;  // retry queue, arrival order preserved
   ShardServiceReport report_;
   int num_cpus_ = 1;
+
+  // Open-loop state (built only when config.arrival.enabled).
+  std::unique_ptr<ArrivalProcess> arrival_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  std::vector<AdmissionQueue<OpenRequest>> queues_;   // one per shard
+  std::vector<CircuitBreaker> breakers_;              // one per shard
+  std::vector<BrownoutController> brownouts_;         // one per shard
+  // Per-shard overload pressure feeding the brownout signal. Queue state
+  // alone cannot grade overload: admission pins the standing queue at the
+  // same depth whether demand is 1.2x or 3x capacity. The fraction of
+  // offers shed measures the *exceedance* (≈ 1 - 1/rho), so the combined
+  // signal stays monotone in offered load.
+  struct ShardPressure {
+    uint64_t offers = 0;  // reached admission this tick (post-breaker)
+    uint64_t sheds = 0;   // overload sheds this tick (deadline/overflow/class)
+    double shed_ewma = 0.0;
+  };
+  std::vector<ShardPressure> pressure_;
+  std::vector<OpenRequest> open_pending_;  // client retries awaiting re-offer
 };
 
 }  // namespace o1mem

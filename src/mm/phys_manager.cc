@@ -125,9 +125,14 @@ Result<Paddr> PhysManager::AllocFrame(bool zero) {
 
   if (zero && prezero_enabled_) {
     // Keep the background pool warm (all of that work is charged to
-    // background_zero_cycles, not the simulated clock).
+    // background_zero_cycles, not the simulated clock) -- unless a brownout
+    // is shedding background work, in which case the pool only drains.
     if (prezero_pool_.size() < ctx.smp().prezero_target_frames / 2) {
-      ReplenishPrezeroPool();
+      if (brownout_) {
+        ctx.counters().brownout_prezero_deferrals++;
+      } else {
+        ReplenishPrezeroPool();
+      }
     }
     bool refilled = false;
     if (c.zeroed.empty()) {

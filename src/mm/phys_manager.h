@@ -58,6 +58,15 @@ class PhysManager {
   // buddy below 25% of DRAM.
   void ReplenishPrezeroPool();
 
+  // Brownout hook (overload shedding, DESIGN.md Sec. 12): while set, the
+  // pool is drained without background refills -- zeroed allocs keep hitting
+  // the pre-zeroed stock for free, but the replenish work (buddy batches +
+  // memsets that compete with foreground service for the memory system) is
+  // deferred until the brownout lifts. Correctness is unchanged: a dry pool
+  // falls back to inline zeroing exactly as when the pool is disabled.
+  void SetBrownout(bool on) { brownout_ = on; }
+  bool brownout() const { return brownout_; }
+
   // --- DRAM file-cache zone (tiering) ------------------------------------
   // Carved out of the buddy at construction when MachineConfig.tier names a
   // nonzero dram_cache_bytes (best effort: a fragmented or small machine may
@@ -115,6 +124,7 @@ class PhysManager {
   std::vector<Paddr> prezero_pool_;
   uint64_t background_zero_cycles_ = 0;
   bool replenishing_ = false;
+  bool brownout_ = false;
 
   // DRAM file-cache zone: free extents keyed by base, kept coalesced.
   std::map<Paddr, uint64_t> cache_free_;

@@ -28,7 +28,8 @@ enum TraceCategory : uint32_t {
   kCatReclaim = 1u << 4,    // reclaim passes (baseline scan, FOM shed)
   kCatJournal = 1u << 5,    // PMFS journal commits and replays
   kCatInjector = 1u << 6,   // fault-injector triggers and crashes
-  kCatAll = (1u << 7) - 1,
+  kCatService = 1u << 7,    // service-level overload events (shed, breaker, brownout)
+  kCatAll = (1u << 8) - 1,
 };
 
 struct ObsConfig {

@@ -65,6 +65,12 @@ enum class TraceKind : uint8_t {
   kCrash,
   // Application-level request service (bench/app_kv_service shard ops).
   kServiceOp,
+  // Overload robustness: admission sheds, circuit-breaker state changes, and
+  // brownout level shifts (all instant events; operand carries the detail --
+  // queue depth, new breaker state, new brownout level).
+  kAdmissionShed,
+  kBreakerTransition,
+  kBrownoutShift,
   kKindCount,
 };
 
@@ -106,6 +112,9 @@ constexpr const char* TraceKindName(TraceKind kind) {
     case TraceKind::kFaultInject: return "fault_inject";
     case TraceKind::kCrash: return "crash";
     case TraceKind::kServiceOp: return "service_op";
+    case TraceKind::kAdmissionShed: return "admission_shed";
+    case TraceKind::kBreakerTransition: return "breaker_transition";
+    case TraceKind::kBrownoutShift: return "brownout_shift";
     case TraceKind::kKindCount: break;
   }
   return "?";
@@ -135,6 +144,10 @@ constexpr TraceCategory CategoryOf(TraceKind kind) {
     case TraceKind::kFaultInject:
     case TraceKind::kCrash:
       return kCatInjector;
+    case TraceKind::kAdmissionShed:
+    case TraceKind::kBreakerTransition:
+    case TraceKind::kBrownoutShift:
+      return kCatService;
     default:
       return kCatSyscall;
   }

@@ -67,7 +67,19 @@ namespace o1mem {
   X(tier_migrated_bytes)  /* bytes moved by PhysicalMemory::Move */                      \
   /* Degraded mode: media poison caught during tier migration/writeback. */              \
   X(poison_quarantines)   /* extents fenced off after a media error */                   \
-  X(degraded_reads)       /* reads served degraded from a quarantined extent's home */
+  X(degraded_reads)       /* reads served degraded from a quarantined extent's home */   \
+  /* Overload robustness: admission control, circuit breakers, brownout. */              \
+  X(admission_sheds)          /* shed at admission: deadline can't cover est. wait */    \
+  X(admission_overflow_sheds) /* shed at admission: bounded queue full */                \
+  X(admission_expired_drops)  /* dequeued past deadline (timeout in queue) */            \
+  X(retry_budget_denials)     /* retries suppressed by an empty token bucket */          \
+  X(breaker_fast_fails)       /* requests rejected by an open circuit breaker */         \
+  X(breaker_transitions)      /* breaker state changes (closed/open/half-open) */        \
+  X(brownout_transitions)     /* brownout level shifts (either direction) */             \
+  X(brownout_shed_scans)      /* scan-class ops rejected while browned out */            \
+  X(brownout_shed_writes)     /* write-class ops rejected while browned out */           \
+  X(brownout_tier_pauses)     /* tier aggregation windows with migrations deferred */    \
+  X(brownout_prezero_deferrals) /* pre-zero pool refills deferred to drain mode */
 
 struct EventCounters {
 #define O1MEM_DECLARE_COUNTER(name) uint64_t name = 0;

@@ -108,6 +108,14 @@ Status TierEngine::Tick() {
   if (!monitor_.Tick()) {
     return OkStatus();
   }
+  if (brownout_paused_) {
+    // Browned out: keep the heat state fresh (the monitor already ticked)
+    // but defer every optional migration to a calmer window. Nothing is
+    // dropped -- still-hot regions simply promote on the first unpaused
+    // aggregation boundary.
+    machine_->ctx().counters().brownout_tier_pauses++;
+    return OkStatus();
+  }
   for (auto& [inode, st] : inodes_) {
     if (!st.tierable || st.maps.empty()) {
       continue;

@@ -82,6 +82,15 @@ class TierEngine : public FomMapObserver {
   // Post-crash: replay the writeback staging area (see MigrationEngine).
   Status Recover() { return migration_.Recover(); }
 
+  // Brownout hook (overload shedding, DESIGN.md Sec. 12): while paused,
+  // Tick() keeps monitoring (heat state stays current so restore is
+  // instant) but defers all optional migrations -- promotions, demotions,
+  // and their writebacks. Durability is untouched: FlushRange (the
+  // UserFlush/msync path for *dirty* promoted data) and coherence-driven
+  // demotions (new mappings, fd I/O, unmap) still run at any level.
+  void SetBrownoutPause(bool paused) { brownout_paused_ = paused; }
+  bool brownout_paused() const { return brownout_paused_; }
+
   // FomMapObserver:
   void OnMapped(FomProcess& proc, Vaddr vaddr) override;
   void OnUnmapping(FomProcess& proc, Vaddr vaddr) override;
@@ -143,6 +152,7 @@ class TierEngine : public FomMapObserver {
   MigrationEngine migration_;
   std::map<InodeId, InodeState> inodes_;
   uint64_t migration_cycles_ = 0;
+  bool brownout_paused_ = false;
 };
 
 }  // namespace o1mem

@@ -1,0 +1,362 @@
+// Unit tests for the overload-robustness primitives: arrival parsing and
+// determinism, CoDel-style admission shed bounds, retry-budget exhaustion,
+// the breaker state machine, and the brownout ladder's hysteresis.
+#include <gtest/gtest.h>
+
+#include "src/chaos/admission.h"
+#include "src/chaos/arrival.h"
+#include "src/chaos/breaker.h"
+
+namespace o1mem {
+namespace {
+
+// --- arrival ---------------------------------------------------------------
+
+TEST(ArrivalTest, ParsesPoisson) {
+  auto config = ParseArrival("poisson:2.5");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->enabled);
+  EXPECT_EQ(config->kind, ArrivalConfig::Kind::kPoisson);
+  EXPECT_DOUBLE_EQ(config->rate, 2.5);
+  EXPECT_DOUBLE_EQ(config->MeanRate(), 2.5);
+}
+
+TEST(ArrivalTest, ParsesBurst) {
+  auto config = ParseArrival("burst:4x200");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->kind, ArrivalConfig::Kind::kBurst);
+  EXPECT_DOUBLE_EQ(config->rate, 4.0);
+  EXPECT_EQ(config->burst_ticks, 200u);
+  EXPECT_DOUBLE_EQ(config->MeanRate(), 2.0);  // square wave: half duty cycle
+}
+
+TEST(ArrivalTest, ParsesRamp) {
+  auto config = ParseArrival("ramp:0.5-3");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->kind, ArrivalConfig::Kind::kRamp);
+  EXPECT_DOUBLE_EQ(config->ramp_lo, 0.5);
+  EXPECT_DOUBLE_EQ(config->ramp_hi, 3.0);
+  EXPECT_DOUBLE_EQ(config->MeanRate(), 1.75);
+}
+
+TEST(ArrivalTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseArrival("poisson").ok());        // no colon
+  EXPECT_FALSE(ParseArrival("poisson:").ok());       // no rate
+  EXPECT_FALSE(ParseArrival("poisson:0").ok());      // zero mean rate
+  EXPECT_FALSE(ParseArrival("burst:4").ok());        // missing x<len>
+  EXPECT_FALSE(ParseArrival("burst:4x0").ok());      // zero-length phase
+  EXPECT_FALSE(ParseArrival("ramp:1").ok());         // missing -<hi>
+  EXPECT_FALSE(ParseArrival("gamma:2").ok());        // unknown process
+  EXPECT_FALSE(ParseArrival("poisson:2zzz").ok());   // trailing junk
+}
+
+TEST(ArrivalTest, SameSeedSameSequence) {
+  auto config = ParseArrival("poisson:3");
+  ASSERT_TRUE(config.ok());
+  ArrivalProcess a(*config, /*total_ops=*/500, /*seed=*/42);
+  ArrivalProcess b(*config, /*total_ops=*/500, /*seed=*/42);
+  for (uint64_t tick = 0; tick < 400; ++tick) {
+    ASSERT_EQ(a.ArrivalsAt(tick), b.ArrivalsAt(tick)) << "tick " << tick;
+  }
+  EXPECT_EQ(a.generated(), b.generated());
+}
+
+TEST(ArrivalTest, DifferentSeedDifferentSequence) {
+  auto config = ParseArrival("poisson:3");
+  ASSERT_TRUE(config.ok());
+  ArrivalProcess a(*config, /*total_ops=*/500, /*seed=*/42);
+  ArrivalProcess b(*config, /*total_ops=*/500, /*seed=*/43);
+  bool differs = false;
+  for (uint64_t tick = 0; tick < 100 && !differs; ++tick) {
+    differs = a.ArrivalsAt(tick) != b.ArrivalsAt(tick);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ArrivalTest, BudgetBoundsGeneration) {
+  auto config = ParseArrival("poisson:5");
+  ASSERT_TRUE(config.ok());
+  ArrivalProcess process(*config, /*total_ops=*/100, /*seed=*/7);
+  uint64_t total = 0;
+  for (uint64_t tick = 0; tick < 1000; ++tick) {
+    total += process.ArrivalsAt(tick);
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_TRUE(process.done());
+  EXPECT_EQ(process.ArrivalsAt(1000), 0u);
+}
+
+TEST(ArrivalTest, BurstQuietPhaseIsSilent) {
+  auto config = ParseArrival("burst:6x50");
+  ASSERT_TRUE(config.ok());
+  ArrivalProcess process(*config, /*total_ops=*/100000, /*seed=*/9);
+  uint64_t high = 0;
+  for (uint64_t tick = 0; tick < 200; ++tick) {
+    const uint32_t n = process.ArrivalsAt(tick);
+    const bool high_phase = (tick / 50) % 2 == 0;
+    if (!high_phase) {
+      EXPECT_EQ(n, 0u) << "tick " << tick;
+    }
+    high += high_phase ? n : 0;
+  }
+  EXPECT_GT(high, 0u);
+}
+
+TEST(ArrivalTest, RampRateClimbsAndHolds) {
+  auto config = ParseArrival("ramp:1-5");
+  ASSERT_TRUE(config.ok());
+  config->horizon_ticks = 100;
+  ArrivalProcess process(*config, /*total_ops=*/1000000, /*seed=*/3);
+  EXPECT_DOUBLE_EQ(process.RateAt(0), 1.0);
+  EXPECT_LT(process.RateAt(25), process.RateAt(75));
+  EXPECT_DOUBLE_EQ(process.RateAt(100), 5.0);
+  EXPECT_DOUBLE_EQ(process.RateAt(5000), 5.0);  // holds hi past the horizon
+}
+
+// --- admission -------------------------------------------------------------
+
+AdmissionConfig BoundedQueue(uint64_t capacity, uint64_t target) {
+  AdmissionConfig config;
+  config.enabled = true;
+  config.queue_capacity = capacity;
+  config.target_wait_ticks = target;
+  return config;
+}
+
+TEST(AdmissionTest, StandingQueueTargetBoundsDepth) {
+  // slots=4, target=3 ticks: est wait (depth+1)/4 exceeds the target once
+  // depth reaches 12, so exactly 12 admits then sheds -- the CoDel-style
+  // bound on queued sojourn.
+  AdmissionQueue<int> q(BoundedQueue(/*capacity=*/1000, /*target=*/3), /*slots_per_tick=*/4);
+  int admitted = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (q.Offer(i, /*tick=*/0, /*deadline_tick=*/1000) ==
+        AdmissionQueue<int>::Verdict::kAdmit) {
+      admitted++;
+    }
+  }
+  EXPECT_EQ(admitted, 12);
+  EXPECT_EQ(q.depth(), 12u);
+  // Draining one service tick's worth re-opens exactly that much room.
+  for (int i = 0; i < 4; ++i) {
+    q.PopFront();
+  }
+  EXPECT_EQ(q.Offer(99, 0, 1000), AdmissionQueue<int>::Verdict::kAdmit);
+}
+
+TEST(AdmissionTest, DeadlineShedBeatsTarget) {
+  // With 1 tick of deadline left, est wait (depth+1)/4 > 1 sheds at depth 4
+  // even though the standing target (3 ticks -> depth 12) would admit.
+  AdmissionQueue<int> q(BoundedQueue(1000, 3), 4);
+  int admitted = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (q.Offer(i, /*tick=*/10, /*deadline_tick=*/11) ==
+        AdmissionQueue<int>::Verdict::kAdmit) {
+      admitted++;
+    }
+  }
+  EXPECT_EQ(admitted, 4);  // est (4)/4 = 1.0 not > 1.0 admits; (5)/4 > 1 sheds
+}
+
+TEST(AdmissionTest, OverflowShedsAtCapacity) {
+  // Tiny hard bound, no target: the capacity trips first.
+  AdmissionQueue<int> q(BoundedQueue(/*capacity=*/8, /*target=*/0), 4);
+  int admitted = 0;
+  AdmissionQueue<int>::Verdict last = AdmissionQueue<int>::Verdict::kAdmit;
+  for (int i = 0; i < 16; ++i) {
+    last = q.Offer(i, 0, /*deadline_tick=*/1000);
+    if (last == AdmissionQueue<int>::Verdict::kAdmit) {
+      admitted++;
+    }
+  }
+  EXPECT_EQ(admitted, 8);
+  EXPECT_EQ(last, AdmissionQueue<int>::Verdict::kShedOverflow);
+}
+
+TEST(AdmissionTest, DisabledAdmitsEverything) {
+  AdmissionConfig config;  // enabled = false
+  AdmissionQueue<int> q(config, 4);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(q.Offer(i, 0, 0), AdmissionQueue<int>::Verdict::kAdmit);
+  }
+  EXPECT_EQ(q.depth(), 500u);
+}
+
+// --- retry budget ----------------------------------------------------------
+
+TEST(RetryBudgetTest, ExhaustsAndRefillsFromSuccesses) {
+  RetryBudgetConfig config;
+  config.enabled = true;
+  config.burst = 2.0;
+  config.tokens_per_success = 0.5;
+  RetryBudget budget(config);
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_TRUE(budget.TryConsume());
+  EXPECT_FALSE(budget.TryConsume());  // exhausted
+  budget.OnSuccess();
+  EXPECT_FALSE(budget.TryConsume());  // 0.5 token: still below 1
+  budget.OnSuccess();
+  EXPECT_TRUE(budget.TryConsume());  // 1.0 token
+  EXPECT_FALSE(budget.TryConsume());
+}
+
+TEST(RetryBudgetTest, BurstCapsAccumulation) {
+  RetryBudgetConfig config;
+  config.enabled = true;
+  config.burst = 3.0;
+  config.tokens_per_success = 1.0;
+  RetryBudget budget(config);
+  for (int i = 0; i < 100; ++i) {
+    budget.OnSuccess();
+  }
+  EXPECT_DOUBLE_EQ(budget.tokens(), 3.0);
+}
+
+TEST(RetryBudgetTest, DisabledNeverDenies) {
+  RetryBudget budget(RetryBudgetConfig{});  // enabled = false
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(budget.TryConsume());
+  }
+}
+
+// --- circuit breaker -------------------------------------------------------
+
+BreakerConfig SmallBreaker() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.failure_threshold = 3;
+  config.open_ticks = 10;
+  config.half_open_probes = 2;
+  return config;
+}
+
+TEST(BreakerTest, OpensOnConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(SmallBreaker());
+  breaker.RecordFailure(1);
+  breaker.RecordFailure(2);
+  breaker.RecordSuccess(3);  // resets the consecutive count
+  breaker.RecordFailure(4);
+  breaker.RecordFailure(5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(6);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(7));
+}
+
+TEST(BreakerTest, HalfOpenProbesCloseOrReopen) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (uint64_t t = 0; t < 3; ++t) {
+    breaker.RecordFailure(t);
+  }
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(5));  // still cooling down
+  EXPECT_TRUE(breaker.Allow(12));  // open_ticks elapsed -> half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess(12);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);  // 1 of 2
+  breaker.RecordSuccess(13);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // And the reopen path: a failed probe goes straight back to open.
+  for (uint64_t t = 20; t < 23; ++t) {
+    breaker.RecordFailure(t);
+  }
+  ASSERT_TRUE(breaker.Allow(33));
+  breaker.RecordFailure(33);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(34));
+}
+
+TEST(BreakerTest, TimelineIsDeterministic) {
+  auto drive = [] {
+    CircuitBreaker breaker(SmallBreaker());
+    for (uint64_t t = 0; t < 3; ++t) {
+      breaker.RecordFailure(t);
+    }
+    breaker.Allow(12);
+    breaker.RecordSuccess(12);
+    breaker.RecordSuccess(13);
+    return breaker;
+  };
+  CircuitBreaker a = drive();
+  CircuitBreaker b = drive();
+  EXPECT_EQ(a.timeline(), b.timeline());
+  EXPECT_EQ(a.timeline(), "t=2 open; t=12 half_open; t=13 closed; ");
+  EXPECT_EQ(a.transitions(), 3u);
+}
+
+TEST(BreakerTest, LatencySignalCountsSlowSuccesses) {
+  BreakerConfig config = SmallBreaker();
+  config.latency_fail_ticks = 5;
+  CircuitBreaker breaker(config);
+  for (uint64_t t = 0; t < 3; ++t) {
+    breaker.RecordSuccess(t, /*sojourn_ticks=*/20);  // served, but too slow
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(BreakerTest, DisabledNeverOpens) {
+  CircuitBreaker breaker(BreakerConfig{});  // enabled = false
+  for (uint64_t t = 0; t < 100; ++t) {
+    breaker.RecordFailure(t);
+    EXPECT_TRUE(breaker.Allow(t));
+  }
+  EXPECT_EQ(breaker.transitions(), 0u);
+}
+
+// --- brownout ladder -------------------------------------------------------
+
+BrownoutConfig FastBrownout() {
+  BrownoutConfig config;
+  config.enabled = true;
+  config.hysteresis_ticks = 4;
+  return config;
+}
+
+TEST(BrownoutTest, ClimbsOneLevelPerTickAndRestoresInReverse) {
+  BrownoutController ctl(FastBrownout());
+  // Saturated signal: one level per tick to the top of the ladder.
+  EXPECT_EQ(ctl.Update(1.0), 1);
+  EXPECT_EQ(ctl.Update(1.0), 2);
+  EXPECT_EQ(ctl.Update(1.0), 3);
+  EXPECT_EQ(ctl.Update(1.0), 4);
+  EXPECT_EQ(ctl.Update(1.0), 4);  // clamps at kMaxLevel
+  // Calm signal: each descent needs hysteresis_ticks consecutive calm ticks,
+  // and levels shed in reverse order (4 -> 3 -> 2 -> 1 -> 0).
+  int level = 4;
+  for (int expected = 3; expected >= 0; --expected) {
+    for (uint64_t i = 0; i < FastBrownout().hysteresis_ticks - 1; ++i) {
+      level = ctl.Update(0.0);
+      EXPECT_EQ(level, expected + 1);  // still holding
+    }
+    level = ctl.Update(0.0);
+    EXPECT_EQ(level, expected);
+  }
+  // Residency saw every level on the way up and down.
+  for (int l = 0; l <= BrownoutController::kMaxLevel; ++l) {
+    EXPECT_GT(ctl.residency()[static_cast<size_t>(l)], 0u) << "level " << l;
+  }
+}
+
+TEST(BrownoutTest, SignalBlipResetsHysteresis) {
+  BrownoutController ctl(FastBrownout());
+  ctl.Update(1.0);  // L1
+  ctl.Update(0.1);  // calm 1
+  ctl.Update(0.1);  // calm 2
+  ctl.Update(0.4);  // between exit[0]=0.25 and enter[1]=0.70: resets calm
+  ctl.Update(0.1);
+  ctl.Update(0.1);
+  ctl.Update(0.1);
+  EXPECT_EQ(ctl.level(), 1);  // only 3 consecutive calm ticks
+  EXPECT_EQ(ctl.Update(0.1), 0);
+}
+
+TEST(BrownoutTest, DisabledStaysAtZero) {
+  BrownoutController ctl(BrownoutConfig{});  // enabled = false
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ctl.Update(1.0), 0);
+  }
+}
+
+}  // namespace
+}  // namespace o1mem

@@ -116,6 +116,17 @@ def main(argv):
         compare(key, as_number(old_val), as_number(new_metrics.get(key)), threshold,
                 regressions, report)
 
+    # Metrics the candidate added (absent in the baseline) are informational:
+    # a new feature's metrics cannot regress against nothing, but they should
+    # be visible in the diff so reviewers notice them appearing.
+    added = [
+        key
+        for key in new_metrics
+        if key != "tables" and key not in old_metrics and as_number(new_metrics[key]) is not None
+    ]
+    for key in added:
+        report.append(f"  {key}: (new in candidate) = {as_number(new_metrics[key]):g}")
+
     new_tables = table_by_title(new_doc)
     for title, old_table in table_by_title(old_doc).items():
         new_table = new_tables.get(title)
