@@ -13,12 +13,19 @@
 namespace o1mem {
 namespace {
 
+// Wall-clock accumulator for one host-throughput region across repeated
+// measurement calls (json.HostRegion emits it once at the end).
+struct HostAgg {
+  uint64_t ops = 0;
+  double secs = 0.0;
+};
+
 struct FreeCosts {
   double malloc_free_us;
   double arena_reset_us;
 };
 
-FreeCosts MeasureFree(int objects) {
+FreeCosts MeasureFree(int objects, HostAgg& host_free) {
   SystemConfig config = BenchConfig();
   config.fom.precreate_page_tables = false;
   config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
@@ -35,9 +42,12 @@ FreeCosts MeasureFree(int objects) {
     ptrs.push_back(*p);
   }
   SimTimer timer(sys);
+  HostTimer host;
   for (Vaddr p : ptrs) {
     O1_CHECK(heap.Free(p).ok());
   }
+  host_free.secs += host.Seconds();
+  host_free.ops += static_cast<uint64_t>(objects);
   FreeCosts costs;
   costs.malloc_free_us = timer.ElapsedUs();
 
@@ -59,7 +69,7 @@ struct RestartCosts {
   double snapshot_reload_us;
 };
 
-RestartCosts MeasureRestart(uint64_t object_bytes) {
+RestartCosts MeasureRestart(uint64_t object_bytes, HostAgg& host_reload) {
   SystemConfig config = BenchConfig();
   System sys(config);
   // Persistent-heap path: build, crash, reopen.
@@ -102,15 +112,50 @@ RestartCosts MeasureRestart(uint64_t object_bytes) {
       O1_CHECK(sys.Pwrite(**proc, *fd, done, chunk).ok());
     }
     SimTimer timer(sys);
+    HostTimer host;
     auto vaddr = sys.Mmap(**proc, MmapArgs{.length = object_bytes});
     O1_CHECK(vaddr.ok());
     for (uint64_t done = 0; done < object_bytes; done += chunk.size()) {
       O1_CHECK(sys.Pread(**proc, *fd, done, chunk).ok());
       O1_CHECK(sys.UserWrite(**proc, *vaddr + done, chunk).ok());
     }
+    host_reload.secs += host.Seconds();
+    host_reload.ops += object_bytes / chunk.size();
     costs.snapshot_reload_us = timer.ElapsedUs();
   }
   return costs;
+}
+
+// Part 3 -- hot-object update loop: a runtime mutating a small resident set
+// of objects in place, the simulator's hottest repeated-access pattern
+// (same page, already materialized, steady state). Simulated cost per op is
+// fixed by the cost model; what this region measures is how many simulated
+// user accesses per host second the simulator sustains -- the >=10x
+// host-throughput gate for the Mmu/PhysicalMemory fast path.
+void MeasureHotObjects(uint64_t ops, HostAgg& host_rw) {
+  SystemConfig config = BenchConfig();
+  config.fom.precreate_page_tables = false;
+  config.pmfs_zero_policy = ZeroPolicy::kZeroEpoch;
+  System sys(config);
+  auto proc = sys.Launch(Backend::kFom);
+  O1_CHECK(proc.ok());
+  auto base = sys.Mmap(**proc, MmapArgs{.length = 4 * kMiB});
+  O1_CHECK(base.ok());
+  std::vector<uint8_t> obj(64, 0x5A);
+  std::vector<uint8_t> in(64);
+  // Fault the page in once so the loop measures steady-state accesses.
+  O1_CHECK(sys.UserWrite(**proc, *base, obj).ok());
+  HostTimer host;
+  for (uint64_t i = 0; i < ops; ++i) {
+    const Vaddr p = *base + (i & 63) * 64;  // 64 hot objects, one page
+    if ((i & 7) == 7) {
+      O1_CHECK(sys.UserRead(**proc, p, in).ok());
+    } else {
+      O1_CHECK(sys.UserWrite(**proc, p, obj).ok());
+    }
+  }
+  host_rw.secs += host.Seconds();
+  host_rw.ops += ops;
 }
 
 }  // namespace
@@ -122,8 +167,13 @@ int main(int argc, char** argv) {
   InitBenchObs(argc, argv);
   Table frees("Ablation: free N 96-byte objects -- per-object free vs O(1) arena reset");
   frees.AddRow({"objects", "per-object free us", "arena reset us", "ratio"});
-  for (int objects : {1000, 10000, 100000}) {
-    const FreeCosts costs = MeasureFree(objects);
+  HostAgg host_free;
+  std::vector<int> object_counts = {1000, 10000, 100000};
+  if (BenchLarge()) {
+    object_counts.push_back(2000000);  // nightly: host overhead per free dominates
+  }
+  for (int objects : object_counts) {
+    const FreeCosts costs = MeasureFree(objects, host_free);
     frees.AddRow({Table::Int(static_cast<uint64_t>(objects)),
                   Table::Num(costs.malloc_free_us), Table::Num(costs.arena_reset_us),
                   Table::Num(costs.arena_reset_us > 0
@@ -137,8 +187,13 @@ int main(int argc, char** argv) {
   Table restart(
       "Ablation: restart latency -- reopen persistent heap vs reload a snapshot file");
   restart.AddRow({"state size", "heap reopen us", "snapshot reload us", "ratio"});
-  for (uint64_t bytes : MaybeShrink({16 * kMiB, 64 * kMiB, 256 * kMiB})) {
-    const RestartCosts costs = MeasureRestart(bytes);
+  HostAgg host_reload;
+  std::vector<uint64_t> state_sizes = MaybeShrink({16 * kMiB, 64 * kMiB, 256 * kMiB});
+  if (BenchLarge()) {
+    state_sizes.push_back(1 * kGiB);
+  }
+  for (uint64_t bytes : state_sizes) {
+    const RestartCosts costs = MeasureRestart(bytes, host_reload);
     restart.AddRow({SizeLabel(bytes), Table::Num(costs.heap_reopen_us),
                     Table::Num(costs.snapshot_reload_us),
                     Table::Num(costs.heap_reopen_us > 0
@@ -148,6 +203,15 @@ int main(int argc, char** argv) {
   restart.Print();
   MaybePrintCsv(restart);
   json.AddTable(restart);
+
+  // Host-throughput gates: how fast the simulator itself executes the hot
+  // loops (free sweep, snapshot-reload copy, hot-object updates).
+  // tools/bench_diff.py fails a >10% host_ns_per_op regression.
+  HostAgg host_rw;
+  MeasureHotObjects(BenchLarge() ? 40'000'000u : 4'000'000u, host_rw);
+  json.HostRegion("free_sweep", host_free.ops, host_free.secs);
+  json.HostRegion("snapshot_reload_mib", host_reload.ops, host_reload.secs);
+  json.HostRegion("hot_object_rw", host_rw.ops, host_rw.secs);
 
   RecordOccupancy(json);
   json.Write();

@@ -18,7 +18,24 @@
 namespace o1mem {
 namespace {
 
-uint64_t RegionBytes() { return BenchSmall() ? 16 * kMiB : 64 * kMiB; }
+uint64_t RegionBytes() {
+  if (BenchSmall()) {
+    return 16 * kMiB;
+  }
+  return BenchLarge() ? 1 * kGiB : 64 * kMiB;
+}
+
+// Wall-clock totals over every measured UserTouch loop: how fast the host
+// executes the simulator's per-page fault/translate path.
+struct TouchHost {
+  uint64_t ops = 0;
+  double secs = 0.0;
+};
+
+TouchHost& HostTouch() {
+  static TouchHost agg;
+  return agg;
+}
 
 SystemConfig SmpBenchConfig(int cpus, bool fast_paths) {
   SystemConfig config = BenchConfig();
@@ -77,10 +94,13 @@ TouchResult TouchBaseline(int cpus, bool fast_paths) {
   }
   const EventCounters before = sys.ctx().counters();
   const uint64_t start = sys.ctx().now();
+  HostTimer host;
   for (uint64_t i = warm; i < pages; ++i) {
     sys.ctx().SetCurrentCpu(static_cast<int>(i % static_cast<uint64_t>(cpus)));
     O1_CHECK(sys.UserTouch(**proc, *vaddr + i * kPageSize, 1, AccessType::kWrite).ok());
   }
+  HostTouch().secs += host.Seconds();
+  HostTouch().ops += pages - warm;
   return FinishTouch(sys, cpus, start, before, pages - warm);
 }
 
@@ -104,10 +124,13 @@ TouchResult TouchFom(int cpus) {
   }
   const EventCounters before = sys.ctx().counters();
   const uint64_t start = sys.ctx().now();
+  HostTimer host;
   for (uint64_t i = warm; i < pages; ++i) {
     sys.ctx().SetCurrentCpu(static_cast<int>(i % static_cast<uint64_t>(cpus)));
     O1_CHECK(sys.UserTouch(**proc, *vaddr + i * kPageSize, 1, AccessType::kWrite).ok());
   }
+  HostTouch().secs += host.Seconds();
+  HostTouch().ops += pages - warm;
   return FinishTouch(sys, cpus, start, before, pages - warm);
 }
 
@@ -211,6 +234,7 @@ int main(int argc, char** argv) {
   json.Metric("prezero_hit_rate_8cpu", prezero_rate_8);
   json.Metric("shootdown_amortization_8cpu", ratio_8);
   json.Metric("deterministic", 1.0);
+  json.HostRegion("touch", HostTouch().ops, HostTouch().secs);
 
   for (const auto& [cpus, fast] : touch_rows) {
     benchmark::RegisterBenchmark(

@@ -32,6 +32,23 @@ namespace o1mem {
 // bench suite finishes in seconds (trend shapes survive; magnitudes shrink).
 inline bool BenchSmall() { return std::getenv("O1MEM_BENCH_SMALL") != nullptr; }
 
+// Large mode for the nightly sweep: O1MEM_BENCH_LARGE=1 scales op-count
+// loops up (billion-op territory) so per-op host overheads dominate setup
+// and host-throughput numbers are stable. Ignored when small mode is also
+// set (small wins: CI smoke must stay fast).
+inline bool BenchLarge() {
+  return std::getenv("O1MEM_BENCH_LARGE") != nullptr && !BenchSmall();
+}
+
+// Applies small/large mode to an op count: /8 in small mode (floor 1),
+// x16 in large mode.
+inline uint64_t ScaleOps(uint64_t ops) {
+  if (BenchSmall()) {
+    return ops / 8 > 0 ? ops / 8 : 1;
+  }
+  return BenchLarge() ? ops * 16 : ops;
+}
+
 // Applies small mode to a size sweep: keeps entries up to 16 MiB (always at
 // least one).
 inline std::vector<uint64_t> MaybeShrink(std::vector<uint64_t> sizes) {
@@ -118,7 +135,9 @@ inline std::vector<uint64_t> FileSizeSweep() {
 
 inline std::string SizeLabel(uint64_t bytes) {
   char buf[32];
-  if (bytes >= kGiB) {
+  if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  } else if (bytes >= kGiB) {
     std::snprintf(buf, sizeof(buf), "%lluG", static_cast<unsigned long long>(bytes / kGiB));
   } else if (bytes >= kMiB) {
     std::snprintf(buf, sizeof(buf), "%lluM", static_cast<unsigned long long>(bytes / kMiB));

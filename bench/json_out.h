@@ -11,6 +11,7 @@
 #ifndef O1MEM_BENCH_JSON_OUT_H_
 #define O1MEM_BENCH_JSON_OUT_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -84,6 +85,20 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Wall-clock stopwatch for BenchJson::HostRegion. Host time only -- the
+// simulated clock never sees it.
+class HostTimer {
+ public:
+  HostTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 class BenchJson {
  public:
   // Extracts --json=<path> from argv; without the flag every call below is a
@@ -102,6 +117,20 @@ class BenchJson {
     metrics_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
   }
   void Metric(const std::string& key, double value) { metrics_.emplace_back(key, NumStr(value)); }
+
+  // Host-side (wall-clock) throughput of one measured op loop. Two fields
+  // per region: host_ns_per_op_<name> is a cost (lower is better), which
+  // tools/bench_diff.py gates like any other ns series, and
+  // host_ops_per_sec_<name> is the human-facing rate. These are the only
+  // non-deterministic numbers in a bench JSON; bench_diff's --identical
+  // mode skips the host_ prefix for that reason.
+  void HostRegion(const std::string& name, uint64_t ops, double seconds) {
+    if (ops == 0 || seconds <= 0.0) {
+      return;
+    }
+    Metric("host_ns_per_op_" + name, seconds * 1e9 / static_cast<double>(ops));
+    Metric("host_ops_per_sec_" + name, static_cast<double>(ops) / seconds);
+  }
 
   // Mirrors a printed table (header row = columns) under metrics.tables.
   void AddTable(const Table& table) {

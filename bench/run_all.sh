@@ -28,6 +28,7 @@ BENCHES=(
   abl_overload
   abl_smp_scaling
   abl_tiering
+  abl_malloc_wcet
   app_kv_service
 )
 
@@ -40,10 +41,11 @@ for bench in "${BENCHES[@]}"; do
   echo "=== $bench ==="
   # The tables are simulated and already measured; skip the google-benchmark
   # re-run (filter matches nothing) so the sweep stays fast. app_kv_service
-  # also writes one sample Chrome trace (TRACE_*.json, Perfetto-loadable) so
-  # every artifact set carries a browsable timeline.
+  # and abl_malloc_wcet also write Chrome traces (TRACE_*.json,
+  # Perfetto-loadable); the malloc one doubles as the input for
+  # trace_report.py's --check-o1 malloc/free verdict in CI.
   extra=()
-  if [[ "$bench" == "app_kv_service" ]]; then
+  if [[ "$bench" == "app_kv_service" || "$bench" == "abl_malloc_wcet" ]]; then
     extra+=("--trace=$OUT_DIR/TRACE_$bench.json")
   fi
   "$bin" "--json=$OUT_DIR/BENCH_$bench.json" "${extra[@]}" '--benchmark_filter=^$'

@@ -84,6 +84,20 @@ Result<InodeId> FomManager::CreateSegment(std::string_view path, uint64_t bytes,
   return inode;
 }
 
+Result<InodeId> FomManager::CreateVolatileSegment(uint64_t bytes) {
+  if (bytes == 0) {
+    return InvalidArgument("zero-byte segment");
+  }
+  O1_ASSIGN_OR_RETURN(const InodeId inode, pmfs_->CreateVolatile(FileFlags{}));
+  if (Status grown = pmfs_->Resize(inode, bytes); !grown.ok()) {
+    (void)pmfs_->Release(inode);
+    return grown;
+  }
+  return inode;
+}
+
+Status FomManager::ReleaseVolatileSegment(InodeId inode) { return pmfs_->Release(inode); }
+
 Result<InodeId> FomManager::OpenSegment(std::string_view path) {
   return pmfs_->LookupPath(path);
 }

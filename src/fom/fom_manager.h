@@ -136,6 +136,18 @@ class FomManager {
   Result<InodeId> CreateSegment(std::string_view path, uint64_t bytes,
                                 const SegmentOptions& options = SegmentOptions());
 
+  // Anonymous-memory fast path (Sec. 3.1 "for volatile data, this may be a
+  // temporary file"): an O_TMPFILE-style segment with no namespace entry
+  // and no journal traffic. Constant-cost regardless of size (one extent
+  // allocation + in-memory inode); it dies with its last map reference.
+  // Never gets precreated page tables -- anonymous mappings use the O(1)
+  // range/splice install and fault pages in on demand.
+  Result<InodeId> CreateVolatileSegment(uint64_t bytes);
+
+  // Rolls back a CreateVolatileSegment whose mapping never materialized
+  // (the segment has no path, so DeleteSegment cannot reach it).
+  Status ReleaseVolatileSegment(InodeId inode);
+
   // Look up an existing (e.g. persistent, pre-crash) segment by path.
   Result<InodeId> OpenSegment(std::string_view path);
 

@@ -581,6 +581,29 @@ Result<InodeId> Pmfs::Create(std::string_view path, const FileFlags& flags) {
   return id;
 }
 
+Result<InodeId> Pmfs::CreateVolatile(const FileFlags& flags) {
+  if (mount_mode_ == MountMode::kDegraded) {
+    return ReadOnlyError("pmfs degraded (read-only): " + degrade_reason_);
+  }
+  if (flags.persistent) {
+    return InvalidArgument("volatile inode cannot be persistent");
+  }
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
+  const InodeId id = next_inode_;
+  Inode inode(&machine_->ctx());
+  inode.id = id;
+  inode.flags = flags;
+  inode.links = 0;  // born unlinked: open/map references keep it alive
+  inode.journaled = false;
+  inode.provider = std::make_unique<DaxProvider>(this, id);
+  TouchAtime(inode);
+  inodes_.emplace(id, std::move(inode));
+  ++next_inode_;
+  return id;
+}
+
+Status Pmfs::Release(InodeId id) { return MaybeFree(id); }
+
 Result<InodeId> Pmfs::LookupPath(std::string_view path) {
   machine_->ctx().Charge(machine_->ctx().cost().file_lookup_cycles);
   return ns_.LookupFile(path);
@@ -741,16 +764,27 @@ Status Pmfs::GrowTo(Inode& inode, uint64_t new_size) {
     }
     // kZeroEpoch: blocks were zeroed in the background when freed, so the
     // foreground allocation path does no per-byte work.
-    auto rec = BeginRecord(static_cast<uint8_t>(JournalOp::kAllocExtent));
-    PutU64(rec, inode.id);
-    PutU64(rec, allocated);
-    PutU64(rec, extent->start);
-    PutU64(rec, extent->count);
-    rec = FinishRecord(std::move(rec));
-    O1_RETURN_IF_ERROR(ReserveJournal(rec.size()));
-    O1_RETURN_IF_ERROR(inode.extents.Insert(allocated, paddr, bytes));
-    O1_RETURN_IF_ERROR(AppendRecord(rec));
+    if (inode.journaled) {
+      auto rec = BeginRecord(static_cast<uint8_t>(JournalOp::kAllocExtent));
+      PutU64(rec, inode.id);
+      PutU64(rec, allocated);
+      PutU64(rec, extent->start);
+      PutU64(rec, extent->count);
+      rec = FinishRecord(std::move(rec));
+      O1_RETURN_IF_ERROR(ReserveJournal(rec.size()));
+      O1_RETURN_IF_ERROR(inode.extents.Insert(allocated, paddr, bytes));
+      O1_RETURN_IF_ERROR(AppendRecord(rec));
+    } else {
+      // Unjournaled volatile inode: a crash leaves these blocks unowned and
+      // the bitmap rebuild frees them, which is exactly the teardown a
+      // linked volatile file would get.
+      O1_RETURN_IF_ERROR(inode.extents.Insert(allocated, paddr, bytes));
+    }
     allocated += bytes;
+  }
+  if (!inode.journaled) {
+    inode.size = new_size;
+    return OkStatus();
   }
   // The size commits LAST: replay exposes only fully journaled extents, and
   // a crash mid-grow leaves the file readable at its old size.
@@ -814,6 +848,12 @@ Status Pmfs::ResizeSingleExtent(InodeId id, uint64_t size) {
   if (zero_policy_ == ZeroPolicy::kEagerZero) {
     O1_RETURN_IF_ERROR(machine_->phys().Zero(paddr, bytes));
     O1_RETURN_IF_ERROR(machine_->phys().FlushLines(paddr, bytes));
+  }
+  if (!inode->journaled) {
+    O1_RETURN_IF_ERROR(inode->extents.Insert(0, paddr, bytes));
+    inode->size = size;
+    TouchAtime(*inode);
+    return OkStatus();
   }
   auto arec = BeginRecord(static_cast<uint8_t>(JournalOp::kAllocExtent));
   PutU64(arec, id);
@@ -993,6 +1033,11 @@ Result<uint64_t> Pmfs::ReclaimDiscardable(uint64_t bytes_needed) {
 
 Status Pmfs::SetPersistent(InodeId id, bool persistent) {
   O1_ASSIGN_OR_RETURN(Inode * inode, GetWritable(id));
+  if (!inode->journaled && persistent) {
+    // A pathless unjournaled inode cannot survive a checkpoint, let alone a
+    // crash; persistence requires a linked, journaled file.
+    return InvalidArgument("volatile O_TMPFILE-style inode cannot be made persistent");
+  }
   machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles);
   auto rec = BeginRecord(static_cast<uint8_t>(JournalOp::kSetFlags));
   PutU64(rec, id);

@@ -101,6 +101,16 @@ class Pmfs : public FileSystem {
   std::string_view name() const override { return "pmfs"; }
 
   Result<InodeId> Create(std::string_view path, const FileFlags& flags) override;
+  // O_TMPFILE-style volatile file: born unlinked (no namespace entry) and
+  // unjournaled. It lives exactly as long as its open/map references, a
+  // checkpoint snapshot never includes it (EncodeSnapshot walks the
+  // namespace), and after a crash its blocks fall out of the bitmap rebuild
+  // as free -- the same end state the recovery teardown produces for linked
+  // volatile files, without any journal traffic on the create/resize path.
+  Result<InodeId> CreateVolatile(const FileFlags& flags);
+  // Drops an unreferenced volatile inode (rollback when a map attempt
+  // failed before taking a reference).
+  Status Release(InodeId id);
   Result<InodeId> LookupPath(std::string_view path) override;
   Status Unlink(std::string_view path) override;
   std::vector<std::string> ListPaths() const override;
@@ -207,6 +217,7 @@ class Pmfs : public FileSystem {
     uint32_t maps = 0;
     uint64_t atime = 0;
     bool quarantined = false;  // data/structure damaged; reads return kMediaError
+    bool journaled = true;     // false: volatile O_TMPFILE-style inode, no records
     ExtentTree extents;
     std::unique_ptr<DaxProvider> provider;
 

@@ -1,10 +1,15 @@
 #include "src/mm/page_meta.h"
 
+#include <memory>
+
 namespace o1mem {
 
 namespace {
 // Cycles to initialize one struct page at boot (memmap_init_zone-ish).
 constexpr uint64_t kInitCyclesPerPage = 6;
+
+// What every slot of the eager array used to hold before first touch.
+const PageMeta kDefaultMeta{};
 }  // namespace
 
 PageMetaArray::PageMetaArray(SimContext* ctx, Paddr base, uint64_t bytes)
@@ -12,20 +17,26 @@ PageMetaArray::PageMetaArray(SimContext* ctx, Paddr base, uint64_t bytes)
   O1_CHECK(ctx != nullptr);
   O1_CHECK(IsAligned(base, kPageSize));
   O1_CHECK(IsAligned(bytes, kPageSize));
-  metas_.resize(bytes >> kPageShift);
-  init_cycles_ = metas_.size() * kInitCyclesPerPage;
+  chunks_.resize((frame_count() + kChunkFrames - 1) / kChunkFrames);
+  init_cycles_ = frame_count() * kInitCyclesPerPage;
   ctx_->Charge(init_cycles_);
 }
 
 PageMeta& PageMetaArray::Of(Paddr paddr) {
   O1_CHECK(Covers(paddr));
   ctx_->Charge(ctx_->cost().page_meta_update_cycles);
-  return metas_[(paddr - base_) >> kPageShift];
+  uint64_t frame = (paddr - base_) >> kPageShift;
+  std::unique_ptr<Chunk>& chunk = chunks_[frame / kChunkFrames];
+  if (!chunk) chunk = std::make_unique<Chunk>();
+  return (*chunk)[frame % kChunkFrames];
 }
 
 const PageMeta& PageMetaArray::Peek(Paddr paddr) const {
   O1_CHECK(Covers(paddr));
-  return metas_[(paddr - base_) >> kPageShift];
+  uint64_t frame = (paddr - base_) >> kPageShift;
+  const std::unique_ptr<Chunk>& chunk = chunks_[frame / kChunkFrames];
+  if (!chunk) return kDefaultMeta;
+  return (*chunk)[frame % kChunkFrames];
 }
 
 }  // namespace o1mem

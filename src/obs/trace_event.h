@@ -71,6 +71,11 @@ enum class TraceKind : uint8_t {
   kAdmissionShed,
   kBreakerTransition,
   kBrownoutShift,
+  // User-level allocator (SizeClassAllocator): one span per malloc/free with
+  // the requested/returned byte count as the operand, so trace_report.py can
+  // render the constant-WCET verdict across size classes.
+  kMalloc,
+  kFree,
   kKindCount,
 };
 
@@ -115,6 +120,8 @@ constexpr const char* TraceKindName(TraceKind kind) {
     case TraceKind::kAdmissionShed: return "admission_shed";
     case TraceKind::kBreakerTransition: return "breaker_transition";
     case TraceKind::kBrownoutShift: return "brownout_shift";
+    case TraceKind::kMalloc: return "malloc";
+    case TraceKind::kFree: return "free";
     case TraceKind::kKindCount: break;
   }
   return "?";

@@ -77,7 +77,6 @@ class Process {
   Vaddr code_base_ = 0;
   Vaddr stack_base_ = 0;
   Vaddr heap_base_ = 0;
-  uint64_t anon_counter_ = 0;  // names FOM's anonymous temp segments
 };
 
 }  // namespace o1mem

@@ -156,7 +156,6 @@ Result<Process*> System::Fork(Process& parent) {
     child->fds_.emplace(fd, open_file);
   }
   child->next_fd_ = parent.next_fd_;
-  child->anon_counter_ = parent.anon_counter_;
   Process* raw = child.get();
   processes_.push_back(std::move(child));
   return raw;
@@ -264,20 +263,19 @@ Result<Vaddr> System::MmapFom(Process& proc, const MmapArgs& args) {
     return fom_->Map(*proc.fom_, open_file->inode, args.prot, options);
   }
   // Anonymous memory under FOM is a volatile temporary file (Sec. 3.1: "For
-  // volatile data, this may be a temporary file"), unlinked immediately so
-  // it lives exactly as long as its mapping.
-  const std::string path = "/proc/" + std::to_string(proc.pid_) + "/anon" +
-                           std::to_string(proc.anon_counter_++);
-  auto inode = fom_->CreateSegment(path, args.length);
+  // volatile data, this may be a temporary file"). O_TMPFILE-style: born
+  // unlinked and unjournaled, so the whole mmap is one extent allocation
+  // plus one O(1) map install -- no namespace insert, no journal commits,
+  // no separate unlink. It lives exactly as long as its mapping.
+  auto inode = fom_->CreateVolatileSegment(args.length);
   if (!inode.ok()) {
     return inode.status();
   }
   auto vaddr = fom_->Map(*proc.fom_, *inode, args.prot, options);
   if (!vaddr.ok()) {
-    (void)fom_->DeleteSegment(path);
+    (void)fom_->ReleaseVolatileSegment(*inode);
     return vaddr;
   }
-  O1_RETURN_IF_ERROR(pmfs_->Unlink(path));
   return vaddr;
 }
 
@@ -534,30 +532,6 @@ Status System::Rename(std::string_view from, std::string_view to) {
     return pmfs_->Rename(from, to);
   }
   return tmpfs_->Rename(from, to);
-}
-
-Status System::UserTouch(Process& proc, Vaddr vaddr, uint64_t len, AccessType type) {
-  O1_RETURN_IF_ERROR(machine_->mmu().Touch(proc.address_space(), vaddr, len, type));
-  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
-    tier_->NoteAccess(proc.fom(), vaddr, len, type);
-  }
-  return OkStatus();
-}
-
-Status System::UserRead(Process& proc, Vaddr vaddr, std::span<uint8_t> out) {
-  O1_RETURN_IF_ERROR(machine_->mmu().ReadVirt(proc.address_space(), vaddr, out));
-  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
-    tier_->NoteAccess(proc.fom(), vaddr, out.size(), AccessType::kRead);
-  }
-  return OkStatus();
-}
-
-Status System::UserWrite(Process& proc, Vaddr vaddr, std::span<const uint8_t> data) {
-  O1_RETURN_IF_ERROR(machine_->mmu().WriteVirt(proc.address_space(), vaddr, data));
-  if (tier_ != nullptr && proc.backend() == Backend::kFom) {
-    tier_->NoteAccess(proc.fom(), vaddr, data.size(), AccessType::kWrite);
-  }
-  return OkStatus();
 }
 
 Status System::UserFlush(Process& proc, Vaddr vaddr, uint64_t len) {

@@ -157,9 +157,30 @@ class System {
   Status Rename(std::string_view from, std::string_view to);
 
   // --- User-level access (no syscall: plain loads/stores) -------------------
-  Status UserTouch(Process& proc, Vaddr vaddr, uint64_t len, AccessType type);
-  Status UserRead(Process& proc, Vaddr vaddr, std::span<uint8_t> out);
-  Status UserWrite(Process& proc, Vaddr vaddr, std::span<const uint8_t> data);
+  // Inline: these are the simulator's hottest entry points, and keeping the
+  // bodies here lets the Mmu's small-access fast path flatten all the way
+  // into bench/application loops.
+  Status UserTouch(Process& proc, Vaddr vaddr, uint64_t len, AccessType type) {
+    O1_RETURN_IF_ERROR(machine_->mmu().Touch(proc.address_space(), vaddr, len, type));
+    if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+      tier_->NoteAccess(proc.fom(), vaddr, len, type);
+    }
+    return OkStatus();
+  }
+  Status UserRead(Process& proc, Vaddr vaddr, std::span<uint8_t> out) {
+    O1_RETURN_IF_ERROR(machine_->mmu().ReadVirt(proc.address_space(), vaddr, out));
+    if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+      tier_->NoteAccess(proc.fom(), vaddr, out.size(), AccessType::kRead);
+    }
+    return OkStatus();
+  }
+  Status UserWrite(Process& proc, Vaddr vaddr, std::span<const uint8_t> data) {
+    O1_RETURN_IF_ERROR(machine_->mmu().WriteVirt(proc.address_space(), vaddr, data));
+    if (tier_ != nullptr && proc.backend() == Backend::kFom) {
+      tier_->NoteAccess(proc.fom(), vaddr, data.size(), AccessType::kWrite);
+    }
+    return OkStatus();
+  }
 
   // User-space persistence barrier (clwb + fence over the mapped range; no
   // syscall). Under PersistenceModel::kExplicitFlush, DAX stores are durable

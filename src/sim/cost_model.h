@@ -56,6 +56,8 @@ struct CostModel {
   uint64_t range_entry_install_cycles = 140;  // insert one range-table entry
   uint64_t fom_map_base_cycles = 600;       // FOM whole-file map bookkeeping (O(1))
   uint64_t user_alloc_cycles = 25;          // user-level allocator fast path
+  uint64_t malloc_refill_base_cycles = 120;  // per-CPU bin miss: shared-backend round trip
+  uint64_t malloc_backend_op_cycles = 30;    // one buddy free-list push/pop in the backend
 
   // --- Physical allocation / metadata ----------------------------------
   uint64_t buddy_alloc_cycles = 260;      // one order-0 alloc incl. freelist ops

@@ -56,6 +56,13 @@ namespace o1mem {
   X(frames_from_buddy)          /* allocs that took the shared buddy/pool path */        \
   X(prezero_hits)               /* zeroed allocs served without an inline Zero() */      \
   X(prezero_misses)             /* zeroed allocs that zeroed on the critical path */     \
+  /* User-level allocator: per-CPU size-class bins over a shared buddy backend. */       \
+  X(malloc_cache_refills)   /* per-CPU bin misses that pulled a batch from the backend */ \
+  X(malloc_cache_flushes)   /* per-CPU bin overflows that returned a batch */             \
+  X(malloc_buddy_splits)    /* buddy blocks split while serving a backend alloc */        \
+  X(malloc_buddy_merges)    /* buddy pairs coalesced while absorbing a backend free */    \
+  X(malloc_chunks_mapped)   /* 1 MiB chunks obtained from the kernel (mmap) */            \
+  X(malloc_chunks_recycled) /* whole chunks coalesced back into the reuse pool */         \
   /* Tiering: DAMON-style monitoring and extent migration between NVM and                \
      the DRAM file cache. */                                                             \
   X(tier_region_splits)   /* monitoring regions split */                                 \

@@ -101,6 +101,17 @@ class FaultInjector {
   bool has_poison() const { return !poisoned_.empty(); }
   size_t poisoned_line_count() const { return poisoned_.size(); }
 
+  // True when folding N per-page writes into one whole-span write cannot
+  // change injector behavior: no armed crash point whose write/flush count
+  // could trip mid-span, not already triggered, no torn-persist sampling,
+  // and no poison to heal at per-page granularity. The Mmu bulk fast path
+  // gates on this so chaos and crash-sweep runs keep their exact per-page
+  // event sequence.
+  bool WriteBatchSafe() const {
+    return !armed_write_.has_value() && !armed_flush_.has_value() && !triggered_ && !torn_ &&
+           poisoned_.empty();
+  }
+
   // Flips one stored bit in place (durable copy included). Requires an
   // attached PhysicalMemory.
   void FlipBit(Paddr paddr, int bit);
@@ -111,6 +122,12 @@ class FaultInjector {
   // or past the armed crash point (the caller must then keep the written
   // lines volatile).
   bool NoteNvmLineWrites(uint64_t lines);
+
+  // Inline accounting for callers that have already proven WriteBatchSafe():
+  // with nothing armed, not triggered, and no poison, NoteNvmLineWrites
+  // reduces to the count alone. Keeps the nvm_line_writes() total the crash
+  // campaigns calibrate against without an out-of-line call per access.
+  void AccountBatchSafeLineWrites(uint64_t lines) { write_count_ += lines; }
 
   // Accounts one NVM flush event; returns true if at/past the crash point.
   bool NoteFlush();

@@ -1,16 +1,15 @@
 #include "src/sim/mmu.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/obs/span.h"
+#include "src/sim/fault_injector.h"
 
 namespace o1mem {
 
 namespace {
-// Accesses at least this long are charged at the streaming (bulk) rate; the
-// hardware prefetcher hides latency on longer runs.
-constexpr uint64_t kStreamingThreshold = 256;
-
 uint64_t PageSpan(Vaddr vaddr, uint64_t len) {
   const Vaddr first = AlignDown(vaddr, kPageSize);
   const Vaddr last = AlignUp(vaddr + std::max<uint64_t>(len, 1), kPageSize);
@@ -22,6 +21,7 @@ Mmu::Mmu(SimContext* ctx, PhysicalMemory* phys, const MmuConfig& config)
     : ctx_(ctx),
       phys_(phys),
       batched_(ctx != nullptr && ctx->smp().batched_shootdowns),
+      fastpath_(std::getenv("O1MEM_NO_HOST_FASTPATH") == nullptr),
       pwc_entries_(config.pwc_entries) {
   O1_CHECK(ctx != nullptr && phys != nullptr);
   cpus_.reserve(static_cast<size_t>(ctx->num_cpus()));
@@ -36,20 +36,22 @@ bool Mmu::PwcLookupOrInsert(Asid asid, Vaddr vaddr) {
   ++c.pwc_tick;
   auto it = c.pwc.find(key);
   if (it != c.pwc.end()) {
+    c.pwc_by_tick.erase(it->second);
+    c.pwc_by_tick.emplace(c.pwc_tick, key);
     it->second = c.pwc_tick;
     return true;
   }
   if (c.pwc.size() >= static_cast<size_t>(pwc_entries_)) {
-    // Evict the least recently used tag.
-    auto victim = c.pwc.begin();
-    for (auto cand = c.pwc.begin(); cand != c.pwc.end(); ++cand) {
-      if (cand->second < victim->second) {
-        victim = cand;
-      }
-    }
-    c.pwc.erase(victim);
+    // Evict the least recently used tag. Ticks are unique and monotonic, so
+    // the smallest tick in the ordered index IS the linear-scan minimum the
+    // previous implementation found -- same victim, O(log n) instead of a
+    // full scan per insert.
+    auto victim = c.pwc_by_tick.begin();
+    c.pwc.erase(victim->second);
+    c.pwc_by_tick.erase(victim);
   }
   c.pwc.emplace(key, c.pwc_tick);
+  c.pwc_by_tick.emplace(c.pwc_tick, key);
   return false;
 }
 
@@ -78,12 +80,14 @@ void Mmu::ChargeShootdown(uint64_t cycles) {
 }
 
 void Mmu::InvalidateOn(CpuState& state, Asid asid, Vaddr vaddr, uint64_t len) {
+  state.fast.valid = false;  // conservative: any invalidation clears the fast path
   state.l1_tlb.InvalidateRange(asid, vaddr, len);
   state.l2_tlb.InvalidateRange(asid, vaddr, len);
   state.range_tlb.InvalidateRange(asid, vaddr, len);
 }
 
 void Mmu::ApplyPending(CpuState& state) {
+  state.fast.valid = false;
   for (const PendingInval& inval : state.pending) {
     if (inval.whole_asid) {
       state.l1_tlb.InvalidateAsid(inval.asid);
@@ -120,6 +124,7 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
   if (auto e = hw.l1_tlb.Lookup(as.asid(), vaddr)) {
     ctx_->counters().tlb_l1_hits++;
     ctx_->Charge(c.tlb_l1_hit_cycles);
+    hw.fast = FastEntry{true, true, as.asid(), e->vbase, e->page_bytes, e->pbase, e->prot};
     return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
                            .prot = e->prot,
                            .source = TranslationInfo::Source::kL1Tlb};
@@ -129,6 +134,7 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
     ctx_->counters().tlb_l2_hits++;
     ctx_->Charge(c.tlb_l2_hit_cycles + c.tlb_insert_cycles);
     hw.l1_tlb.Insert(as.asid(), e->vbase, e->pbase, e->page_bytes, e->prot);
+    hw.fast = FastEntry{true, true, as.asid(), e->vbase, e->page_bytes, e->pbase, e->prot};
     return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
                            .prot = e->prot,
                            .source = TranslationInfo::Source::kL2Tlb};
@@ -138,6 +144,7 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
   if (auto e = hw.range_tlb.Lookup(as.asid(), vaddr)) {
     ctx_->counters().range_tlb_hits++;
     ctx_->Charge(c.range_tlb_hit_cycles);
+    hw.fast = FastEntry{true, false, as.asid(), e->vbase, e->bytes, e->pbase, e->prot};
     return TranslationInfo{.paddr = e->pbase + (vaddr - e->vbase),
                            .prot = e->prot,
                            .source = TranslationInfo::Source::kRangeTlb};
@@ -147,6 +154,7 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
     ctx_->counters().range_table_walks++;
     ctx_->Charge(c.range_table_walk_cycles + c.tlb_insert_cycles);
     hw.range_tlb.Insert(as.asid(), r->vbase, r->bytes, r->pbase, r->prot);
+    hw.fast = FastEntry{true, false, as.asid(), r->vbase, r->bytes, r->pbase, r->prot};
     return TranslationInfo{.paddr = r->pbase + (vaddr - r->vbase),
                            .prot = r->prot,
                            .source = TranslationInfo::Source::kRangeTable};
@@ -159,16 +167,49 @@ std::optional<TranslationInfo> Mmu::TryTranslate(AddressSpace& as, Vaddr vaddr) 
     const Paddr pbase = t->paddr - (vaddr - vbase);
     hw.l1_tlb.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
     hw.l2_tlb.Insert(as.asid(), vbase, pbase, t->page_bytes, t->prot);
+    hw.fast = FastEntry{true, true, as.asid(), vbase, t->page_bytes, pbase, t->prot};
     return TranslationInfo{.paddr = t->paddr,
                            .prot = t->prot,
                            .source = TranslationInfo::Source::kPageWalk};
   }
   // Charge the full failed walk: hardware discovers the hole the hard way.
   ChargeWalk(as, vaddr, as.page_table().depth());
+  hw.fast.valid = false;
   return std::nullopt;
 }
 
+TranslationInfo Mmu::ReplayFastHit(const FastEntry& fast, Vaddr vaddr) {
+  const CostModel& c = ctx_->cost();
+  if (fast.page_backed) {
+    // The entry is (now) present in the L1 TLB: replay an L1 hit.
+    ctx_->counters().tlb_l1_hits++;
+    ctx_->Charge(c.tlb_l1_hit_cycles);
+    return TranslationInfo{.paddr = fast.pbase + (vaddr - fast.vbase),
+                           .prot = fast.prot,
+                           .source = TranslationInfo::Source::kL1Tlb};
+  }
+  // Range-backed spans never enter the L1/L2 page TLBs: replay the L1+L2
+  // miss followed by the range-TLB hit, exactly as the slow path charges it.
+  ctx_->counters().tlb_misses++;
+  ctx_->counters().range_tlb_hits++;
+  ctx_->Charge(c.range_tlb_hit_cycles);
+  return TranslationInfo{.paddr = fast.pbase + (vaddr - fast.vbase),
+                         .prot = fast.prot,
+                         .source = TranslationInfo::Source::kRangeTlb};
+}
+
 Result<TranslationInfo> Mmu::Translate(AddressSpace& as, Vaddr vaddr, AccessType type) {
+  if (fastpath_) {
+    CpuState& hw = cpu();
+    const FastEntry& f = hw.fast;
+    // Queued invalidations force the slow path so DrainForTranslate keeps
+    // its exact charges; a protection mismatch takes the slow path too and
+    // traps there, unchanged.
+    if (f.valid && f.asid == as.asid() && vaddr >= f.vbase && vaddr - f.vbase < f.bytes &&
+        HasProt(f.prot, RequiredProt(type)) && hw.pending.empty()) {
+      return ReplayFastHit(f, vaddr);
+    }
+  }
   bool faulted = false;
   for (int attempt = 0; attempt <= kMaxFaultRetries; ++attempt) {
     auto info = TryTranslate(as, vaddr);
@@ -217,13 +258,78 @@ void Mmu::ChargeDataTouch(Paddr paddr, uint64_t len, AccessType type) {
   }
 }
 
-Status Mmu::Touch(AddressSpace& as, Vaddr vaddr, uint64_t len, AccessType type) {
+uint64_t Mmu::TryBulkSpan(AddressSpace& as, Vaddr vaddr, uint64_t len, AccessType type,
+                          Paddr* paddr_out) {
+  if (!fastpath_) {
+    return 0;
+  }
+  CpuState& hw = cpu();
+  const FastEntry& f = hw.fast;
+  if (!f.valid || f.asid != as.asid() || vaddr < f.vbase || vaddr - f.vbase >= f.bytes ||
+      !HasProt(f.prot, RequiredProt(type)) || !hw.pending.empty()) {
+    return 0;
+  }
+  const uint64_t span = std::min(len, f.vbase + f.bytes - vaddr);
+  const Paddr pstart = f.pbase + (vaddr - f.vbase);
+  // ChargeDataTouch picks its rate by tier; a span that straddles the
+  // DRAM/NVM boundary must go per-page to split the charge identically.
+  if (phys_->TierOf(pstart) != phys_->TierOf(pstart + span - 1)) {
+    return 0;
+  }
+  // Replay the per-page loop's charges in closed form: one translation hit
+  // per page chunk, plus the data-touch decomposition (a possibly-short
+  // head, whole pages, a possibly-short tail). Full 4 KiB chunks always
+  // take the streaming rate, and the bulk formulas are exactly linear per
+  // 64-byte line, so per-chunk and summed charges are equal to the cycle.
+  const uint64_t head = std::min<uint64_t>(kPageSize - (vaddr & (kPageSize - 1)), span);
+  const uint64_t chunks = PageSpan(vaddr, span);
+  const CostModel& c = ctx_->cost();
+  if (f.page_backed) {
+    ctx_->counters().tlb_l1_hits += chunks;
+    ctx_->Charge(chunks * c.tlb_l1_hit_cycles);
+  } else {
+    ctx_->counters().tlb_misses += chunks;
+    ctx_->counters().range_tlb_hits += chunks;
+    ctx_->Charge(chunks * c.range_tlb_hit_cycles);
+  }
+  ChargeDataTouch(pstart, head, type);
+  if (span > head) {
+    const uint64_t body = span - head;
+    const uint64_t whole = body / kPageSize;
+    const uint64_t tail = body % kPageSize;
+    if (whole > 0) {
+      // A full page is past the streaming threshold: same bulk branch as
+      // ChargeDataTouch, multiplied out.
+      const bool nvm = phys_->TierOf(pstart) == MemTier::kNvm;
+      uint64_t per_page = 0;
+      if (nvm) {
+        per_page = type == AccessType::kWrite ? c.NvmWriteBulkCycles(kPageSize)
+                                              : c.NvmReadBulkCycles(kPageSize);
+      } else {
+        per_page = c.DramBulkCycles(kPageSize);
+      }
+      ctx_->Charge(whole * per_page);
+    }
+    if (tail > 0) {
+      ChargeDataTouch(pstart, tail, type);
+    }
+  }
+  *paddr_out = pstart;
+  return span;
+}
+
+Status Mmu::TouchSlow(AddressSpace& as, Vaddr vaddr, uint64_t len, AccessType type) {
   if (len == 0) {
     return OkStatus();
   }
   uint64_t done = 0;
   while (done < len) {
     const Vaddr cur = vaddr + done;
+    Paddr pstart = 0;
+    if (const uint64_t span = TryBulkSpan(as, cur, len - done, type, &pstart); span > 0) {
+      done += span;
+      continue;
+    }
     const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), len - done);
     auto t = Translate(as, cur, type);
     if (!t.ok()) {
@@ -235,10 +341,24 @@ Status Mmu::Touch(AddressSpace& as, Vaddr vaddr, uint64_t len, AccessType type) 
   return OkStatus();
 }
 
-Status Mmu::ReadVirt(AddressSpace& as, Vaddr vaddr, std::span<uint8_t> out) {
+Status Mmu::ReadVirtSlow(AddressSpace& as, Vaddr vaddr, std::span<uint8_t> out) {
+  // With poison armed, a batched read would charge every page before the
+  // poison check instead of failing mid-loop; take the per-page path so
+  // fault-injection runs keep their exact charge sequence.
+  const FaultInjector* inj = phys_->fault_injector();
+  const bool batchable = inj == nullptr || !inj->has_poison();
   uint64_t done = 0;
   while (done < out.size()) {
     const Vaddr cur = vaddr + done;
+    if (batchable) {
+      Paddr pstart = 0;
+      if (const uint64_t span = TryBulkSpan(as, cur, out.size() - done, AccessType::kRead, &pstart);
+          span > 0) {
+        O1_RETURN_IF_ERROR(phys_->ReadUncharged(pstart, out.subspan(done, span)));
+        done += span;
+        continue;
+      }
+    }
     const uint64_t in_page =
         std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), out.size() - done);
     auto t = Translate(as, cur, AccessType::kRead);
@@ -252,10 +372,27 @@ Status Mmu::ReadVirt(AddressSpace& as, Vaddr vaddr, std::span<uint8_t> out) {
   return OkStatus();
 }
 
-Status Mmu::WriteVirt(AddressSpace& as, Vaddr vaddr, std::span<const uint8_t> data) {
+Status Mmu::WriteVirtSlow(AddressSpace& as, Vaddr vaddr, std::span<const uint8_t> data) {
+  // Batched writes fold N per-page NoteNvmWrite/ShadowBeforeWrite calls into
+  // one whole-span call. That is only byte-identical while the injector has
+  // nothing armed (no crash-point counting whose threshold could trip
+  // mid-span, no torn-persist sampling, no poison healing granularity);
+  // otherwise take the per-page path.
+  const FaultInjector* inj = phys_->fault_injector();
+  const bool batchable = inj == nullptr || inj->WriteBatchSafe();
   uint64_t done = 0;
   while (done < data.size()) {
     const Vaddr cur = vaddr + done;
+    if (batchable) {
+      Paddr pstart = 0;
+      if (const uint64_t span =
+              TryBulkSpan(as, cur, data.size() - done, AccessType::kWrite, &pstart);
+          span > 0) {
+        O1_RETURN_IF_ERROR(phys_->WriteUncharged(pstart, data.subspan(done, span)));
+        done += span;
+        continue;
+      }
+    }
     const uint64_t in_page =
         std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), data.size() - done);
     auto t = Translate(as, cur, AccessType::kWrite);
@@ -311,6 +448,7 @@ void Mmu::ShootdownAsid(Asid asid) {
   ctx_->counters().tlb_shootdowns++;
   if (batched_) {
     CpuState& me = cpus_[static_cast<size_t>(self)];
+    me.fast.valid = false;
     me.l1_tlb.InvalidateAsid(asid);
     me.l2_tlb.InvalidateAsid(asid);
     me.range_tlb.InvalidateAsid(asid);
@@ -326,6 +464,7 @@ void Mmu::ShootdownAsid(Asid asid) {
     return;
   }
   for (CpuState& state : cpus_) {
+    state.fast.valid = false;
     state.l1_tlb.InvalidateAsid(asid);
     state.l2_tlb.InvalidateAsid(asid);
     state.range_tlb.InvalidateAsid(asid);
@@ -374,10 +513,12 @@ size_t Mmu::PendingInvalidations(int cpu) const {
 
 void Mmu::InvalidateAll() {
   for (CpuState& state : cpus_) {
+    state.fast.valid = false;
     state.l1_tlb.InvalidateAll();
     state.l2_tlb.InvalidateAll();
     state.range_tlb.InvalidateAll();
     state.pwc.clear();
+    state.pwc_by_tick.clear();
     state.pending.clear();
   }
 }

@@ -1,7 +1,10 @@
 #include "src/sim/phys_mem.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <utility>
 
 #include "src/sim/fault_injector.h"
 
@@ -13,6 +16,8 @@ PhysicalMemory::PhysicalMemory(SimContext* ctx, uint64_t dram_bytes, uint64_t nv
   O1_CHECK(ctx != nullptr);
   O1_CHECK(IsAligned(dram_bytes, kPageSize));
   O1_CHECK(IsAligned(nvm_bytes, kPageSize));
+  const uint64_t frames = total_bytes() >> kPageShift;
+  dir_.resize((frames + kDirFanout - 1) >> kDirShift);
 }
 
 void PhysicalMemory::AttachFaultInjector(FaultInjector* injector) {
@@ -57,11 +62,11 @@ void PhysicalMemory::ShadowBeforeWrite(Paddr paddr, uint64_t len, bool post_trig
       continue;
     }
     auto& shadow = line_shadow_[line];
-    const Page* page = FindPage(line);
+    const uint8_t* page = FindPage(line);
     if (page == nullptr) {
       shadow.fill(0);
     } else {
-      std::memcpy(shadow.data(), page->data() + (line & (kPageSize - 1)), 64);
+      std::memcpy(shadow.data(), page + (line & (kPageSize - 1)), 64);
     }
   }
 }
@@ -103,18 +108,56 @@ Status PhysicalMemory::FlushLines(Paddr paddr, uint64_t len) {
   return OkStatus();
 }
 
-const PhysicalMemory::Page* PhysicalMemory::FindPage(Paddr paddr) const {
-  auto it = backing_.find(paddr >> kPageShift);
-  return it == backing_.end() ? nullptr : it->second.get();
+void PhysicalMemory::SlabFree::operator()(uint8_t* p) const { std::free(p); }
+
+PhysicalMemory::DirNode& PhysicalMemory::EnsureNode(uint64_t node_idx) {
+  std::unique_ptr<DirNode>& node = dir_[node_idx];
+  if (node == nullptr) {
+    node = std::make_unique<DirNode>();
+    // calloc: the host kernel demand-zeroes the slab, so untouched frames
+    // stay non-resident and satisfy the zero-read invariant for free.
+    node->data.reset(static_cast<uint8_t*>(std::calloc(kDirFanout, kPageSize)));
+    O1_CHECK(node->data != nullptr);
+  }
+  return *node;
 }
 
-PhysicalMemory::Page* PhysicalMemory::EnsurePage(Paddr paddr) {
-  auto& slot = backing_[paddr >> kPageShift];
-  if (slot == nullptr) {
-    slot = std::make_unique<Page>();
-    slot->fill(0);
+void PhysicalMemory::MaterializeFrames(DirNode& node, uint64_t first, uint64_t count) {
+  while (count > 0) {
+    const uint64_t word = first >> 6;
+    const uint64_t bit = first & 63;
+    const uint64_t take = std::min<uint64_t>(count, 64 - bit);
+    const uint64_t mask = (take == 64 ? ~uint64_t{0} : ((uint64_t{1} << take) - 1) << bit);
+    materialized_ += static_cast<uint64_t>(std::popcount(mask & ~node.live[word]));
+    node.live[word] |= mask;
+    first += take;
+    count -= take;
   }
-  return slot.get();
+}
+
+const uint8_t* PhysicalMemory::FindPage(Paddr paddr) const {
+  const uint64_t frame = paddr >> kPageShift;
+  const DirNode* node = dir_[frame >> kDirShift].get();
+  if (node == nullptr) {
+    return nullptr;
+  }
+  const uint64_t in_node = frame & (kDirFanout - 1);
+  if ((node->live[in_node >> 6] & (uint64_t{1} << (in_node & 63))) == 0) {
+    return nullptr;
+  }
+  return node->data.get() + (in_node << kPageShift);
+}
+
+uint8_t* PhysicalMemory::FindPageMut(Paddr paddr) {
+  return const_cast<uint8_t*>(std::as_const(*this).FindPage(paddr));
+}
+
+uint8_t* PhysicalMemory::EnsurePage(Paddr paddr) {
+  const uint64_t frame = paddr >> kPageShift;
+  DirNode& node = EnsureNode(frame >> kDirShift);
+  const uint64_t in_node = frame & (kDirFanout - 1);
+  MaterializeFrames(node, in_node, 1);
+  return node.data.get() + (in_node << kPageShift);
 }
 
 void PhysicalMemory::ChargeBulk(Paddr paddr, uint64_t len, bool is_write) {
@@ -147,18 +190,20 @@ Status PhysicalMemory::ReadUncharged(Paddr paddr, std::span<uint8_t> out) {
   if (injector_ != nullptr && injector_->has_poison()) {
     O1_RETURN_IF_ERROR(injector_->CheckRead(paddr, out.size()));
   }
+  // One copy per 2 MiB node: unwritten frames in a live slab are zero by
+  // invariant, so the memcpy can run straight through them.
   uint64_t done = 0;
   while (done < out.size()) {
     const Paddr cur = paddr + done;
-    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)),
-                                                out.size() - done);
-    const Page* page = FindPage(cur);
-    if (page == nullptr) {
-      std::memset(out.data() + done, 0, in_page);
+    const uint64_t run = std::min<uint64_t>(kNodeBytes - (cur & (kNodeBytes - 1)),
+                                            out.size() - done);
+    const DirNode* node = dir_[cur >> kPageShift >> kDirShift].get();
+    if (node == nullptr) {
+      std::memset(out.data() + done, 0, run);
     } else {
-      std::memcpy(out.data() + done, page->data() + (cur & (kPageSize - 1)), in_page);
+      std::memcpy(out.data() + done, node->data.get() + (cur & (kNodeBytes - 1)), run);
     }
-    done += in_page;
+    done += run;
   }
   return OkStatus();
 }
@@ -179,11 +224,14 @@ Status PhysicalMemory::WriteUncharged(Paddr paddr, std::span<const uint8_t> data
   uint64_t done = 0;
   while (done < data.size()) {
     const Paddr cur = paddr + done;
-    const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)),
-                                                data.size() - done);
-    Page* page = EnsurePage(cur);
-    std::memcpy(page->data() + (cur & (kPageSize - 1)), data.data() + done, in_page);
-    done += in_page;
+    const uint64_t run = std::min<uint64_t>(kNodeBytes - (cur & (kNodeBytes - 1)),
+                                            data.size() - done);
+    DirNode& node = EnsureNode(cur >> kPageShift >> kDirShift);
+    std::memcpy(node.data.get() + (cur & (kNodeBytes - 1)), data.data() + done, run);
+    const uint64_t first = (cur >> kPageShift) & (kDirFanout - 1);
+    const uint64_t last = ((cur + run - 1) >> kPageShift) & (kDirFanout - 1);
+    MaterializeFrames(node, first, last - first + 1);
+    done += run;
   }
   return OkStatus();
 }
@@ -207,13 +255,13 @@ Status PhysicalMemory::ZeroUncharged(Paddr paddr, uint64_t len) {
     const Paddr cur = paddr + done;
     const uint64_t in_page = std::min<uint64_t>(kPageSize - (cur & (kPageSize - 1)), len - done);
     // Whole never-materialized pages can stay unmaterialized: they already
-    // read as zero. Partially covered or existing pages are cleared in place.
-    auto it = backing_.find(cur >> kPageShift);
-    if (it != backing_.end()) {
-      std::memset(it->second->data() + (cur & (kPageSize - 1)), 0, in_page);
+    // read as zero. Partially covered pages materialize (the slab bytes are
+    // already zero by invariant); existing pages are cleared in place.
+    uint8_t* page = FindPageMut(cur);
+    if (page != nullptr) {
+      std::memset(page + (cur & (kPageSize - 1)), 0, in_page);
     } else if (in_page != kPageSize) {
-      Page* page = EnsurePage(cur);
-      std::memset(page->data() + (cur & (kPageSize - 1)), 0, in_page);
+      (void)EnsurePage(cur);
     }
     done += in_page;
   }
@@ -238,16 +286,15 @@ Status PhysicalMemory::Copy(Paddr dst, Paddr src, uint64_t len) {
     const Paddr d = dst + done;
     const uint64_t chunk = std::min({kPageSize - (s & (kPageSize - 1)),
                                      kPageSize - (d & (kPageSize - 1)), len - done});
-    const Page* spage = FindPage(s);
+    const uint8_t* spage = FindPage(s);
     if (spage == nullptr) {
-      auto it = backing_.find(d >> kPageShift);
-      if (it != backing_.end()) {
-        std::memset(it->second->data() + (d & (kPageSize - 1)), 0, chunk);
+      uint8_t* dpage = FindPageMut(d);
+      if (dpage != nullptr) {
+        std::memset(dpage + (d & (kPageSize - 1)), 0, chunk);
       }
     } else {
-      Page* dpage = EnsurePage(d);
-      std::memmove(dpage->data() + (d & (kPageSize - 1)), spage->data() + (s & (kPageSize - 1)),
-                   chunk);
+      uint8_t* dpage = EnsurePage(d);
+      std::memmove(dpage + (d & (kPageSize - 1)), spage + (s & (kPageSize - 1)), chunk);
     }
     done += chunk;
   }
@@ -264,21 +311,21 @@ Status PhysicalMemory::Move(Paddr dst, Paddr src, uint64_t len) {
 
 uint8_t PhysicalMemory::PeekByte(Paddr paddr) const {
   O1_CHECK(Contains(paddr, 1));
-  const Page* page = FindPage(paddr);
-  return page == nullptr ? 0 : (*page)[paddr & (kPageSize - 1)];
+  const uint8_t* page = FindPage(paddr);
+  return page == nullptr ? 0 : page[paddr & (kPageSize - 1)];
 }
 
 void PhysicalMemory::PokeByte(Paddr paddr, uint8_t value) {
   O1_CHECK(Contains(paddr, 1));
   ShadowBeforeWrite(paddr, 1, NoteNvmWrite(paddr, 1));
-  (*EnsurePage(paddr))[paddr & (kPageSize - 1)] = value;
+  EnsurePage(paddr)[paddr & (kPageSize - 1)] = value;
 }
 
 void PhysicalMemory::CorruptBit(Paddr paddr, int bit) {
   O1_CHECK(Contains(paddr, 1));
   O1_CHECK(bit >= 0 && bit < 8);
   const uint8_t mask = static_cast<uint8_t>(1u << bit);
-  (*EnsurePage(paddr))[paddr & (kPageSize - 1)] ^= mask;
+  EnsurePage(paddr)[paddr & (kPageSize - 1)] ^= mask;
   auto it = line_shadow_.find(AlignDown(paddr, 64));
   if (it != line_shadow_.end()) {
     it->second[paddr & 63] ^= mask;
@@ -294,12 +341,32 @@ std::optional<Paddr> PhysicalMemory::FindUnreadableLineUncharged(Paddr paddr,
 }
 
 void PhysicalMemory::DropVolatile() {
-  for (auto it = backing_.begin(); it != backing_.end();) {
-    const Paddr base = it->first << kPageShift;
-    if (TierOf(base) == MemTier::kDram) {
-      it = backing_.erase(it);
-    } else {
-      ++it;
+  const uint64_t dram_frames = dram_bytes_ >> kPageShift;
+  for (uint64_t node_idx = 0; node_idx * kDirFanout < dram_frames; ++node_idx) {
+    std::unique_ptr<DirNode>& node = dir_[node_idx];
+    if (node == nullptr) {
+      continue;
+    }
+    const uint64_t first = node_idx * kDirFanout;
+    if (first + kDirFanout <= dram_frames) {
+      // Whole node is DRAM: drop the slab outright (absent node reads zero).
+      for (const uint64_t word : node->live) {
+        materialized_ -= static_cast<uint64_t>(std::popcount(word));
+      }
+      node.reset();
+      continue;
+    }
+    // Node straddles the DRAM/NVM boundary: re-zero and unmaterialize just
+    // the DRAM frames, preserving the zero-read invariant for the slab.
+    for (uint64_t frame = first; frame < dram_frames; ++frame) {
+      const uint64_t in_node = frame - first;
+      uint64_t& word = node->live[in_node >> 6];
+      const uint64_t bit = uint64_t{1} << (in_node & 63);
+      if ((word & bit) != 0) {
+        std::memset(node->data.get() + (in_node << kPageShift), 0, kPageSize);
+        word &= ~bit;
+        --materialized_;
+      }
     }
   }
   // Unflushed NVM lines were only in the (volatile) cache hierarchy; revert
@@ -310,8 +377,7 @@ void PhysicalMemory::DropVolatile() {
     if (injector_ != nullptr && !injector_->ShouldRevertOnCrash(line)) {
       continue;  // this line escaped the cache before power died
     }
-    Page* page = EnsurePage(line);
-    std::memcpy(page->data() + (line & (kPageSize - 1)), shadow.data(), 64);
+    std::memcpy(EnsurePage(line) + (line & (kPageSize - 1)), shadow.data(), 64);
   }
   line_shadow_.clear();
 }

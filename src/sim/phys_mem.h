@@ -21,8 +21,11 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "src/sim/context.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/prot.h"
 #include "src/support/status.h"
 #include "src/support/units.h"
 
@@ -84,6 +87,58 @@ class PhysicalMemory {
   Status ReadUncharged(Paddr paddr, std::span<uint8_t> out);
   Status WriteUncharged(Paddr paddr, std::span<const uint8_t> data);
 
+  // Direct host pointer for the Mmu's small-access fast path, or nullptr
+  // when the general Read/WriteUncharged machinery must run instead. A
+  // non-null return proves the bypass is state-identical: the injector is
+  // idle for this access kind (no poison to check or heal, no armed crash
+  // point -- though the NVM line-write count campaigns calibrate against is
+  // still maintained), there is nothing to shadow (auto-durable mount, or
+  // the span never leaves DRAM), and the span sits inside one
+  // already-materialized frame (so the MaterializeFrames bookkeeping the
+  // bypass skips would be a no-op). Header-inline: this runs once per
+  // simulated data access in hot loops.
+  uint8_t* FastSpan(Paddr paddr, uint64_t len, AccessType type) {
+    const bool write = type == AccessType::kWrite;
+    if (injector_ != nullptr &&
+        (write ? !injector_->WriteBatchSafe() : injector_->has_poison())) {
+      return nullptr;
+    }
+    // A write that needs the durable-shadow capture (explicit-flush NVM)
+    // must take the general path. The span never straddles the tier
+    // boundary (single frame, page-aligned boundary), so one end test
+    // decides.
+    const bool nvm = paddr + len > dram_bytes_;
+    if (write && nvm && persistence_ != PersistenceModel::kAutoDurable) {
+      return nullptr;
+    }
+    const uint64_t frame = paddr >> kPageShift;
+    const uint64_t node_idx = frame >> kDirShift;
+    if ((paddr & (kPageSize - 1)) + len > kPageSize || node_idx >= dir_.size()) {
+      return nullptr;
+    }
+    DirNode* node = dir_[node_idx].get();
+    if (node == nullptr) {
+      return nullptr;
+    }
+    const uint64_t in_node = frame & (kDirFanout - 1);
+    if ((node->live[in_node >> 6] & (uint64_t{1} << (in_node & 63))) == 0) {
+      return nullptr;
+    }
+    return node->data.get() + (paddr & (kNodeBytes - 1));
+  }
+
+  // Books the NVM line-write events for a write through a FastSpan pointer.
+  // Callers that move data through a successful FastSpan(kWrite) MUST call
+  // this (charge-only touches must NOT); FastSpan has already proven the
+  // injector is WriteBatchSafe, so the count is all NoteNvmLineWrites would
+  // do.
+  void AccountFastNvmLineWrites(Paddr paddr, uint64_t len) {
+    if (injector_ != nullptr) {
+      injector_->AccountBatchSafeLineWrites(
+          (AlignDown(paddr + len - 1, 64) - AlignDown(paddr, 64)) / 64 + 1);
+    }
+  }
+
   // Zero with no clock charge: models work done off the critical path
   // (background zeroing); the caller accounts the deferred cycles itself.
   Status ZeroUncharged(Paddr paddr, uint64_t len);
@@ -111,7 +166,7 @@ class PhysicalMemory {
   size_t pending_nvm_lines() const { return line_shadow_.size(); }
 
   // Number of 4 KiB host pages currently materialized (footprint metric).
-  uint64_t materialized_pages() const { return backing_.size(); }
+  uint64_t materialized_pages() const { return materialized_; }
 
   // Fault-injection wiring (set by Machine; nullptr on raw instances). With
   // an injector attached, NVM writes/flushes are counted as crash-sweep
@@ -130,12 +185,40 @@ class PhysicalMemory {
   std::optional<Paddr> FindUnreadableLineUncharged(Paddr paddr, uint64_t len) const;
 
  private:
-  using Page = std::array<uint8_t, kPageSize>;
+  // Backing store layout: a two-level directory indexed by frame number.
+  // Level 1 is a flat vector of node pointers sized at construction (a few
+  // KiB even for terabyte machines); each node is one contiguous 2 MiB slab
+  // covering kDirFanout frames plus a per-frame materialization bitmap.
+  // Direct indexing replaces the previous per-page hash map: page lookup is
+  // two dereferences with no hashing and no rehash stalls on the simulator's
+  // hottest path, and bulk copies run across page boundaries in one memcpy
+  // per node. Slabs come from calloc, so the host kernel demand-zeroes them
+  // and untouched frames cost no resident host memory.
+  //
+  // Invariant: a frame whose `live` bit is clear reads as all-zero bytes in
+  // the slab (calloc at birth; DropVolatile re-zeroes or frees what it
+  // drops). Bulk reads exploit this by copying straight through unwritten
+  // holes.
+  static constexpr uint64_t kDirShift = 9;  // 512 frames (2 MiB) per node
+  static constexpr uint64_t kDirFanout = 1ull << kDirShift;
+  static constexpr uint64_t kNodeBytes = kDirFanout << kPageShift;
+  struct SlabFree {
+    void operator()(uint8_t* p) const;
+  };
+  struct DirNode {
+    std::unique_ptr<uint8_t[], SlabFree> data;     // kNodeBytes, kernel-zeroed
+    std::array<uint64_t, kDirFanout / 64> live{};  // frame materialization bits
+  };
 
-  // Returns backing for the page containing `paddr`, or nullptr if the page
-  // was never written (reads treat it as all-zero).
-  const Page* FindPage(Paddr paddr) const;
-  Page* EnsurePage(Paddr paddr);
+  DirNode& EnsureNode(uint64_t node_idx);
+  // Marks `count` frames starting at node-relative frame `first` live.
+  void MaterializeFrames(DirNode& node, uint64_t first, uint64_t count);
+
+  // Returns the 4 KiB slab slot for the page containing `paddr`, or nullptr
+  // if the page was never written (reads treat it as all-zero).
+  const uint8_t* FindPage(Paddr paddr) const;
+  uint8_t* FindPageMut(Paddr paddr);
+  uint8_t* EnsurePage(Paddr paddr);
 
   void ChargeBulk(Paddr paddr, uint64_t len, bool is_write);
 
@@ -154,7 +237,8 @@ class PhysicalMemory {
   uint64_t dram_bytes_;
   uint64_t nvm_bytes_;
   PersistenceModel persistence_;
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> backing_;  // keyed by frame number
+  std::vector<std::unique_ptr<DirNode>> dir_;  // indexed by frame >> kDirShift
+  uint64_t materialized_ = 0;
   // Dirty NVM line -> last durable 64 bytes (kExplicitFlush only).
   std::unordered_map<Paddr, std::array<uint8_t, 64>> line_shadow_;
 };

@@ -36,11 +36,16 @@ std::string_view StatusCodeName(StatusCode code) {
 
 std::string Status::ToString() const {
   std::string out(StatusCodeName(code_));
-  if (!message_.empty()) {
+  if (message_ != nullptr && !message_->empty()) {
     out += ": ";
-    out += message_;
+    out += *message_;
   }
   return out;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return message_ != nullptr ? *message_ : kEmpty;
 }
 
 }  // namespace o1mem

@@ -7,6 +7,7 @@
 #ifndef O1MEM_SRC_SUPPORT_STATUS_H_
 #define O1MEM_SRC_SUPPORT_STATUS_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -37,17 +38,36 @@ enum class StatusCode {
 // Human-readable name of a status code ("OK", "OUT_OF_MEMORY", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-// A cheap, movable success-or-error value.
+// A cheap, movable success-or-error value. The success path carries no
+// string at all -- just the enum and a null pointer -- because every
+// simulated access returns one of these and the hot loops cannot afford
+// per-op std::string construction. The message is heap-allocated only on
+// error (copying an error Status clones it).
 class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
-  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(message.empty() ? nullptr : new std::string(std::move(message))) {}
+
+  Status(const Status& other)
+      : code_(other.code_),
+        message_(other.message_ ? new std::string(*other.message_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      code_ = other.code_;
+      message_.reset(other.message_ ? new std::string(*other.message_) : nullptr);
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
 
   static Status Ok() { return Status(); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const;
 
   // Formats "CODE: message" for logs and test failure output.
   std::string ToString() const;
@@ -56,7 +76,7 @@ class [[nodiscard]] Status {
 
  private:
   StatusCode code_;
-  std::string message_;
+  std::unique_ptr<std::string> message_;
 };
 
 inline Status OkStatus() { return Status::Ok(); }

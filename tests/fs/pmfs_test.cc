@@ -244,6 +244,54 @@ TEST_F(PmfsZeroEpochTest, AllocationIsMuchCheaperThanEagerZero) {
   EXPECT_GT(eager_cost, 50 * epoch_cost);
 }
 
+// --- Volatile (O_TMPFILE-style) inodes -----------------------------------
+
+TEST_F(PmfsTest, VolatileInodeLivesByRefsAndDiesWithLast) {
+  const uint64_t free_before = fs_.free_bytes();
+  auto id = fs_.CreateVolatile(FileFlags{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fs_.AddMapRef(*id).ok());
+  ASSERT_TRUE(fs_.Resize(*id, 2 * kMiB).ok());
+  EXPECT_LT(fs_.free_bytes(), free_before);
+  std::vector<uint8_t> data(4096, 0xAB);
+  ASSERT_TRUE(fs_.WriteAt(*id, 0, data).ok());
+  ASSERT_TRUE(fs_.DropMapRef(*id).ok());
+  // Last reference gone: blocks return to the bitmap.
+  EXPECT_EQ(fs_.free_bytes(), free_before);
+  EXPECT_FALSE(fs_.Stat(*id).ok());
+}
+
+TEST_F(PmfsTest, VolatileInodeCannotBecomePersistent) {
+  auto id = fs_.CreateVolatile(FileFlags{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fs_.AddMapRef(*id).ok());
+  EXPECT_EQ(fs_.SetPersistent(*id, true).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(fs_.DropMapRef(*id).ok());
+}
+
+TEST_F(PmfsTest, VolatileInodeVanishesOnCrashAndFreesBlocks) {
+  const uint64_t free_before = fs_.free_bytes();
+  auto id = fs_.CreateVolatile(FileFlags{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fs_.AddMapRef(*id).ok());
+  ASSERT_TRUE(fs_.Resize(*id, 4 * kMiB).ok());
+  // A persistent neighbor proves the bitmap rebuild keeps owned blocks.
+  auto keeper = fs_.Create("/keeper", FileFlags{.persistent = true});
+  ASSERT_TRUE(keeper.ok());
+  ASSERT_TRUE(fs_.Resize(*keeper, kMiB).ok());
+  machine_.Crash();
+  ASSERT_TRUE(fs_.OnCrash().ok());
+  // The volatile inode is gone; its blocks are free again; the persistent
+  // file survived with its allocation intact.
+  EXPECT_FALSE(fs_.Stat(*id).ok());
+  auto kept = fs_.LookupPath("/keeper");
+  ASSERT_TRUE(kept.ok());
+  auto st = fs_.Stat(*kept);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->allocated_bytes, kMiB);
+  EXPECT_EQ(fs_.free_bytes(), free_before - kMiB);
+}
+
 TEST_F(PmfsZeroEpochTest, WritesLandAfterLazyZero) {
   auto id = fs_.Create("/w", FileFlags{});
   ASSERT_TRUE(id.ok());

@@ -3,26 +3,35 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10]
-                        [--require=metric1,metric2,...]
+                        [--require=metric1,metric2,...] [--identical]
 
 Prints a per-metric / per-table-cell diff and exits nonzero when any *cost*
 series (simulated cycles or time: column or metric names containing "cycles",
-"c/op", "us", "ns", "time", or a percentile like "p50"/"p99") regressed by
-more than the threshold (default 10%). Tail-latency columns from the bench
-latency-histogram tables (p50_cycles/p99_cycles/max_cycles) are gated like
-any other cost, so a p99 regression fails CI even when means stay flat.
-Non-cost series (hit rates, byte gauges, ratios) are printed for context but
-never fail the diff. --require=a,b,c additionally fails the diff when any of
-the named metrics is missing from the candidate -- CI uses it to pin the
-chaos-campaign SLO fields so a refactor cannot silently drop them. Stdlib
-only, so it runs anywhere CI does.
+"c/op", "us", "ns" -- including underscore-delimited tokens like the
+host_ns_per_op_* wall-clock fields -- "time", or a percentile like
+"p50"/"p99") regressed by more than the threshold (default 10%). Tail-latency
+columns from the bench latency-histogram tables (p50_cycles/p99_cycles/
+max_cycles) are gated like any other cost, so a p99 regression fails CI even
+when means stay flat. Host-throughput fields are gated through their
+host_ns_per_op_* form (lower is better), so a bench whose host loop got >10%
+slower fails the diff; the companion host_ops_per_sec_* fields are
+informational. Non-cost series (hit rates, byte gauges, ratios) are printed
+for context but never fail the diff. --require=a,b,c additionally fails the
+diff when any of the named metrics is missing from the candidate -- CI uses
+it to pin the chaos-campaign SLO fields so a refactor cannot silently drop
+them. --identical switches to determinism mode: the two documents must match
+exactly -- every config entry, metric, and table cell -- except metrics
+prefixed host_ (wall-clock noise), which replaces byte-for-byte `diff` in
+replay-identity CI checks. Stdlib only, so it runs anywhere CI does.
 """
 
 import json
 import re
 import sys
 
-COST_PATTERN = re.compile(r"(cycles|c/op|\bus\b|\bns\b|_us$|_ns$|time|\bp\d+\b)", re.IGNORECASE)
+COST_PATTERN = re.compile(
+    r"(cycles|c/op|\bus\b|\bns\b|(?:^|_)us(?:_|$)|(?:^|_)ns(?:_|$)|time|\bp\d+\b)",
+    re.IGNORECASE)
 
 
 def is_cost_name(name: str) -> bool:
@@ -78,15 +87,56 @@ def rows_by_label(table):
     return out
 
 
+def strip_host_metrics(doc):
+    """Drops host_* wall-clock metrics: everything else must be simulated
+    and therefore bit-reproducible across identical runs."""
+    metrics = doc.get("metrics", {})
+    doc = dict(doc)
+    doc["metrics"] = {k: v for k, v in metrics.items() if not k.startswith("host_")}
+    return doc
+
+
+def diff_identical(old_doc, new_doc):
+    """Exact comparison minus host_* metrics; returns a list of mismatches."""
+    old_doc = strip_host_metrics(old_doc)
+    new_doc = strip_host_metrics(new_doc)
+    problems = []
+
+    def walk(path, a, b):
+        if type(a) is not type(b):
+            problems.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
+        elif isinstance(a, dict):
+            for key in a.keys() | b.keys():
+                if key not in a:
+                    problems.append(f"{path}.{key}: only in candidate")
+                elif key not in b:
+                    problems.append(f"{path}.{key}: only in baseline")
+                else:
+                    walk(f"{path}.{key}", a[key], b[key])
+        elif isinstance(a, list):
+            if len(a) != len(b):
+                problems.append(f"{path}: length {len(a)} != {len(b)}")
+            for i, (x, y) in enumerate(zip(a, b)):
+                walk(f"{path}[{i}]", x, y)
+        elif a != b:
+            problems.append(f"{path}: {a!r} != {b!r}")
+
+    walk("$", old_doc, new_doc)
+    return problems
+
+
 def main(argv):
     threshold = 0.10
     required = []
+    identical = False
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--require="):
             required = [m for m in arg.split("=", 1)[1].split(",") if m]
+        elif arg == "--identical":
+            identical = True
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -97,6 +147,17 @@ def main(argv):
         old_doc = json.load(f)
     with open(paths[1]) as f:
         new_doc = json.load(f)
+
+    if identical:
+        problems = diff_identical(old_doc, new_doc)
+        if problems:
+            print(f"{len(problems)} determinism mismatch(es) "
+                  f"(host_* metrics excluded):")
+            for p in problems[:50]:
+                print(f"  {p}")
+            return 1
+        print("identical (host_* metrics excluded).")
+        return 0
 
     if old_doc.get("bench") != new_doc.get("bench"):
         print(
