@@ -199,6 +199,11 @@ inline void RecordOccupancy(BenchJson& json) {
   json.Metric("dram_cache_bytes", static_cast<double>(o.dram_cache_bytes));
   json.Metric("dram_cache_used_bytes", static_cast<double>(o.dram_cache_used_bytes));
   json.Metric("dram_cache_free_bytes", static_cast<double>(o.dram_cache_free_bytes));
+  json.Metric("contig_area_bytes", static_cast<double>(o.contig_area_bytes));
+  json.Metric("contig_claimed_bytes", static_cast<double>(o.contig_claimed_bytes));
+  json.Metric("contig_lent_file_bytes", static_cast<double>(o.contig_lent_file_bytes));
+  json.Metric("contig_lent_tier_bytes", static_cast<double>(o.contig_lent_tier_bytes));
+  json.Metric("contig_free_bytes", static_cast<double>(o.contig_free_bytes));
   // Every main calls RecordOccupancy once right before json.Write(); ride
   // along so each bench also gets the latency table and its --trace file
   // without per-bench wiring.

@@ -29,6 +29,7 @@ BENCHES=(
   abl_smp_scaling
   abl_tiering
   abl_malloc_wcet
+  abl_fragmentation
   app_kv_service
 )
 
@@ -40,12 +41,13 @@ for bench in "${BENCHES[@]}"; do
   fi
   echo "=== $bench ==="
   # The tables are simulated and already measured; skip the google-benchmark
-  # re-run (filter matches nothing) so the sweep stays fast. app_kv_service
-  # and abl_malloc_wcet also write Chrome traces (TRACE_*.json,
-  # Perfetto-loadable); the malloc one doubles as the input for
-  # trace_report.py's --check-o1 malloc/free verdict in CI.
+  # re-run (filter matches nothing) so the sweep stays fast. app_kv_service,
+  # abl_malloc_wcet and abl_fragmentation also write Chrome traces
+  # (TRACE_*.json, Perfetto-loadable); the malloc and fragmentation ones
+  # double as inputs for trace_report.py's --check-o1 verdicts in CI.
   extra=()
-  if [[ "$bench" == "app_kv_service" || "$bench" == "abl_malloc_wcet" ]]; then
+  if [[ "$bench" == "app_kv_service" || "$bench" == "abl_malloc_wcet" ||
+        "$bench" == "abl_fragmentation" ]]; then
     extra+=("--trace=$OUT_DIR/TRACE_$bench.json")
   fi
   "$bin" "--json=$OUT_DIR/BENCH_$bench.json" "${extra[@]}" '--benchmark_filter=^$'

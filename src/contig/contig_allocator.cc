@@ -1,0 +1,323 @@
+#include "src/contig/contig_allocator.h"
+
+#include <algorithm>
+
+#include "src/obs/span.h"
+#include "src/support/rng.h"
+
+namespace o1mem {
+
+ContigAllocator::ContigAllocator(SimContext* ctx, Paddr area_base, uint64_t area_bytes,
+                                 const ContigConfig& config)
+    : ctx_(ctx),
+      area_base_(area_base),
+      area_bytes_(area_bytes),
+      guarantee_bytes_(config.guarantee_bytes == 0
+                           ? area_bytes
+                           : std::min(config.guarantee_bytes, area_bytes)),
+      cma_(config.cma_baseline),
+      granule_bytes_(std::max<uint64_t>(config.cma_granule_bytes, kPageSize)) {
+  O1_CHECK(ctx != nullptr);
+  O1_CHECK(IsAligned(area_base, kPageSize) && IsAligned(area_bytes, kPageSize));
+  O1_CHECK(area_bytes > 0);
+  if (!cma_) {
+    claim_free_.emplace(area_base_, area_bytes_);
+    lend_free_.emplace(area_base_, area_bytes_);
+    return;
+  }
+  // CMA baseline: seed the movable/unmovable granule map. Unmovable granules
+  // model boot-time kernel allocations that landed in the area before it was
+  // fenced -- the pageblock mixing that makes real CMA claims fail.
+  const size_t n = static_cast<size_t>(area_bytes_ / granule_bytes_);
+  granules_.assign(std::max<size_t>(n, 1), Granule::kFree);
+  granule_used_bytes_.assign(granules_.size(), 0);
+  Rng rng(config.rng_seed);
+  for (auto& g : granules_) {
+    if (rng.NextBelow(1000) < config.cma_unmovable_permille) {
+      g = Granule::kUnmovable;
+    }
+  }
+}
+
+void ContigAllocator::SetRevoker(LenderClass cls, RevokeFn fn) {
+  revokers_[static_cast<size_t>(cls)] = std::move(fn);
+}
+
+void ContigAllocator::InsertFree(std::map<Paddr, uint64_t>& m, Paddr base, uint64_t bytes) {
+  auto next = m.upper_bound(base);
+  if (next != m.end() && base + bytes == next->first) {
+    bytes += next->second;
+    next = m.erase(next);
+  }
+  if (next != m.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == base) {
+      prev->second += bytes;
+      return;
+    }
+  }
+  m.emplace(base, bytes);
+}
+
+void ContigAllocator::RemoveRange(std::map<Paddr, uint64_t>& m, Paddr base, uint64_t bytes) {
+  const Paddr end = base + bytes;
+  auto it = m.lower_bound(base);
+  if (it != m.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second > base) {
+      it = prev;
+    }
+  }
+  while (it != m.end() && it->first < end) {
+    const Paddr ebase = it->first;
+    const Paddr eend = ebase + it->second;
+    it = m.erase(it);
+    if (ebase < base) {
+      m.emplace(ebase, base - ebase);
+    }
+    if (eend > end) {
+      m.emplace(end, eend - end);
+      break;
+    }
+  }
+}
+
+Result<Paddr> ContigAllocator::Borrow(uint64_t bytes, LenderClass cls, uint64_t cookie) {
+  if (bytes == 0) {
+    return InvalidArgument("cannot borrow zero bytes");
+  }
+  const uint64_t need = AlignUp(bytes, kPageSize);
+  ctx_->Charge(ctx_->cost().contig_lend_cycles);
+  Paddr base = 0;
+  if (!cma_) {
+    auto it = lend_free_.begin();
+    for (; it != lend_free_.end(); ++it) {
+      if (it->second >= need) {
+        break;
+      }
+    }
+    if (it == lend_free_.end()) {
+      return OutOfMemory("no lendable run large enough");
+    }
+    base = it->first;
+    RemoveRange(lend_free_, base, need);
+  } else {
+    // Granule-granular in the baseline: a borrow occupies whole pageblocks.
+    const size_t run = static_cast<size_t>((need + granule_bytes_ - 1) / granule_bytes_);
+    size_t streak = 0;
+    size_t found = granules_.size();
+    for (size_t i = 0; i < granules_.size(); ++i) {
+      streak = (granules_[i] == Granule::kFree) ? streak + 1 : 0;
+      if (streak == run) {
+        found = i + 1 - run;
+        break;
+      }
+    }
+    if (found == granules_.size()) {
+      return OutOfMemory("no lendable run large enough");
+    }
+    uint64_t remaining = need;
+    for (size_t g = found; g < found + run; ++g) {
+      granules_[g] = Granule::kMovable;
+      granule_used_bytes_[g] = static_cast<uint32_t>(std::min(remaining, granule_bytes_));
+      remaining -= granule_used_bytes_[g];
+    }
+    base = area_base_ + static_cast<Paddr>(found) * granule_bytes_;
+  }
+  lent_.emplace(base, Lent{need, cls, cookie});
+  lent_bytes_[static_cast<size_t>(cls)] += need;
+  ctx_->counters().contig_lends++;
+  return base;
+}
+
+Status ContigAllocator::Return(Paddr base) {
+  auto it = lent_.find(base);
+  if (it == lent_.end()) {
+    return InvalidArgument("not a borrowed extent base");
+  }
+  ctx_->Charge(ctx_->cost().contig_return_cycles);
+  const Lent l = it->second;
+  lent_.erase(it);
+  lent_bytes_[static_cast<size_t>(l.cls)] -= l.bytes;
+  if (!cma_) {
+    InsertFree(lend_free_, base, l.bytes);
+  } else {
+    const size_t first = static_cast<size_t>((base - area_base_) / granule_bytes_);
+    const size_t run = static_cast<size_t>((l.bytes + granule_bytes_ - 1) / granule_bytes_);
+    for (size_t g = first; g < first + run; ++g) {
+      granules_[g] = Granule::kFree;
+      granule_used_bytes_[g] = 0;
+    }
+  }
+  ctx_->counters().contig_returns++;
+  return OkStatus();
+}
+
+Status ContigAllocator::RevokeOverlapping(Paddr base, uint64_t bytes, bool to_lend_free,
+                                          std::vector<ContigVictim>* victims) {
+  const Paddr wend = base + bytes;
+  auto it = lent_.lower_bound(base);
+  if (it != lent_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.bytes > base) {
+      it = prev;
+    }
+  }
+  while (it != lent_.end() && it->first < wend) {
+    const Paddr ebase = it->first;
+    const Lent l = it->second;
+    it = lent_.erase(it);
+    // Whole-extent eviction: a lender cannot keep half a borrow, so the
+    // revoke is one callback per extent, not per page.
+    ctx_->Charge(ctx_->cost().contig_revoke_extent_cycles);
+    RevokeFn& fn = revokers_[static_cast<size_t>(l.cls)];
+    O1_CHECK(fn != nullptr);  // lending without a wired revoker is a bug
+    Status revoked = fn(ebase, l.bytes, l.cookie);
+    O1_CHECK(revoked.ok());  // revokers absorb media errors internally
+    lent_bytes_[static_cast<size_t>(l.cls)] -= l.bytes;
+    ctx_->counters().lender_evictions++;
+    if (victims != nullptr) {
+      victims->push_back(ContigVictim{ebase, l.bytes, l.cls, l.cookie});
+    }
+    const Paddr eend = ebase + l.bytes;
+    if (to_lend_free) {
+      // Out-of-window remainders stay lendable (still claim-free).
+      if (ebase < base) {
+        InsertFree(lend_free_, ebase, base - ebase);
+      }
+      if (eend > wend) {
+        InsertFree(lend_free_, wend, eend - wend);
+      }
+    } else {
+      // CMA: the extent's granules outside the claim run go back to kFree
+      // (their pages were "migrated elsewhere" / dropped with the extent).
+      const size_t first = static_cast<size_t>((ebase - area_base_) / granule_bytes_);
+      const size_t run = static_cast<size_t>((l.bytes + granule_bytes_ - 1) / granule_bytes_);
+      for (size_t g = first; g < first + run; ++g) {
+        const Paddr gbase = area_base_ + static_cast<Paddr>(g) * granule_bytes_;
+        if (gbase + granule_bytes_ <= base || gbase >= wend) {
+          granules_[g] = Granule::kFree;
+          granule_used_bytes_[g] = 0;
+        }
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Result<Paddr> ContigAllocator::Claim(uint64_t bytes, std::vector<ContigVictim>* victims) {
+  if (bytes == 0) {
+    return InvalidArgument("cannot claim zero bytes");
+  }
+  return cma_ ? ClaimCma(AlignUp(bytes, kPageSize), victims)
+              : ClaimGcma(AlignUp(bytes, kPageSize), victims);
+}
+
+Result<Paddr> ContigAllocator::ClaimGcma(uint64_t bytes, std::vector<ContigVictim>* victims) {
+  ObsSpan span(*ctx_, TraceKind::kContigAlloc, bytes);
+  ctx_->Charge(ctx_->cost().contig_claim_base_cycles);
+  // Guarantee check first, before any side effect: a claim either gets its
+  // whole extent or fails cleanly with every lender intact.
+  if (claimed_bytes_ + bytes > guarantee_bytes_) {
+    ctx_->counters().contig_fail++;
+    return OutOfMemory("contig guarantee capacity exhausted");
+  }
+  auto it = claim_free_.begin();
+  for (; it != claim_free_.end(); ++it) {
+    if (it->second >= bytes) {
+      break;
+    }
+  }
+  if (it == claim_free_.end()) {
+    // Outstanding claims themselves fragment the area (lenders never do --
+    // they are revocable). Still a clean failure, nothing evicted.
+    ctx_->counters().contig_fail++;
+    return OutOfMemory("contig area fragmented by outstanding claims");
+  }
+  const Paddr base = it->first;
+  RemoveRange(claim_free_, base, bytes);
+  RemoveRange(lend_free_, base, bytes);
+  O1_RETURN_IF_ERROR(RevokeOverlapping(base, bytes, /*to_lend_free=*/true, victims));
+  claimed_.emplace(base, bytes);
+  claimed_bytes_ += bytes;
+  ctx_->counters().contig_allocs++;
+  return base;
+}
+
+Result<Paddr> ContigAllocator::ClaimCma(uint64_t bytes, std::vector<ContigVictim>* victims) {
+  ObsSpan span(*ctx_, TraceKind::kCmaAlloc, bytes);
+  const CostModel& cost = ctx_->cost();
+  const size_t run = static_cast<size_t>((bytes + granule_bytes_ - 1) / granule_bytes_);
+  // Linear first-fit over the pageblock map: every granule examined costs a
+  // state check, and an unmovable granule resets the candidate run.
+  uint64_t scanned = 0;
+  size_t streak = 0;
+  size_t found = granules_.size();
+  for (size_t i = 0; i < granules_.size(); ++i) {
+    ++scanned;
+    const Granule g = granules_[i];
+    streak = (g == Granule::kFree || g == Granule::kMovable) ? streak + 1 : 0;
+    if (streak == run) {
+      found = i + 1 - run;
+      break;
+    }
+  }
+  ctx_->Charge(scanned * cost.cma_scan_granule_cycles);
+  if (found == granules_.size()) {
+    // No clean run: real CMA falls into direct compaction, which scans the
+    // whole area page by page before giving up. Charge that full pass --
+    // failures are the *most* expensive outcome, exactly the behavior the
+    // guaranteed path exists to ban.
+    ctx_->Charge((area_bytes_ / kPageSize) * cost.reclaim_scan_page_cycles);
+    ctx_->counters().contig_fail++;
+    return OutOfMemory("no movable run; compaction failed");
+  }
+  const Paddr base = area_base_ + static_cast<Paddr>(found) * granule_bytes_;
+  const uint64_t win = static_cast<uint64_t>(run) * granule_bytes_;
+  // Migrate occupied movable pages out of the run, one page copy at a time.
+  uint64_t pages = 0;
+  for (size_t g = found; g < found + run; ++g) {
+    if (granules_[g] == Granule::kMovable) {
+      pages += granule_used_bytes_[g] / kPageSize;
+    }
+  }
+  ctx_->Charge(pages * (cost.cma_migrate_page_cycles + cost.DramBulkCycles(kPageSize)));
+  ctx_->counters().cma_migrated_pages += pages;
+  // Lender extents overlapping the run are revoked either way (the modeling
+  // shortcut, DESIGN.md Sec. 14: the baseline pays per-page migration costs
+  // but the lender-facing contract is shared).
+  O1_RETURN_IF_ERROR(RevokeOverlapping(base, win, /*to_lend_free=*/false, victims));
+  for (size_t g = found; g < found + run; ++g) {
+    granules_[g] = Granule::kClaimed;
+    granule_used_bytes_[g] = 0;
+  }
+  claimed_.emplace(base, win);
+  claimed_bytes_ += win;
+  ctx_->counters().contig_allocs++;
+  return base;
+}
+
+Status ContigAllocator::Release(Paddr base) {
+  auto it = claimed_.find(base);
+  if (it == claimed_.end()) {
+    return InvalidArgument("not a claimed extent base");
+  }
+  ctx_->Charge(ctx_->cost().contig_release_cycles);
+  const uint64_t bytes = it->second;
+  claimed_.erase(it);
+  claimed_bytes_ -= bytes;
+  if (!cma_) {
+    InsertFree(claim_free_, base, bytes);
+    InsertFree(lend_free_, base, bytes);
+  } else {
+    const size_t first = static_cast<size_t>((base - area_base_) / granule_bytes_);
+    const size_t run = static_cast<size_t>(bytes / granule_bytes_);
+    for (size_t g = first; g < first + run; ++g) {
+      granules_[g] = Granule::kFree;
+      granule_used_bytes_[g] = 0;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace o1mem

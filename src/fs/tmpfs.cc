@@ -110,6 +110,12 @@ Status Tmpfs::DropOpenRef(InodeId id) {
 
 Status Tmpfs::AddMapRef(InodeId id) {
   O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
+  // Mapping a file that lives on borrowed second-class memory promotes its
+  // pages to first-class frames first: a revoke must never have to rip
+  // backing out from under installed PTEs.
+  if (inode->borrow_bytes > 0) {
+    O1_RETURN_IF_ERROR(UnborrowInode(*inode));
+  }
   machine_->ctx().Charge(machine_->ctx().cost().refcount_op_cycles);
   inode->maps++;
   TouchAtime(*inode);
@@ -129,8 +135,16 @@ Status Tmpfs::DropMapRef(InodeId id) {
 Status Tmpfs::FreePagesFrom(Inode& inode, uint64_t first_page_index) {
   auto it = inode.pages.lower_bound(first_page_index);
   while (it != inode.pages.end()) {
-    O1_RETURN_IF_ERROR(phys_mgr_->FreeFrame(it->second));
-    used_bytes_ -= kPageSize;
+    if (InBorrow(inode, it->second)) {
+      // Borrowed frames belong to the contiguous area, not the buddy: just
+      // drop the page-cache entry (the extent is returned in one piece by
+      // Destroy, or was already reclaimed by a revoke).
+      phys_mgr_->meta().Of(it->second) = PageMeta{};
+      borrowed_used_bytes_ -= kPageSize;
+    } else {
+      O1_RETURN_IF_ERROR(phys_mgr_->FreeFrame(it->second));
+      used_bytes_ -= kPageSize;
+    }
     it = inode.pages.erase(it);
   }
   return OkStatus();
@@ -167,6 +181,36 @@ Result<Paddr> Tmpfs::GetOrAllocPage(InodeId id, uint64_t offset) {
   auto it = inode->pages.find(index);
   if (it != inode->pages.end()) {
     return it->second;
+  }
+  // Discardable, unmapped files prefer second-class backing borrowed from
+  // the contiguous area: one whole-file extent, not counted against the
+  // quota, revocable whole at any time. Falls through to ordinary frames
+  // when the area has nothing to lend (or the page is past the borrow).
+  ContigAllocator* contig = phys_mgr_->contig();
+  if (contig != nullptr && inode->flags.discardable && inode->maps == 0) {
+    if (inode->borrow_bytes == 0 && inode->pages.empty()) {
+      const uint64_t want = AlignUp(std::max<uint64_t>(inode->size, kPageSize), kPageSize);
+      auto lent = contig->Borrow(want, LenderClass::kDiscardableFile, inode->id);
+      if (lent.ok()) {
+        inode->borrow_base = lent.value();
+        inode->borrow_bytes = want;
+      }
+    }
+    if ((index << kPageShift) < inode->borrow_bytes) {
+      const Paddr frame = inode->borrow_base + (index << kPageShift);
+      O1_RETURN_IF_ERROR(machine_->phys().Zero(frame, kPageSize));
+      machine_->ctx().Charge(machine_->ctx().cost().page_cache_insert_cycles);
+      PageMeta& m = phys_mgr_->meta().Of(frame);
+      m = PageMeta{};
+      m.refcount = 1;
+      m.Set(PageFlag::kUptodate);
+      m.Set(PageFlag::kSwapBacked);
+      m.owner_inode = id;
+      m.file_offset = index << kPageShift;
+      inode->pages.emplace(index, frame);
+      borrowed_used_bytes_ += kPageSize;
+      return frame;
+    }
   }
   if (used_bytes_ + kPageSize > quota_bytes_) {
     return QuotaExceeded("tmpfs quota exhausted");
@@ -317,7 +361,70 @@ Status Tmpfs::MaybeFree(InodeId id) {
 Status Tmpfs::Destroy(InodeId id) {
   O1_ASSIGN_OR_RETURN(Inode * inode, Get(id));
   O1_RETURN_IF_ERROR(FreePagesFrom(*inode, 0));
+  if (inode->borrow_bytes > 0) {
+    O1_RETURN_IF_ERROR(phys_mgr_->contig()->Return(inode->borrow_base));
+    inode->borrow_base = 0;
+    inode->borrow_bytes = 0;
+  }
   inodes_.erase(id);
+  return OkStatus();
+}
+
+Status Tmpfs::UnborrowInode(Inode& inode) {
+  for (auto& [index, frame] : inode.pages) {
+    if (!InBorrow(inode, frame)) {
+      continue;
+    }
+    // First-class promotion is charged against the quota: the file stops
+    // being a freeloader the moment it is mapped.
+    if (used_bytes_ + kPageSize > quota_bytes_) {
+      return QuotaExceeded("tmpfs quota exhausted promoting borrowed pages");
+    }
+    O1_ASSIGN_OR_RETURN(const Paddr fresh, phys_mgr_->AllocFrame(/*zero=*/false));
+    O1_RETURN_IF_ERROR(machine_->phys().Move(fresh, frame, kPageSize));
+    PageMeta& m = phys_mgr_->meta().Of(fresh);
+    m.Set(PageFlag::kUptodate);
+    m.Set(PageFlag::kSwapBacked);
+    m.owner_inode = inode.id;
+    m.file_offset = index << kPageShift;
+    phys_mgr_->meta().Of(frame) = PageMeta{};
+    frame = fresh;
+    used_bytes_ += kPageSize;
+    borrowed_used_bytes_ -= kPageSize;
+  }
+  O1_RETURN_IF_ERROR(phys_mgr_->contig()->Return(inode.borrow_base));
+  inode.borrow_base = 0;
+  inode.borrow_bytes = 0;
+  return OkStatus();
+}
+
+Status Tmpfs::RevokeBorrowed(InodeId id, Paddr base, uint64_t bytes) {
+  auto got = Get(id);
+  if (!got.ok()) {
+    return OkStatus();  // inode already destroyed; nothing borrowed remains
+  }
+  Inode* inode = got.value();
+  O1_CHECK(inode->borrow_base == base && inode->borrow_bytes == bytes);
+  // Content-level discard: the borrowed pages become holes. The file itself
+  // survives (reads return zeros), which is what "discardable" licenses --
+  // the O(1) point is that this is one extent drop, not a page walk with
+  // per-page migration.
+  machine_->ctx().Charge(machine_->ctx().cost().inode_update_cycles +
+                         machine_->ctx().cost().extent_free_cycles);
+  uint64_t dropped = 0;
+  for (auto it = inode->pages.begin(); it != inode->pages.end();) {
+    if (InBorrow(*inode, it->second)) {
+      phys_mgr_->meta().Of(it->second) = PageMeta{};
+      dropped += kPageSize;
+      it = inode->pages.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  borrowed_used_bytes_ -= dropped;
+  machine_->ctx().counters().discard_bytes += dropped;
+  inode->borrow_base = 0;
+  inode->borrow_bytes = 0;
   return OkStatus();
 }
 
@@ -327,6 +434,7 @@ Status Tmpfs::OnCrash() {
   inodes_.clear();
   ns_.Clear();
   used_bytes_ = 0;
+  borrowed_used_bytes_ = 0;
   return OkStatus();
 }
 

@@ -64,6 +64,19 @@ class Tmpfs : public FileSystem {
   // on demand. The demand pager and the copy paths both land here.
   Result<Paddr> GetOrAllocPage(InodeId id, uint64_t offset);
 
+  // --- Second-class backing from the contiguous area (src/contig) --------
+  // Revoke callback wired by System: the ContigAllocator took back the
+  // whole extent [base, base+bytes) this inode had borrowed. The borrowed
+  // pages are dropped on the spot -- the file is discardable by contract,
+  // so the content simply becomes holes (reads return zeros). Never frees
+  // to the buddy and never calls Return (the allocator already reclaimed
+  // the extent).
+  Status RevokeBorrowed(InodeId id, Paddr base, uint64_t bytes);
+
+  // Resident bytes backed by borrowed area extents (not counted against the
+  // tmpfs quota: second-class memory is a bonus, not a budget).
+  uint64_t borrowed_used_bytes() const { return borrowed_used_bytes_; }
+
  private:
   struct Inode;
 
@@ -90,6 +103,12 @@ class Tmpfs : public FileSystem {
     uint32_t maps = 0;
     uint64_t atime = 0;  // coarse, whole-file (Sec. 4.1 access tracking)
     std::map<uint64_t, Paddr> pages;  // page index -> frame
+    // Borrowed second-class extent backing this file's pages (0 = none).
+    // Only discardable, unmapped files borrow; mapping one promotes its
+    // pages to first-class frames first (UnborrowInode) so a later revoke
+    // can never yank memory out from under live PTEs.
+    Paddr borrow_base = 0;
+    uint64_t borrow_bytes = 0;
     std::unique_ptr<PageProvider> provider;
   };
 
@@ -101,10 +120,21 @@ class Tmpfs : public FileSystem {
   Status MaybeFree(InodeId id);
   Status FreePagesFrom(Inode& inode, uint64_t first_page_index);
 
+  static bool InBorrow(const Inode& inode, Paddr frame) {
+    return inode.borrow_bytes > 0 && frame >= inode.borrow_base &&
+           frame - inode.borrow_base < inode.borrow_bytes;
+  }
+
+  // Promotes every borrowed page to a first-class buddy frame (copy) and
+  // returns the extent. Charged against the quota; called before the first
+  // map reference lands.
+  Status UnborrowInode(Inode& inode);
+
   Machine* machine_;
   PhysManager* phys_mgr_;
   uint64_t quota_bytes_;
   uint64_t used_bytes_ = 0;
+  uint64_t borrowed_used_bytes_ = 0;
   InodeId next_inode_ = 1;
   Namespace ns_;
   std::unordered_map<InodeId, Inode> inodes_;

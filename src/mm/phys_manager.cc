@@ -4,14 +4,32 @@
 
 namespace o1mem {
 
+uint64_t PhysManager::ContigCarveBytes(Machine* machine) {
+  const ContigConfig& contig = machine->config().contig;
+  if (!contig.enabled || contig.area_bytes == 0) {
+    return 0;
+  }
+  // The area comes off the top of DRAM before the buddy is seeded; cap it at
+  // half the machine so the general allocator keeps a working set.
+  return std::min(AlignUp(contig.area_bytes, kPageSize),
+                  machine->phys().dram_bytes() / 2);
+}
+
 PhysManager::PhysManager(Machine* machine)
     : machine_(machine),
-      buddy_(&machine->ctx(), /*base=*/0, machine->phys().dram_bytes()),
+      buddy_(&machine->ctx(), /*base=*/0,
+             machine->phys().dram_bytes() - ContigCarveBytes(machine)),
       meta_(&machine->ctx(), /*base=*/0, machine->phys().dram_bytes()),
       pcp_enabled_(machine->ctx().smp().percpu_frame_cache),
       prezero_enabled_(machine->ctx().smp().prezero_pool),
       caches_(static_cast<size_t>(machine->ctx().num_cpus())) {
   O1_CHECK(machine != nullptr);
+  const uint64_t carve = ContigCarveBytes(machine);
+  if (carve > 0) {
+    contig_ = std::make_unique<ContigAllocator>(
+        &machine->ctx(), machine->phys().dram_bytes() - carve, carve,
+        machine->config().contig);
+  }
   const TierConfig& tier = machine->config().tier;
   if (tier.enabled && tier.dram_cache_bytes > 0) {
     CarveCacheZone(AlignUp(tier.dram_cache_bytes, kPageSize));

@@ -15,8 +15,10 @@
 #define O1MEM_SRC_MM_PHYS_MANAGER_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "src/contig/contig_allocator.h"
 #include "src/mm/buddy_allocator.h"
 #include "src/mm/page_meta.h"
 #include "src/sim/machine.h"
@@ -79,6 +81,13 @@ class PhysManager {
   uint64_t dram_cache_free() const { return cache_free_bytes_; }
   uint64_t dram_cache_used() const { return cache_total_ - cache_free_bytes_; }
 
+  // --- Guaranteed-contiguous area (src/contig) ---------------------------
+  // Reserved off the top of DRAM before the buddy is seeded, when
+  // MachineConfig.contig is enabled: the buddy manages [0, dram - area) and
+  // the ContigAllocator owns [dram - area, dram). Null when disabled.
+  ContigAllocator* contig() { return contig_.get(); }
+  const ContigAllocator* contig() const { return contig_.get(); }
+
   BuddyAllocator& buddy() { return buddy_; }
   PageMetaArray& meta() { return meta_; }
   Machine& machine() { return *machine_; }
@@ -115,9 +124,14 @@ class PhysManager {
   void CarveCacheZone(uint64_t bytes);
   void InsertCacheFree(Paddr base, uint64_t bytes);
 
+  // Bytes reserved for the contiguous area (0 when ContigConfig is off);
+  // computed before the buddy is constructed so its range excludes the area.
+  static uint64_t ContigCarveBytes(Machine* machine);
+
   Machine* machine_;
   BuddyAllocator buddy_;
   PageMetaArray meta_;
+  std::unique_ptr<ContigAllocator> contig_;
   bool pcp_enabled_;
   bool prezero_enabled_;
   std::vector<CpuCache> caches_;

@@ -76,6 +76,13 @@ enum class TraceKind : uint8_t {
   // render the constant-WCET verdict across size classes.
   kMalloc,
   kFree,
+  // Guaranteed-contiguous area (src/contig): one span per Claim() with the
+  // requested byte count as the operand -- the GCMA path must verdict O(1)
+  // across size classes while the CMA baseline is flagged LINEAR -- plus a
+  // span per lender-extent revocation.
+  kContigAlloc,
+  kCmaAlloc,
+  kContigRevoke,
   kKindCount,
 };
 
@@ -122,6 +129,9 @@ constexpr const char* TraceKindName(TraceKind kind) {
     case TraceKind::kBrownoutShift: return "brownout_shift";
     case TraceKind::kMalloc: return "malloc";
     case TraceKind::kFree: return "free";
+    case TraceKind::kContigAlloc: return "contig_alloc";
+    case TraceKind::kCmaAlloc: return "cma_alloc";
+    case TraceKind::kContigRevoke: return "contig_revoke";
     case TraceKind::kKindCount: break;
   }
   return "?";
@@ -144,7 +154,8 @@ constexpr TraceCategory CategoryOf(TraceKind kind) {
       return kCatTier;
     case TraceKind::kReclaim:
     case TraceKind::kFomReclaim:
-      return kCatReclaim;
+    case TraceKind::kContigRevoke:
+      return kCatReclaim;  // revocation is reclaim: lender extents give way
     case TraceKind::kJournalCommit:
     case TraceKind::kJournalReplay:
       return kCatJournal;

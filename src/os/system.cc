@@ -47,9 +47,27 @@ System::System(const SystemConfig& config) : config_(config) {
                                          fom_.get());
     fom_->SetMapObserver(tier_.get());
   }
+  WireContigLenders();
 }
 
 System::~System() = default;
+
+void System::WireContigLenders() {
+  ContigAllocator* contig = phys_mgr_->contig();
+  if (contig == nullptr) {
+    return;
+  }
+  contig->SetRevoker(LenderClass::kDiscardableFile,
+                     [this](Paddr base, uint64_t bytes, uint64_t cookie) {
+                       return tmpfs_->RevokeBorrowed(static_cast<InodeId>(cookie), base, bytes);
+                     });
+  if (tier_ != nullptr) {
+    contig->SetRevoker(LenderClass::kTierCleanCopy,
+                       [this](Paddr base, uint64_t bytes, uint64_t cookie) {
+                         return tier_->RevokeBorrowed(static_cast<InodeId>(cookie), base, bytes);
+                       });
+  }
+}
 
 void System::ChargeSyscall() {
   ctx().Charge(ctx().cost().syscall_cycles);
@@ -575,6 +593,13 @@ TierOccupancy System::Occupancy() const {
   o.nvm_total_bytes = machine_->config().nvm_bytes;
   o.nvm_free_bytes = pmfs_->free_bytes();
   o.nvm_used_bytes = o.nvm_total_bytes - o.nvm_free_bytes;
+  if (const ContigAllocator* contig = phys_mgr_->contig()) {
+    o.contig_area_bytes = contig->area_bytes();
+    o.contig_claimed_bytes = contig->claimed_bytes();
+    o.contig_lent_file_bytes = contig->lent_bytes(LenderClass::kDiscardableFile);
+    o.contig_lent_tier_bytes = contig->lent_bytes(LenderClass::kTierCleanCopy);
+    o.contig_free_bytes = contig->free_bytes();
+  }
   return o;
 }
 
@@ -649,6 +674,20 @@ std::string System::DumpProcSnapshot() {
     out << "quarantined_bytes " << tier_->quarantined_bytes() << "\n";
   }
 
+  out << "\n== contigstat ==\n";
+  const ContigAllocator* contig = phys_mgr_->contig();
+  out << "enabled " << (contig != nullptr ? 1 : 0) << "\n";
+  if (contig != nullptr) {
+    out << "mode " << (contig->cma_baseline() ? "cma" : "gcma") << "\n";
+    out << "area_bytes " << o.contig_area_bytes << "\n";
+    out << "claimed_bytes " << o.contig_claimed_bytes << "\n";
+    out << "lent_file_bytes " << o.contig_lent_file_bytes << "\n";
+    out << "lent_tier_bytes " << o.contig_lent_tier_bytes << "\n";
+    out << "free_bytes " << o.contig_free_bytes << "\n";
+    out << "lent_regions " << contig->lent_regions() << "\n";
+    out << "guarantee_bytes " << contig->guarantee_bytes() << "\n";
+  }
+
   out << "\n== pmfs ==\n";
   out << "mount_mode " << (pmfs_->mount_mode() == MountMode::kReadWrite ? "rw" : "degraded")
       << "\n";
@@ -720,6 +759,9 @@ Status System::Crash() {
     // uncommitted staging files.
     O1_RETURN_IF_ERROR(tier_->Recover());
   }
+  // The rebuilt PhysManager carved a fresh (empty) contiguous area; rewire
+  // its revoke callbacks at the rebuilt lenders.
+  WireContigLenders();
   return OkStatus();
 }
 

@@ -62,6 +62,14 @@ struct TierOccupancy {
   uint64_t dram_cache_bytes = 0;
   uint64_t dram_cache_used_bytes = 0;
   uint64_t dram_cache_free_bytes = 0;
+  // Guaranteed-contiguous area (src/contig; all zero when disabled): total
+  // size, first-class claims, second-class lender bytes by class, and what
+  // is left entirely idle.
+  uint64_t contig_area_bytes = 0;
+  uint64_t contig_claimed_bytes = 0;
+  uint64_t contig_lent_file_bytes = 0;
+  uint64_t contig_lent_tier_bytes = 0;
+  uint64_t contig_free_bytes = 0;
 };
 
 struct ProcessImage {
@@ -86,6 +94,8 @@ class System {
   SimContext& ctx() { return machine_->ctx(); }
   // Non-null only when MachineConfig::tier.enabled.
   TierEngine* tier() { return tier_.get(); }
+  // Non-null only when MachineConfig::contig.enabled (src/contig).
+  ContigAllocator* contig() { return phys_mgr_->contig(); }
   // Per-tier occupancy snapshot (DRAM buddy + cache carve, NVM via PMFS).
   TierOccupancy Occupancy() const;
 
@@ -228,6 +238,10 @@ class System {
   Result<Vaddr> MmapBaseline(Process& proc, const MmapArgs& args);
   Result<Vaddr> MmapFom(Process& proc, const MmapArgs& args);
   void ChargeSyscall();
+  // Registers the per-lender-class revoke callbacks on the ContigAllocator
+  // (no-op when contig is disabled). Runs at boot and again after Crash(),
+  // once the lender subsystems have been rebuilt.
+  void WireContigLenders();
 
   SystemConfig config_;
   std::unique_ptr<Machine> machine_;

@@ -89,6 +89,19 @@ struct CostModel {
   uint64_t tier_region_op_cycles = 120;  // split or merge one monitoring region
   uint64_t tier_policy_cycles = 40;      // evaluate one region at aggregation time
 
+  // --- Guaranteed-contiguous area (no-ops while ContigConfig.enabled is
+  //     false). The GCMA path charges a flat claim base plus a per-victim
+  //     extent revoke; the CMA baseline charges per granule scanned and per
+  //     page migrated, and a failed claim pays a full direct-compaction
+  //     scan over the area. ---------------------------------------------
+  uint64_t contig_lend_cycles = 180;          // borrow one second-class extent
+  uint64_t contig_return_cycles = 120;        // lender returns an extent voluntarily
+  uint64_t contig_claim_base_cycles = 4000;   // claim bookkeeping (window pick, index ops)
+  uint64_t contig_revoke_extent_cycles = 300; // evict one overlapping lender extent
+  uint64_t contig_release_cycles = 260;       // release a claim back to the area
+  uint64_t cma_scan_granule_cycles = 35;      // examine one pageblock on the CMA scan
+  uint64_t cma_migrate_page_cycles = 600;     // unmap+remap one page (copy charged separately)
+
   // --- Persistence barriers ---------------------------------------------
   uint64_t clwb_cycles = 60;     // flush one cache line to the NVM domain
   uint64_t sfence_cycles = 120;  // ordering fence after a flush burst

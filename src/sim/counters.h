@@ -86,7 +86,16 @@ namespace o1mem {
   X(brownout_shed_scans)      /* scan-class ops rejected while browned out */            \
   X(brownout_shed_writes)     /* write-class ops rejected while browned out */           \
   X(brownout_tier_pauses)     /* tier aggregation windows with migrations deferred */    \
-  X(brownout_prezero_deferrals) /* pre-zero pool refills deferred to drain mode */
+  X(brownout_prezero_deferrals) /* pre-zero pool refills deferred to drain mode */     \
+  /* Guaranteed-contiguous area (src/contig): first-class claims vs the                \
+     second-class lenders they evict. */                                               \
+  X(contig_allocs)      /* contiguous claims granted (GCMA or CMA baseline) */         \
+  X(contig_fail)        /* claims refused (guarantee exhausted / compaction failed) */ \
+  X(contig_lends)       /* second-class extents borrowed from the area */              \
+  X(contig_returns)     /* borrowed extents returned voluntarily by their lender */    \
+  X(lender_evictions)   /* lender extents revoked to satisfy a claim */                \
+  X(discard_bytes)      /* discardable file bytes dropped by revocation */             \
+  X(cma_migrated_pages) /* pages copied out one by one by the CMA baseline */
 
 struct EventCounters {
 #define O1MEM_DECLARE_COUNTER(name) uint64_t name = 0;

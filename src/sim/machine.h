@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/contig/contig_config.h"
 #include "src/obs/observer.h"
 #include "src/sim/address_space.h"
 #include "src/sim/fault_injector.h"
@@ -32,6 +33,11 @@ struct MachineConfig {
   // promotion. All-off by default (cycle-identical to the seed); the engine
   // itself lives in src/tier and is instantiated by the System when enabled.
   TierConfig tier;
+  // Guaranteed-contiguous area: a boot-time carve off the top of DRAM whose
+  // unclaimed space is lent out as discardable second-class backing
+  // (src/contig). All-off by default (cycle-identical to the seed); the
+  // allocator is owned by PhysManager when enabled.
+  ContigConfig contig;
   // Observability: bounded trace ring + latency histograms. All-off by
   // default; the observer never charges cycles, so enabling it leaves every
   // simulated result bit-identical (asserted by tests/obs).

@@ -18,22 +18,39 @@ Result<PromotedExtent> MigrationEngine::Promote(InodeId inode, uint64_t off, uin
                                                 std::vector<TierMappingRef>& maps) {
   ObsSpan span(ctx(), TraceKind::kTierPromote, bytes);
   auto cache = phys_mgr_->AllocCache(bytes);
-  if (!cache.ok()) {
-    return cache.status();
+  Paddr cache_pa = 0;
+  bool borrowed = false;
+  if (cache.ok()) {
+    cache_pa = cache.value();
+  } else {
+    // Tier carve full: borrow second-class backing from the contiguous
+    // area. The copy is clean-by-construction (an NVM home always exists),
+    // so a later Claim() can revoke it with at most one writeback.
+    ContigAllocator* contig = phys_mgr_->contig();
+    if (contig == nullptr || contig->cma_baseline()) {
+      return cache.status();
+    }
+    auto lent = contig->Borrow(bytes, LenderClass::kTierCleanCopy, inode);
+    if (!lent.ok()) {
+      return cache.status();  // report the carve exhaustion, not the area's
+    }
+    cache_pa = lent.value();
+    borrowed = true;
   }
   // Data first, translations second: until the last Repoint lands, every
   // access still resolves to the intact NVM home, and a crash anywhere in
   // between merely discards the (volatile) cache copy.
-  Status copied = machine_->phys().Move(*cache, home, bytes);
-  if (!copied.ok()) {
-    (void)phys_mgr_->FreeCache(*cache, bytes);
-    return copied;
-  }
   PromotedExtent e;
   e.off = off;
   e.bytes = bytes;
-  e.cache = *cache;
+  e.cache = cache_pa;
   e.home = home;
+  e.borrowed = borrowed;
+  Status copied = machine_->phys().Move(e.cache, home, bytes);
+  if (!copied.ok()) {
+    (void)ReleaseCacheExtent(e);
+    return copied;
+  }
   for (const TierMappingRef& ref : maps) {
     O1_RETURN_IF_ERROR(Repoint(inode, ref, e, /*to_cache=*/true));
   }
@@ -56,7 +73,7 @@ Status MigrationEngine::Demote(InodeId inode, PromotedExtent& e, bool persistent
   for (const TierMappingRef& ref : maps) {
     O1_RETURN_IF_ERROR(Repoint(inode, ref, e, /*to_cache=*/false));
   }
-  return phys_mgr_->FreeCache(e.cache, e.bytes);
+  return ReleaseCacheExtent(e);
 }
 
 Status MigrationEngine::Abandon(InodeId inode, PromotedExtent& e,
@@ -65,7 +82,40 @@ Status MigrationEngine::Abandon(InodeId inode, PromotedExtent& e,
   for (const TierMappingRef& ref : maps) {
     O1_RETURN_IF_ERROR(Repoint(inode, ref, e, /*to_cache=*/false));
   }
+  return ReleaseCacheExtent(e);
+}
+
+Status MigrationEngine::ReleaseCacheExtent(PromotedExtent& e) {
+  if (e.borrowed) {
+    return phys_mgr_->contig()->Return(e.cache);
+  }
   return phys_mgr_->FreeCache(e.cache, e.bytes);
+}
+
+Status MigrationEngine::Surrender(InodeId inode, PromotedExtent& e, bool persistent,
+                                  std::vector<TierMappingRef>& maps) {
+  ObsSpan span(ctx(), TraceKind::kContigRevoke, e.bytes);
+  // Durability invariant first: a dirty copy writes back before the area
+  // memory is reused. The claim's window contents are untouched until the
+  // revocation pass completes, so reading e.cache here is still sound.
+  Status wb = OkStatus();
+  if (e.dirty) {
+    if (persistent) {
+      wb = WriteBack(inode, e);
+    } else {
+      wb = machine_->phys().Move(e.home, e.cache, e.bytes);
+      if (wb.ok()) {
+        e.dirty = false;
+      }
+    }
+  }
+  // Repoint home regardless: even when the writeback failed (unreadable
+  // cache copy), the mappings must stop resolving into the revoked extent.
+  for (const TierMappingRef& ref : maps) {
+    O1_RETURN_IF_ERROR(Repoint(inode, ref, e, /*to_cache=*/false));
+  }
+  // No free: the ContigAllocator already reclaimed the extent.
+  return wb;
 }
 
 Status MigrationEngine::Repoint(InodeId inode, const TierMappingRef& ref, PromotedExtent& e,

@@ -55,6 +55,10 @@ struct PromotedExtent {
   Paddr cache = 0;     // DRAM cache copy
   Paddr home = 0;      // NVM home (left allocated and intact while promoted)
   bool dirty = false;  // cache copy newer than home
+  // Cache copy lives on a borrowed second-class extent from the contiguous
+  // area (src/contig) instead of the tier carve; a Claim() there can revoke
+  // it at any time (TierEngine::RevokeBorrowed -> Surrender).
+  bool borrowed = false;
   // kPtSplice inodes only: standalone level-1 nodes over the cache copy,
   // built lazily per needed permission.
   NodeRef cache_ro;
@@ -92,10 +96,22 @@ class MigrationEngine {
   // from here on. The caller quarantines the extent so it never re-promotes.
   Status Abandon(InodeId inode, PromotedExtent& e, std::vector<TierMappingRef>& maps);
 
+  // Contig-area revocation: like Demote -- write the cache copy back first
+  // when dirty (the durability invariant: a revoked dirty copy must not
+  // silently lose its delta), then repoint every mapping home -- but WITHOUT
+  // freeing the cache extent: the ContigAllocator has already reclaimed it
+  // for the claim in progress. Returns kMediaError when the dirty copy is
+  // unreadable (mappings are still repointed home); the caller quarantines.
+  Status Surrender(InodeId inode, PromotedExtent& e, bool persistent,
+                   std::vector<TierMappingRef>& maps);
+
   // Post-crash: finish committed writebacks, discard uncommitted staging.
   Status Recover();
 
  private:
+  // Frees e.cache to wherever it came from: the tier carve, or back to the
+  // contiguous area's lendable pool when borrowed.
+  Status ReleaseCacheExtent(PromotedExtent& e);
   SimContext& ctx() { return machine_->ctx(); }
 
   // Repoints one mapping's translation of the extent to `to` (cache or

@@ -104,6 +104,37 @@ Status TierEngine::QuarantinePromoted(InodeId inode, InodeState& st, PromotedExt
   return s;
 }
 
+Status TierEngine::RevokeBorrowed(InodeId inode, Paddr base, uint64_t bytes) {
+  auto node = inodes_.find(inode);
+  O1_CHECK(node != inodes_.end());  // borrowed extents die with their demotion
+  InodeState& st = node->second;
+  auto it = st.promoted.begin();
+  for (; it != st.promoted.end(); ++it) {
+    if (it->second.borrowed && it->second.cache == base) {
+      break;
+    }
+  }
+  O1_CHECK(it != st.promoted.end() && it->second.bytes == bytes);
+  PromotedExtent& e = it->second;
+  const uint64_t t0 = machine_->ctx().now();
+  Status s = migration_.Surrender(inode, e, st.persistent, st.maps);
+  migration_cycles_ += machine_->ctx().now() - t0;
+  if (!s.ok()) {
+    if (s.code() != StatusCode::kMediaError) {
+      return s;
+    }
+    // Unreadable dirty copy: its delta is lost (the same forfeit as any
+    // degraded demotion -- promoted dirty data sits outside the eADR
+    // domain). Fence the range so it never re-promotes; reads degrade to
+    // the intact NVM home.
+    QuarantineRange(st, e.off, e.bytes);
+  }
+  st.promoted.erase(it);
+  machine_->ctx().counters().tier_demotions++;
+  machine_->mmu().FlushPending();
+  return OkStatus();
+}
+
 Status TierEngine::Tick() {
   if (!monitor_.Tick()) {
     return OkStatus();
@@ -140,14 +171,34 @@ Status TierEngine::Tick() {
   return OkStatus();
 }
 
+uint64_t TierEngine::CacheCapacity() const {
+  uint64_t capacity = phys_mgr_->dram_cache_bytes();
+  const ContigAllocator* contig = phys_mgr_->contig();
+  if (contig != nullptr && !contig->cma_baseline()) {
+    // The area's free space is promotion headroom too: clean cache copies
+    // borrow it as second-class backing (revoked -- not evicted by us --
+    // when a contiguous claim needs the window).
+    capacity += contig->lent_bytes(LenderClass::kTierCleanCopy) + contig->free_bytes();
+  }
+  return capacity;
+}
+
+uint64_t TierEngine::CacheUsed() const {
+  uint64_t used = phys_mgr_->dram_cache_used();
+  const ContigAllocator* contig = phys_mgr_->contig();
+  if (contig != nullptr && !contig->cma_baseline()) {
+    used += contig->lent_bytes(LenderClass::kTierCleanCopy);
+  }
+  return used;
+}
+
 Status TierEngine::PromoteUnit(InodeId inode, InodeState& st, uint64_t off, uint64_t bytes,
                                Paddr home, bool* admitted) {
   if (QuarantinedOverlap(st, off, bytes)) {
     *admitted = true;  // fenced off: keep serving degraded from the home
     return OkStatus();
   }
-  *admitted = policy_.AdmitPromotion(bytes, phys_mgr_->dram_cache_used(),
-                                     phys_mgr_->dram_cache_bytes());
+  *admitted = policy_.AdmitPromotion(bytes, CacheUsed(), CacheCapacity());
   if (!*admitted) {
     return OkStatus();
   }
@@ -230,9 +281,7 @@ Status TierEngine::PromoteSpan(InodeId inode, InodeState& st, uint64_t lo, uint6
         // A hot span wider than the watermark's remaining budget is clipped
         // so its head still promotes instead of being rejected whole.
         const uint64_t budget =
-            AlignDown(policy_.PromotionBudget(phys_mgr_->dram_cache_used(),
-                                              phys_mgr_->dram_cache_bytes()),
-                      kPageSize);
+            AlignDown(policy_.PromotionBudget(CacheUsed(), CacheCapacity()), kPageSize);
         const uint64_t take = std::min(gap_end - pos, budget);
         if (take == 0) {
           return OkStatus();

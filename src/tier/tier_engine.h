@@ -82,6 +82,14 @@ class TierEngine : public FomMapObserver {
   // Post-crash: replay the writeback staging area (see MigrationEngine).
   Status Recover() { return migration_.Recover(); }
 
+  // Contig-area revoke callback (wired by System): a Claim() reclaimed the
+  // borrowed cache extent at `base` holding one of `inode`'s promoted
+  // extents. Surrenders it -- writeback first when dirty (the durability
+  // invariant), then repoint home, never freeing the extent. An unreadable
+  // dirty copy quarantines the range (delta lost, reads degrade to the NVM
+  // home) instead of failing the claim.
+  Status RevokeBorrowed(InodeId inode, Paddr base, uint64_t bytes);
+
   // Brownout hook (overload shedding, DESIGN.md Sec. 12): while paused,
   // Tick() keeps monitoring (heat state stays current so restore is
   // instant) but defers all optional migrations -- promotions, demotions,
@@ -126,6 +134,13 @@ class TierEngine : public FomMapObserver {
   // The mapping containing `vaddr`, or nullptr.
   static const std::pair<const Vaddr, FomProcess::Mapping>* FindMapping(const FomProcess& proc,
                                                                         Vaddr vaddr);
+
+  // Promotion capacity/usage as the watermark sees them: the DRAM carve
+  // plus whatever the contiguous area could lend (or has lent) as
+  // second-class cache backing. With the area off (or in CMA-baseline
+  // mode) these reduce to the carve alone -- seed behavior.
+  uint64_t CacheCapacity() const;
+  uint64_t CacheUsed() const;
 
   static bool QuarantinedOverlap(const InodeState& st, uint64_t off, uint64_t bytes);
   // Fences off [off, off+bytes): records the range and bumps the counter.
