@@ -392,6 +392,25 @@ int ChaosMain(BenchJson& json, int shards, const std::string& campaign_spec,
   json.Metric("watchdog_kills", static_cast<double>(r.watchdog_kills));
   json.Metric("machine_crashes", static_cast<double>(r.machine_crashes));
 
+  // Tail attribution: completed-request p999 and the blame decomposition,
+  // computed service-side (valid with or without --trace; the traced run adds
+  // span-tree exemplars for tools/tail_explainer.py on top).
+  const TailSnapshot& tail = r.tail;
+  json.Metric("p999_us", tail.p999_us);
+  json.Metric("tail_blame_coverage", tail.blame_coverage);
+  Table ttable("Tail blame: p999 + top component per shard (service-side accounting)");
+  ttable.AddRow({"shard", "requests", "p999_us", "top_component", "share"});
+  ttable.AddRow({"all", std::to_string(r.all_latency.count()), Table::Num(tail.p999_us),
+                 tail.top_component.empty() ? "-" : tail.top_component,
+                 Table::Num(tail.top_share)});
+  for (const TailShardStat& st : tail.shards) {
+    ttable.AddRow({std::to_string(st.shard), std::to_string(st.requests), Table::Num(st.p999_us),
+                   st.top_component.empty() ? "-" : st.top_component, Table::Num(st.top_share)});
+  }
+  ttable.Print();
+  MaybePrintCsv(ttable);
+  json.AddTable(ttable);
+
   if (r.overload.enabled) {
     const OverloadReport& ov = r.overload;
     Table otable("Overload serving: per-shard admission/breaker/brownout (open loop " +

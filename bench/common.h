@@ -103,12 +103,23 @@ inline void CaptureObs(System& sys) {
     state.hist.Merge(*obs.hist());
     obs.hist()->Reset();
   }
-  if (obs.ring() != nullptr && obs.ring()->total_pushed() != 0) {
+  const bool any_ring = obs.ring() != nullptr && obs.ring()->total_pushed() != 0;
+  const bool any_exemplars = obs.exemplars() != nullptr && obs.exemplars()->kept_total() != 0;
+  const bool any_metrics = obs.metrics() != nullptr && obs.metrics()->total_pushed() != 0;
+  if (any_ring || any_exemplars || any_metrics) {
     TraceGroup group;
     group.pid = state.next_pid++;
     group.label = "sys" + std::to_string(group.pid);
-    group.dropped = obs.ring()->dropped();
-    group.events = obs.ring()->Drain();
+    if (obs.ring() != nullptr) {
+      group.dropped = obs.ring()->dropped();
+      group.events = obs.ring()->Drain();
+    }
+    if (obs.exemplars() != nullptr) {
+      group.exemplars = obs.exemplars()->Drain();
+    }
+    if (obs.metrics() != nullptr) {
+      group.metrics = obs.metrics()->Drain();
+    }
     state.groups.push_back(std::move(group));
   }
 }
@@ -123,6 +134,11 @@ inline SystemConfig BenchConfig() {
   config.tmpfs_quota_bytes = 3 * kGiB;
   config.machine.obs.histograms = true;
   config.machine.obs.trace = BenchObs().trace_path.has_value();
+  // A traced bench also retains tail exemplars and the per-tick metrics
+  // ring: one --trace flag arms the whole causal-tracing artifact. Still
+  // zero simulated cycles either way.
+  config.machine.obs.exemplars = config.machine.obs.trace;
+  config.machine.obs.metrics = config.machine.obs.trace;
   return config;
 }
 

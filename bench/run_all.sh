@@ -50,6 +50,13 @@ for bench in "${BENCHES[@]}"; do
         "$bench" == "abl_fragmentation" ]]; then
     extra+=("--trace=$OUT_DIR/TRACE_$bench.json")
   fi
+  # The serving trace doubles as the tail_explainer.py input in CI: burst
+  # arrival over capacity gives the tail structure (admission waits, client
+  # retries) worth attributing, and --trace arms the exemplar reservoir +
+  # per-tick metrics ring alongside the event ring.
+  if [[ "$bench" == "app_kv_service" ]]; then
+    extra+=("--arrival=burst:24x40")
+  fi
   "$bin" "--json=$OUT_DIR/BENCH_$bench.json" "${extra[@]}" '--benchmark_filter=^$'
 done
 

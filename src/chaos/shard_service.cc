@@ -27,6 +27,7 @@ ShardedKvService::ShardedKvService(System& sys, const ShardServiceConfig& config
                       (config.shard_bytes / config.record_bytes)),
       workload_rng_(config.workload_seed),
       retry_rng_(config.chaos.seed ^ 0x9e3779b97f4a7c15ULL),
+      trace_rng_(config.workload_seed ^ 0x0ddc0ffeebadf00dULL),
       zipf_(client_version_.size(), config.zipf_theta) {
   O1_CHECK(config.shards > 0);
   O1_CHECK(config.record_bytes >= kLineBytes);
@@ -35,6 +36,8 @@ ShardedKvService::ShardedKvService(System& sys, const ShardServiceConfig& config
     campaign_ = std::make_unique<CampaignEngine>(config_.chaos, config_.shards);
   }
   num_cpus_ = sys_.machine().config().smp.num_cpus;
+  shard_latency_.resize(static_cast<size_t>(config_.shards));
+  shard_slowest_.resize(static_cast<size_t>(config_.shards));
   if (config_.arrival.enabled) {
     // One arrival stream per run, seeded independently of the chaos seed so
     // (arrival spec, campaign, seed) each govern their own random stream.
@@ -205,16 +208,175 @@ Status ShardedKvService::ServeOnce(Shard& shard, const Request& req) {
   return OkStatus();
 }
 
+// --- causal tracing + tail attribution ---------------------------------------
+
+void ShardedKvService::ClosePark(uint64_t& park_cycles, uint64_t& acc_cycles, uint64_t trace_id,
+                                 uint32_t& next_span, TraceKind kind) {
+  if (park_cycles == 0) {
+    return;
+  }
+  const uint64_t dur = sys_.ctx().now() - park_cycles;
+  acc_cycles += dur;
+  Observer* obs = sys_.ctx().obs();
+  if (obs != nullptr && trace_id != 0 && obs->WantsSpan(kind)) {
+    obs->RecordSpan(kind, 0, park_cycles, dur, 0, trace_id, next_span++, /*parent_span=*/1);
+  }
+  park_cycles = 0;
+}
+
+void ShardedKvService::FinishRequest(TraceKind kind, int shard, uint64_t trace_id,
+                                     uint64_t first_arrival_cycles, uint64_t wait_cycles,
+                                     uint64_t backoff_cycles, uint64_t serve_cycles) {
+  const uint64_t latency = sys_.ctx().now() - first_arrival_cycles;
+  report_.all_latency.Record(latency);
+  shard_latency_[static_cast<size_t>(shard)].Record(latency);
+  auto& pool = shard_slowest_[static_cast<size_t>(shard)];
+  const TailSample sample{latency, wait_cycles, backoff_cycles, serve_cycles};
+  if (pool.size() < kTailSamplesPerShard) {
+    pool.push_back(sample);
+  } else {
+    size_t min_i = 0;
+    for (size_t i = 1; i < pool.size(); ++i) {
+      if (pool[i].latency < pool[min_i].latency) {
+        min_i = i;
+      }
+    }
+    if (latency > pool[min_i].latency) {
+      pool[min_i] = sample;
+    }
+  }
+  Observer* obs = sys_.ctx().obs();
+  if (obs != nullptr) {
+    obs->EndRequest(kind, 0, first_arrival_cycles, latency, kLineBytes, trace_id);
+  }
+}
+
+void ShardedKvService::FinalizeTail() {
+  TailSnapshot& tail = report_.tail;
+  tail.valid = report_.all_latency.count() > 0;
+  if (!tail.valid) {
+    return;
+  }
+  const auto& clock = sys_.ctx().clock();
+  tail.p999_us = clock.CyclesToUs(report_.all_latency.Percentile(99.9));
+  // Blame over a (pool, shard) merge reduced to the slowest ~0.1% of
+  // completed requests (at least one): what the p999 population spent its
+  // time on, from service-side accounting -- valid with observability off.
+  std::vector<TailSample> all;
+  for (const auto& pool : shard_slowest_) {
+    all.insert(all.end(), pool.begin(), pool.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TailSample& a, const TailSample& b) { return a.latency > b.latency; });
+  const auto blame = [](const std::vector<TailSample>& samples, size_t n, TailSnapshot& out,
+                        double& coverage) {
+    uint64_t lat = 0;
+    uint64_t comps[3] = {0, 0, 0};  // wait, backoff, serve
+    for (size_t i = 0; i < n; ++i) {
+      lat += samples[i].latency;
+      comps[0] += samples[i].wait;
+      comps[1] += samples[i].backoff;
+      comps[2] += samples[i].serve;
+    }
+    static const char* kNames[3] = {"admission_wait", "retry_backoff", "serve"};
+    size_t top = 0;
+    for (size_t c = 1; c < 3; ++c) {
+      if (comps[c] > comps[top]) {
+        top = c;
+      }
+    }
+    const double denom = lat == 0 ? 1.0 : static_cast<double>(lat);
+    out.top_component = kNames[top];
+    out.top_share = static_cast<double>(comps[top]) / denom;
+    coverage = static_cast<double>(comps[0] + comps[1] + comps[2]) / denom;
+    if (coverage > 1.0) {
+      coverage = 1.0;
+    }
+  };
+  size_t n = static_cast<size_t>(report_.all_latency.count() / 1000);
+  n = std::max<size_t>(1, std::min(n, all.size()));
+  blame(all, n, tail, tail.blame_coverage);
+  for (int i = 0; i < config_.shards; ++i) {
+    TailShardStat st;
+    st.shard = static_cast<uint32_t>(i);
+    st.requests = shard_latency_[static_cast<size_t>(i)].count();
+    if (st.requests != 0) {
+      st.p999_us = clock.CyclesToUs(shard_latency_[static_cast<size_t>(i)].Percentile(99.9));
+      auto pool = shard_slowest_[static_cast<size_t>(i)];
+      std::sort(pool.begin(), pool.end(),
+                [](const TailSample& a, const TailSample& b) { return a.latency > b.latency; });
+      size_t sn = static_cast<size_t>(st.requests / 1000);
+      sn = std::max<size_t>(1, std::min(sn, pool.size()));
+      TailSnapshot scratch;
+      double cov = 0;
+      blame(pool, sn, scratch, cov);
+      st.top_component = scratch.top_component;
+      st.top_share = scratch.top_share;
+    }
+    tail.shards.push_back(st);
+  }
+  Observer* obs = sys_.ctx().obs();
+  if (obs != nullptr) {
+    obs->SetTailSnapshot(tail);
+  }
+}
+
+void ShardedKvService::PushTickMetric(uint64_t tick, uint64_t queue_depth,
+                                      uint64_t pending_retries, uint32_t arrivals) {
+  Observer* obs = sys_.ctx().obs();
+  if (obs == nullptr || !obs->metrics_enabled()) {
+    return;
+  }
+  MetricSample m;
+  m.tick = tick;
+  m.cycles = sys_.ctx().now();
+  m.queue_depth = static_cast<uint32_t>(queue_depth);
+  m.pending_retries = static_cast<uint32_t>(pending_retries);
+  int max_level = 0;
+  for (const BrownoutController& b : brownouts_) {
+    max_level = std::max(max_level, b.level());
+  }
+  m.brownout_level = static_cast<uint16_t>(max_level);
+  uint16_t open = 0;
+  for (const CircuitBreaker& b : breakers_) {
+    if (b.state() != CircuitBreaker::State::kClosed) {
+      ++open;
+    }
+  }
+  m.breakers_open = open;
+  uint16_t down = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.state != ShardState::kUp) {
+      ++down;
+    }
+  }
+  m.shards_down = down;
+  m.arrivals = static_cast<uint16_t>(std::min<uint32_t>(arrivals, 0xffffu));
+  m.tier_promoted_bytes = sys_.tier() != nullptr ? sys_.tier()->promoted_bytes() : 0;
+  obs->PushMetric(m);
+}
+
 bool ShardedKvService::AttemptRequest(Request& req, uint64_t tick) {
   const int index = static_cast<int>(req.key % static_cast<uint64_t>(config_.shards));
   Shard& shard = shards_[static_cast<size_t>(index)];
   req.attempts++;
+  // A re-attempt closes the backoff window it waited out (and records it as
+  // a retry_wait child span of the request's root).
+  ClosePark(req.park_cycles, req.backoff_cycles, req.trace_id, req.next_span,
+            TraceKind::kRetryWait);
   bool served = false;
   if (shard.state == ShardState::kUp) {
     sys_.ctx().SetCurrentCpu(index % num_cpus_);
-    Status s = ServeOnce(shard, req);
+    const uint64_t serve_start = sys_.ctx().now();
+    {
+      // Everything ServeOnce does -- the service_op span, faults, shootdowns,
+      // journal commits -- joins the request's span tree.
+      TraceScope scope(sys_.ctx().obs(), req.trace_id, &req.next_span);
+      Status s = ServeOnce(shard, req);
+      O1_CHECK(s.ok());  // media errors are absorbed inside ServeOnce
+    }
+    req.serve_cycles += sys_.ctx().now() - serve_start;
     sys_.ctx().SetCurrentCpu(0);
-    O1_CHECK(s.ok());  // media errors are absorbed inside ServeOnce
     served = true;
   } else if (shard.state == ShardState::kHung) {
     report_.timeouts++;
@@ -229,6 +391,8 @@ bool ShardedKvService::AttemptRequest(Request& req, uint64_t tick) {
     } else {
       report_.nominal.Record(latency);
     }
+    FinishRequest(req.is_put ? TraceKind::kKvPut : TraceKind::kKvGet, index, req.trace_id,
+                  req.arrival_cycles, req.wait_cycles, req.backoff_cycles, req.serve_cycles);
     if (shard.awaiting_first_serve) {
       shard.awaiting_first_serve = false;
       const double ttfs = sys_.ctx().clock().CyclesToUs(sys_.ctx().now() - shard.down_cycles);
@@ -247,12 +411,16 @@ bool ShardedKvService::AttemptRequest(Request& req, uint64_t tick) {
   // up; a known-dead shard fails fast.
   if (req.attempts >= config_.retry.max_attempts) {
     report_.ops_lost++;
+    if (sys_.ctx().obs() != nullptr) {
+      sys_.ctx().obs()->DropRequest(req.trace_id);  // lost: no root span
+    }
     return true;
   }
   report_.retries++;
   const uint64_t wait = (shard.state == ShardState::kHung ? config_.deadline_ticks : 0) +
                         config_.retry.BackoffTicks(req.attempts, retry_rng_);
   req.due_tick = tick + wait;
+  req.park_cycles = sys_.ctx().now();  // backoff window opens
   return false;
 }
 
@@ -415,17 +583,24 @@ ShardServiceReport ShardedKvService::Run() {
       }
     }
     // One new client arrival per tick.
+    uint32_t tick_arrivals = 0;
     if (next_arrival < config_.ops) {
       Request req;
       req.key = zipf_.Next(workload_rng_);
       req.is_put = workload_rng_.NextBool(config_.write_fraction);
       req.arrival_cycles = sys_.ctx().now();
+      req.trace_id = trace_rng_.Next() | 1;  // always drawn: obs-independent
+      if (sys_.ctx().obs() != nullptr) {
+        sys_.ctx().obs()->BeginRequest(req.trace_id);
+      }
       report_.ops_attempted++;
       next_arrival++;
+      tick_arrivals = 1;
       if (!AttemptRequest(req, tick)) {
         pending_.push_back(req);
       }
     }
+    PushTickMetric(tick, /*queue_depth=*/0, pending_.size(), tick_arrivals);
     if (config_.tier_tick_every != 0 && sys_.tier() != nullptr &&
         tick % config_.tier_tick_every == config_.tier_tick_every - 1) {
       O1_CHECK(sys_.TierTick().ok());
@@ -445,6 +620,10 @@ ShardServiceReport ShardedKvService::Run() {
           Request probe;
           probe.key = static_cast<uint64_t>(i);  // key i routes to shard i
           probe.arrival_cycles = sys_.ctx().now();
+          probe.trace_id = trace_rng_.Next() | 1;
+          if (sys_.ctx().obs() != nullptr) {
+            sys_.ctx().obs()->BeginRequest(probe.trace_id);
+          }
           report_.ops_attempted++;
           AttemptRequest(probe, tick);
         }
@@ -461,6 +640,7 @@ ShardServiceReport ShardedKvService::Run() {
   if (campaign_ != nullptr) {
     report_.chaos_log = campaign_->LogString();
   }
+  FinalizeTail();
   return report_;
 }
 
@@ -488,18 +668,25 @@ void ShardedKvService::ClientRetryOrReject(OpenRequest req, uint64_t tick,
     // the client ends with a 503, not a lost ack -- ops_lost stays for real
     // losses (none in overload mode; campaigns keep asserting zero).
     ov.rejected_final++;
+    if (sys_.ctx().obs() != nullptr) {
+      sys_.ctx().obs()->DropRequest(req.trace_id);  // clean 503: no root span
+    }
     return;
   }
   if (!retry_budget_->TryConsume()) {
     ov.retry_budget_denials++;
     sys_.ctx().counters().retry_budget_denials++;
     ov.rejected_final++;
+    if (sys_.ctx().obs() != nullptr) {
+      sys_.ctx().obs()->DropRequest(req.trace_id);
+    }
     return;
   }
   report_.retries++;
   req.attempts++;
   req.due_tick = tick + extra_wait_ticks +
                  config_.retry.BackoffTicks(req.attempts - 1, retry_rng_);
+  req.park_cycles = sys_.ctx().now();  // backoff window opens
   open_pending_.push_back(req);
 }
 
@@ -557,6 +744,7 @@ void ShardedKvService::OfferRequest(OpenRequest req, uint64_t tick) {
 
   AdmissionQueue<OpenRequest>& q = queues_[static_cast<size_t>(index)];
   req.arrival_tick = tick;
+  req.park_cycles = sys_.ctx().now();  // queue-wait window opens if admitted
   switch (q.Offer(req, tick, tick + config_.deadline_ticks)) {
     case AdmissionQueue<OpenRequest>::Verdict::kAdmit:
       st.admitted++;
@@ -607,6 +795,8 @@ void ShardedKvService::FailQueued(int index, uint64_t tick) {
   while (!q.empty()) {
     OpenRequest req = q.PopFront();
     st.failed_fast++;
+    ClosePark(req.park_cycles, req.wait_cycles, req.trace_id, req.next_span,
+              TraceKind::kAdmissionWait);
     const uint64_t before = breaker.transitions();
     breaker.RecordFailure(tick);
     NoteBreakerTransitions(index, before, tick);
@@ -625,6 +815,8 @@ void ShardedKvService::ServeTick(int index, uint64_t tick) {
   // is a real failure -- it burnt a full deadline -- so it feeds the breaker.
   while (!q.empty() && q.front().arrival_tick + config_.deadline_ticks <= tick) {
     OpenRequest req = q.PopFront();
+    ClosePark(req.park_cycles, req.wait_cycles, req.trace_id, req.next_span,
+              TraceKind::kAdmissionWait);
     st.expired_in_queue++;
     report_.timeouts++;
     sys_.ctx().counters().admission_expired_drops++;
@@ -644,10 +836,19 @@ void ShardedKvService::ServeTick(int index, uint64_t tick) {
     OpenRequest req = q.PopFront();
     const uint64_t wait_ticks = tick - req.arrival_tick;
     q.ObserveWait(static_cast<double>(wait_ticks));
+    ClosePark(req.park_cycles, req.wait_cycles, req.trace_id, req.next_span,
+              TraceKind::kAdmissionWait);
     sys_.ctx().SetCurrentCpu(index % num_cpus_);
-    Status s = ServeOpen(shard, req);
+    const uint64_t serve_start = sys_.ctx().now();
+    {
+      // The whole service op -- spans from ServeOnce down through faults,
+      // shootdowns, tier hits, and journal commits -- joins the span tree.
+      TraceScope scope(sys_.ctx().obs(), req.trace_id, &req.next_span);
+      Status s = ServeOpen(shard, req);
+      O1_CHECK(s.ok());  // media errors are absorbed inside ServeOnce
+    }
+    req.serve_cycles += sys_.ctx().now() - serve_start;
     sys_.ctx().SetCurrentCpu(0);
-    O1_CHECK(s.ok());  // media errors are absorbed inside ServeOnce
     st.served++;
     ov.served++;
     // Goodput is END-TO-END: the expiry loop above only bounds the wait
@@ -669,6 +870,11 @@ void ShardedKvService::ServeTick(int index, uint64_t tick) {
     } else {
       report_.nominal.Record(latency);
     }
+    const TraceKind root_kind = req.cls == OpClass::kScan  ? TraceKind::kKvScan
+                                : req.cls == OpClass::kWrite ? TraceKind::kKvPut
+                                                             : TraceKind::kKvGet;
+    FinishRequest(root_kind, index, req.trace_id, req.first_arrival_cycles, req.wait_cycles,
+                  req.backoff_cycles, req.serve_cycles);
     retry_budget_->OnSuccess();
     const uint64_t before = breaker.transitions();
     breaker.RecordSuccess(tick, wait_ticks);
@@ -824,6 +1030,8 @@ ShardServiceReport ShardedKvService::RunOpenLoop() {
       if (open_pending_[i].due_tick <= tick) {
         OpenRequest req = open_pending_[i];
         open_pending_.erase(open_pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        ClosePark(req.park_cycles, req.backoff_cycles, req.trace_id, req.next_span,
+                  TraceKind::kRetryWait);
         OfferRequest(req, tick);
       } else {
         ++i;
@@ -846,12 +1054,23 @@ ShardServiceReport ShardedKvService::RunOpenLoop() {
       req.arrival_cycles = sys_.ctx().now();
       req.first_arrival_cycles = req.arrival_cycles;
       req.first_arrival_tick = tick;
+      req.trace_id = trace_rng_.Next() | 1;  // always drawn: obs-independent
+      if (sys_.ctx().obs() != nullptr) {
+        sys_.ctx().obs()->BeginRequest(req.trace_id);
+      }
       report_.ops_attempted++;
       ov.arrivals++;
       OfferRequest(req, tick);
     }
     for (int i = 0; i < config_.shards; ++i) {
       ServeTick(i, tick);
+    }
+    {
+      uint64_t metric_depth = 0;
+      for (const auto& q : queues_) {
+        metric_depth += q.depth();
+      }
+      PushTickMetric(tick, metric_depth, open_pending_.size(), arrivals);
     }
     if (config_.tier_tick_every != 0 && sys_.tier() != nullptr &&
         tick % config_.tier_tick_every == config_.tier_tick_every - 1) {
@@ -894,6 +1113,10 @@ ShardServiceReport ShardedKvService::RunOpenLoop() {
             Request probe;
             probe.key = static_cast<uint64_t>(i);
             probe.arrival_cycles = sys_.ctx().now();
+            probe.trace_id = trace_rng_.Next() | 1;
+            if (sys_.ctx().obs() != nullptr) {
+              sys_.ctx().obs()->BeginRequest(probe.trace_id);
+            }
             report_.ops_attempted++;
             AttemptRequest(probe, tick);
           }
@@ -933,6 +1156,7 @@ ShardServiceReport ShardedKvService::RunOpenLoop() {
     sys_.tier()->SetBrownoutPause(false);
   }
   sys_.phys_manager().SetBrownout(false);
+  FinalizeTail();
   return report_;
 }
 

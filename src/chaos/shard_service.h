@@ -48,6 +48,7 @@
 #include "src/chaos/retry.h"
 #include "src/chaos/watchdog.h"
 #include "src/obs/latency_histogram.h"
+#include "src/obs/metrics.h"
 #include "src/os/system.h"
 #include "src/support/zipf.h"
 
@@ -183,6 +184,13 @@ struct ShardServiceReport {
   uint64_t ticks = 0;
 
   OverloadReport overload;
+
+  // End-to-end latency of every completed request (the p999 source) and the
+  // tail-blame decomposition computed from service-side accounting -- always
+  // filled, with or without observability, so --json and procfs report the
+  // tail without post-processing a trace.
+  LatencyHistogram all_latency;
+  TailSnapshot tail;
 };
 
 class ShardedKvService {
@@ -222,6 +230,13 @@ class ShardedKvService {
     int attempts = 0;
     uint64_t arrival_cycles = 0;
     uint64_t due_tick = 0;
+    // Causal tracing + blame accounting (see OpenRequest).
+    uint64_t trace_id = 0;
+    uint32_t next_span = 2;
+    uint64_t wait_cycles = 0;
+    uint64_t backoff_cycles = 0;
+    uint64_t serve_cycles = 0;
+    uint64_t park_cycles = 0;  // stamp of the current backoff start
   };
 
   // Open-loop request: op class, arrival stamp, client deadline.
@@ -235,6 +250,18 @@ class ShardedKvService {
     uint64_t first_arrival_cycles = 0;  // of the original arrival (latency base)
     uint64_t due_tick = 0;            // retry queue: earliest re-offer tick
     uint64_t first_arrival_tick = 0;  // end-to-end deadline reference
+    // Causal tracing: trace id drawn at arrival from the dedicated seeded
+    // stream (drawn whether or not observability is on, so the clock and
+    // every counter stay bit-identical either way), plus the request's
+    // span-id allocator carried across queuing/retry scopes.
+    uint64_t trace_id = 0;
+    uint32_t next_span = 2;
+    // Blame accounting (pure host-side bookkeeping, never charged cycles):
+    // where this request's latency went, accumulated across attempts.
+    uint64_t wait_cycles = 0;     // admission-queue time
+    uint64_t backoff_cycles = 0;  // client retry backoff (incl. hung deadline)
+    uint64_t serve_cycles = 0;    // actual service time
+    uint64_t park_cycles = 0;     // stamp of the current queue/backoff start
   };
 
   void SetupShards();
@@ -276,6 +303,24 @@ class ShardedKvService {
     return (key / static_cast<uint64_t>(config_.shards)) * config_.record_bytes;
   }
 
+  // --- causal tracing + tail attribution -----------------------------------
+  // Completes one request: root span + exemplar decision (observer), latency
+  // histograms, and the per-shard slowest-sample pool the blame table is
+  // computed from. `kind` is the root op (kv_get/kv_put/kv_scan).
+  void FinishRequest(TraceKind kind, int shard, uint64_t trace_id, uint64_t first_arrival_cycles,
+                     uint64_t wait_cycles, uint64_t backoff_cycles, uint64_t serve_cycles);
+  // Reduces the sample pools into report_.tail and publishes it to the
+  // observer for the procfs `tailstat` section.
+  void FinalizeTail();
+  // One MetricSample per supervisor tick (no-op unless obs metrics are on).
+  void PushTickMetric(uint64_t tick, uint64_t queue_depth, uint64_t pending_retries,
+                      uint32_t arrivals);
+  // Closes an open park window (admission queue or retry backoff): folds the
+  // elapsed cycles into `acc_cycles` and records an admission_wait/retry_wait
+  // child span under the request's root. `park_cycles` is reset to 0.
+  void ClosePark(uint64_t& park_cycles, uint64_t& acc_cycles, uint64_t trace_id,
+                 uint32_t& next_span, TraceKind kind);
+
   System& sys_;
   ShardServiceConfig config_;
   std::vector<Shard> shards_;
@@ -283,6 +328,10 @@ class ShardedKvService {
   std::unique_ptr<CampaignEngine> campaign_;
   Rng workload_rng_;
   Rng retry_rng_;
+  // Trace ids, one draw per arrival (and per drain-phase probe). A dedicated
+  // stream seeded off workload_seed: ids never perturb the workload or retry
+  // streams, and the same (workload, seed) replays the same ids bit-for-bit.
+  Rng trace_rng_;
   ZipfGenerator zipf_;
   std::vector<Request> pending_;  // retry queue, arrival order preserved
   ShardServiceReport report_;
@@ -306,6 +355,20 @@ class ShardedKvService {
   };
   std::vector<ShardPressure> pressure_;
   std::vector<OpenRequest> open_pending_;  // client retries awaiting re-offer
+
+  // Tail-attribution pools: per-shard completed-request latency histograms
+  // plus a fixed pool of the slowest samples per shard (replace-the-minimum,
+  // O(1) memory) carrying the wait/backoff/serve decomposition. FinalizeTail
+  // reduces these into report_.tail.
+  struct TailSample {
+    uint64_t latency = 0;
+    uint64_t wait = 0;
+    uint64_t backoff = 0;
+    uint64_t serve = 0;
+  };
+  static constexpr size_t kTailSamplesPerShard = 32;
+  std::vector<LatencyHistogram> shard_latency_;
+  std::vector<std::vector<TailSample>> shard_slowest_;  // capped per shard
 };
 
 }  // namespace o1mem

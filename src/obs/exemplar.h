@@ -1,0 +1,198 @@
+// Exemplar retention for request-scoped tracing: keep the COMPLETE span
+// trees of the slowest requests, in O(1) memory, forever.
+//
+// The trace ring answers "what happened recently"; percentiles answer "how
+// slow is the tail" -- but by the time a p999 request is identified, the
+// ring has usually wrapped past the events that explain it. The fix
+// (Dapper-style exemplars) is a fixed-capacity reservoir per (root op,
+// size-class) histogram bucket: when a request completes slower than the
+// live p99 of its bucket, its staged span tree is copied into the bucket's
+// overwrite-oldest ring of K slots. Memory is bucket-count * K *
+// max_events * sizeof(TraceEvent) from construction -- independent of run
+// length, per the paper's discipline -- and nothing here ever charges
+// simulated cycles.
+//
+// Staging: while a request is in flight its events land in a TraceStager
+// slot (fixed pool, claimed at BeginRequest, released at End/DropRequest).
+// A request that cannot claim a slot (pool exhausted) simply loses exemplar
+// eligibility -- counted, never blocking -- and a tree wider than
+// max_events keeps its first max_events events with the overflow counted,
+// so a truncated exemplar is detectable downstream.
+#ifndef O1MEM_SRC_OBS_EXEMPLAR_H_
+#define O1MEM_SRC_OBS_EXEMPLAR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/trace_event.h"
+
+namespace o1mem {
+
+// One retained request: the root span plus every event recorded while the
+// request's trace context was current (the span tree, completion order).
+struct Exemplar {
+  uint64_t trace_id = 0;
+  TraceKind kind = TraceKind::kKindCount;  // root op
+  SizeClass size_class = SizeClass::kNone;
+  uint64_t start_cycles = 0;
+  uint64_t duration_cycles = 0;
+  uint32_t events_dropped = 0;  // tree events past the stage capacity
+  std::vector<TraceEvent> events;  // <= max_events, oldest first, root last
+};
+
+class TraceStager {
+ public:
+  struct Slot {
+    uint64_t trace_id = 0;
+    uint32_t count = 0;     // valid prefix of `events`
+    uint32_t overflow = 0;  // events dropped once the slot filled
+    std::vector<TraceEvent> events;  // fixed capacity, sized at construction
+  };
+
+  TraceStager(uint32_t slots, uint32_t events_per_slot)
+      : slots_(slots == 0 ? 1 : slots) {
+    for (uint32_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].events.resize(events_per_slot == 0 ? 1 : events_per_slot);
+      free_.push_back(static_cast<uint32_t>(slots_.size() - 1 - i));
+    }
+    index_.reserve(slots_.size() * 2);
+  }
+
+  // Claims a slot for `trace_id`; false when the pool is exhausted or the id
+  // is already staged (the request keeps running, it just loses exemplar
+  // eligibility).
+  bool Begin(uint64_t trace_id) {
+    if (trace_id == 0 || free_.empty() || index_.count(trace_id) != 0) {
+      ++misses_;
+      return false;
+    }
+    const uint32_t i = free_.back();
+    free_.pop_back();
+    Slot& slot = slots_[i];
+    slot.trace_id = trace_id;
+    slot.count = 0;
+    slot.overflow = 0;
+    index_.emplace(trace_id, i);
+    return true;
+  }
+
+  // Appends one recorded event to its trace's slot (no-op when unstaged).
+  void Append(const TraceEvent& e) {
+    if (e.trace_id == 0) {
+      return;
+    }
+    auto it = index_.find(e.trace_id);
+    if (it == index_.end()) {
+      return;
+    }
+    Slot& slot = slots_[it->second];
+    if (slot.count < slot.events.size()) {
+      slot.events[slot.count++] = e;
+    } else {
+      ++slot.overflow;
+    }
+  }
+
+  // The slot staged for `trace_id`, or null. Valid until Release.
+  const Slot* Find(uint64_t trace_id) const {
+    auto it = index_.find(trace_id);
+    return it == index_.end() ? nullptr : &slots_[it->second];
+  }
+
+  void Release(uint64_t trace_id) {
+    auto it = index_.find(trace_id);
+    if (it == index_.end()) {
+      return;
+    }
+    free_.push_back(it->second);
+    index_.erase(it);
+  }
+
+  size_t capacity() const { return slots_.size(); }
+  size_t staged() const { return index_.size(); }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<Slot> slots_;     // fixed pool
+  std::vector<uint32_t> free_;  // free slot indices (stack)
+  std::unordered_map<uint64_t, uint32_t> index_;
+  uint64_t misses_ = 0;
+};
+
+// Per-(root op, size class) overwrite-oldest rings of K exemplars.
+class ExemplarReservoir {
+ public:
+  ExemplarReservoir(uint32_t per_bucket, uint32_t max_events)
+      : per_bucket_(per_bucket == 0 ? 1 : per_bucket),
+        max_events_(max_events == 0 ? 1 : max_events),
+        buckets_(kTraceKindCount * kSizeClassCount) {}
+
+  uint32_t per_bucket() const { return per_bucket_; }
+  uint32_t max_events() const { return max_events_; }
+  uint64_t kept_total() const { return kept_; }
+
+  // Retains the request: root event + its staged tree, truncated to
+  // max_events, overwriting the bucket's oldest exemplar once full.
+  void Keep(const TraceEvent& root, const TraceStager::Slot& slot) {
+    Bucket& bucket = buckets_[Index(root.kind, root.size_class)];
+    if (bucket.ring.empty()) {
+      bucket.ring.resize(per_bucket_);  // lazily sized, bounded per bucket
+    }
+    Exemplar& e = bucket.ring[static_cast<size_t>(bucket.pushed % per_bucket_)];
+    ++bucket.pushed;
+    ++kept_;
+    e.trace_id = root.trace_id;
+    e.kind = root.kind;
+    e.size_class = root.size_class;
+    e.start_cycles = root.start_cycles;
+    e.duration_cycles = root.duration_cycles;
+    const uint32_t n = slot.count < max_events_ ? slot.count : max_events_;
+    e.events.assign(slot.events.begin(), slot.events.begin() + n);
+    e.events_dropped = slot.overflow + (slot.count - n);
+  }
+
+  // Calls fn(exemplar) for every retained exemplar: buckets in (kind, class)
+  // enum order, entries oldest first -- a deterministic order, so two
+  // identical runs serialize byte-identically.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Bucket& bucket : buckets_) {
+      const uint64_t n = bucket.pushed < per_bucket_ ? bucket.pushed : per_bucket_;
+      const uint64_t first = bucket.pushed - n;
+      for (uint64_t i = first; i < bucket.pushed; ++i) {
+        fn(bucket.ring[static_cast<size_t>(i % per_bucket_)]);
+      }
+    }
+  }
+
+  // Copy-out + clear, for merging several machines into one artifact.
+  std::vector<Exemplar> Drain() {
+    std::vector<Exemplar> out;
+    ForEach([&out](const Exemplar& e) { out.push_back(e); });
+    for (Bucket& bucket : buckets_) {
+      bucket.ring.clear();
+      bucket.pushed = 0;
+    }
+    return out;
+  }
+
+ private:
+  struct Bucket {
+    std::vector<Exemplar> ring;  // empty until first Keep, then per_bucket_
+    uint64_t pushed = 0;
+  };
+
+  static size_t Index(TraceKind kind, SizeClass size_class) {
+    return static_cast<size_t>(kind) * kSizeClassCount + static_cast<size_t>(size_class);
+  }
+
+  uint32_t per_bucket_;
+  uint32_t max_events_;
+  std::vector<Bucket> buckets_;
+  uint64_t kept_ = 0;
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OBS_EXEMPLAR_H_

@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/exemplar.h"
 #include "src/obs/latency_histogram.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace_event.h"
 
 namespace o1mem {
@@ -27,6 +29,12 @@ struct TraceGroup {
   std::string label;  // shown as the Chrome/Perfetto process name
   uint64_t dropped = 0;  // ring overwrites: events older than the window
   std::vector<TraceEvent> events;
+  // Retained tail span trees; serialized under the top-level "exemplars" key
+  // (extra top-level keys are legal Chrome-trace JSON, Perfetto ignores them).
+  std::vector<Exemplar> exemplars;
+  // Per-tick service samples; serialized as ph:"C" counter events so Perfetto
+  // plots queue depth / brownout / breaker state under the spans.
+  std::vector<MetricSample> metrics;
 };
 
 // Chrome trace JSON for the groups; `cpu_ghz` converts cycle stamps to the

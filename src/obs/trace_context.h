@@ -1,0 +1,31 @@
+// TraceContext: the per-request causal-tracing state the Observer carries
+// while a request is being worked on (Dapper-style propagation, collapsed to
+// a single simulated machine: context rides in the Observer rather than in
+// RPC metadata, and RAII scopes set/restore it around every stretch of work
+// done on behalf of a request).
+//
+// Span ids are allocated per trace -- the root span is always 1, children
+// count up from 2 in construction order -- so ids depend only on what the
+// request did, never on global interleaving. Combined with trace ids drawn
+// from a dedicated seeded Rng, the same (workload, seed) reproduces
+// byte-identical span trees run after run, which is what makes exemplar
+// retention testable (tests/obs).
+//
+// `trace_id == 0` means "no request scope": every ObsSpan recorded then is
+// exactly the pre-causal-tracing record, all-zero triple.
+#ifndef O1MEM_SRC_OBS_TRACE_CONTEXT_H_
+#define O1MEM_SRC_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace o1mem {
+
+struct TraceContext {
+  uint64_t trace_id = 0;   // 0 = not inside any request scope
+  uint32_t parent_span = 0;  // span new children attach under
+  uint32_t next_span = 2;  // next id to allocate (root = 1 is implicit)
+};
+
+}  // namespace o1mem
+
+#endif  // O1MEM_SRC_OBS_TRACE_CONTEXT_H_

@@ -83,6 +83,18 @@ enum class TraceKind : uint8_t {
   kContigAlloc,
   kCmaAlloc,
   kContigRevoke,
+  // Request-scoped causal tracing (PR 10). Root spans bracket one client
+  // request arrival -> completion (per op class, so the tail decomposes per
+  // "kv_get" vs "kv_put" vs "kv_scan"); the wait kinds are child spans of a
+  // root covering time the request spent queued behind admission or parked
+  // in a client retry backoff. Everything the request did while actually
+  // being served nests under its kServiceOp child via TraceContext
+  // propagation (src/obs/trace_context.h).
+  kKvGet,
+  kKvPut,
+  kKvScan,
+  kAdmissionWait,
+  kRetryWait,
   kKindCount,
 };
 
@@ -132,6 +144,11 @@ constexpr const char* TraceKindName(TraceKind kind) {
     case TraceKind::kContigAlloc: return "contig_alloc";
     case TraceKind::kCmaAlloc: return "cma_alloc";
     case TraceKind::kContigRevoke: return "contig_revoke";
+    case TraceKind::kKvGet: return "kv_get";
+    case TraceKind::kKvPut: return "kv_put";
+    case TraceKind::kKvScan: return "kv_scan";
+    case TraceKind::kAdmissionWait: return "admission_wait";
+    case TraceKind::kRetryWait: return "retry_wait";
     case TraceKind::kKindCount: break;
   }
   return "?";
@@ -165,6 +182,11 @@ constexpr TraceCategory CategoryOf(TraceKind kind) {
     case TraceKind::kAdmissionShed:
     case TraceKind::kBreakerTransition:
     case TraceKind::kBrownoutShift:
+    case TraceKind::kKvGet:
+    case TraceKind::kKvPut:
+    case TraceKind::kKvScan:
+    case TraceKind::kAdmissionWait:
+    case TraceKind::kRetryWait:
       return kCatService;
     default:
       return kCatSyscall;
@@ -213,19 +235,28 @@ constexpr SizeClass SizeClassOf(uint64_t operand_bytes) {
   return SizeClass::kHuge;
 }
 
-// One ring slot. 32 bytes, POD, fixed size: ring memory is exactly
+// One ring slot. 48 bytes, POD, fixed size: ring memory is exactly
 // capacity * sizeof(TraceEvent) for the life of the machine.
+//
+// The causal-tracing triple (trace_id, span_id, parent_span) is zero for
+// events outside any request scope -- exactly the pre-PR-10 record. Within a
+// request, span ids are allocated per trace (root = 1, children count up in
+// completion-independent construction order), so the same (workload, seed)
+// reproduces byte-identical span trees run after run.
 struct TraceEvent {
   uint64_t start_cycles = 0;    // sim-clock stamp at span begin (or instant)
   uint64_t duration_cycles = 0; // 0 for instant events
   uint64_t operand_bytes = 0;   // length the op acted on (0 = none)
+  uint64_t trace_id = 0;        // request trace (0 = not request-scoped)
+  uint32_t span_id = 0;         // unique within the trace (root = 1)
+  uint32_t parent_span = 0;     // 0 = root of its trace
   TraceKind kind = TraceKind::kKindCount;
   uint8_t cpu = 0;              // SimContext::current_cpu at emit time
   uint8_t instant = 0;          // 1 = point event, 0 = complete span
   SizeClass size_class = SizeClass::kNone;
 };
 
-static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay a fixed 32-byte slot");
+static_assert(sizeof(TraceEvent) == 48, "TraceEvent must stay a fixed 48-byte slot");
 
 }  // namespace o1mem
 

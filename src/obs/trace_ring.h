@@ -1,8 +1,10 @@
-// TraceRing: fixed-capacity, overwrite-oldest ring of TraceEvents.
+// FixedRing<T>: fixed-capacity, overwrite-oldest ring of POD records, and
+// its two instantiations: TraceRing (TraceEvent slots) and MetricsRing
+// (per-tick MetricSample slots, src/obs/metrics.h).
 //
 // Push is O(1) (one store + one index increment, no allocation after
-// construction); memory is capacity * 32 bytes regardless of how long the
-// simulation runs. When the ring wraps, the oldest events are silently
+// construction); memory is capacity * sizeof(T) regardless of how long the
+// simulation runs. When the ring wraps, the oldest records are silently
 // overwritten -- `dropped()` reports how many, so exporters can say what the
 // window excludes.
 #ifndef O1MEM_SRC_OBS_TRACE_RING_H_
@@ -15,25 +17,26 @@
 
 namespace o1mem {
 
-class TraceRing {
+template <typename T>
+class FixedRing {
  public:
   // A zero capacity is clamped to one slot so Push stays unconditional.
-  explicit TraceRing(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+  explicit FixedRing(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
 
   size_t capacity() const { return buf_.size(); }
-  // Events currently held (<= capacity).
+  // Records currently held (<= capacity).
   size_t size() const { return pushed_ < buf_.size() ? static_cast<size_t>(pushed_) : buf_.size(); }
   uint64_t total_pushed() const { return pushed_; }
   uint64_t dropped() const { return pushed_ - size(); }
 
-  void Push(const TraceEvent& e) {
+  void Push(const T& e) {
     buf_[static_cast<size_t>(pushed_ % buf_.size())] = e;
     ++pushed_;
   }
 
-  // The held events, oldest first.
-  std::vector<TraceEvent> Snapshot() const {
-    std::vector<TraceEvent> out;
+  // The held records, oldest first.
+  std::vector<T> Snapshot() const {
+    std::vector<T> out;
     const size_t n = size();
     out.reserve(n);
     const uint64_t first = pushed_ - n;
@@ -43,18 +46,20 @@ class TraceRing {
     return out;
   }
 
-  // Snapshot + clear: lets a harness collect events from several short-lived
+  // Snapshot + clear: lets a harness collect records from several short-lived
   // machines into one merged trace without duplicates.
-  std::vector<TraceEvent> Drain() {
-    std::vector<TraceEvent> out = Snapshot();
+  std::vector<T> Drain() {
+    std::vector<T> out = Snapshot();
     pushed_ = 0;
     return out;
   }
 
  private:
-  std::vector<TraceEvent> buf_;
+  std::vector<T> buf_;
   uint64_t pushed_ = 0;
 };
+
+using TraceRing = FixedRing<TraceEvent>;
 
 }  // namespace o1mem
 

@@ -711,6 +711,29 @@ std::string System::DumpProcSnapshot() {
   } else {
     out << "(histograms off)\n";
   }
+
+  // Tail attribution published by the serving layer (ShardedKvService
+  // computes it from service-side accounting; empty when no service ran).
+  out << "\n== tailstat ==\n";
+  const TailSnapshot& tail = obs.tail();
+  out << "valid " << (tail.valid ? 1 : 0) << "\n";
+  if (tail.valid) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "p999_us %.3f\n", tail.p999_us);
+    out << line;
+    std::snprintf(line, sizeof(line), "blame_coverage %.4f\n", tail.blame_coverage);
+    out << line;
+    std::snprintf(line, sizeof(line), "top_component %s %.4f\n", tail.top_component.c_str(),
+                  tail.top_share);
+    out << line;
+    for (const TailShardStat& st : tail.shards) {
+      std::snprintf(line, sizeof(line),
+                    "shard%u requests %llu p999_us %.3f top %s %.4f\n", st.shard,
+                    static_cast<unsigned long long>(st.requests), st.p999_us,
+                    st.top_component.empty() ? "-" : st.top_component.c_str(), st.top_share);
+      out << line;
+    }
+  }
   return out.str();
 }
 
@@ -723,6 +746,13 @@ Status System::WriteTrace(const std::string& path) {
   groups[0].label = "o1mem";
   groups[0].dropped = obs.ring()->dropped();
   groups[0].events = obs.ring()->Snapshot();
+  if (obs.exemplars() != nullptr) {
+    obs.exemplars()->ForEach(
+        [&groups](const Exemplar& x) { groups[0].exemplars.push_back(x); });
+  }
+  if (obs.metrics() != nullptr) {
+    groups[0].metrics = obs.metrics()->Snapshot();
+  }
   if (!WriteChromeTraceFile(path, groups, ctx().cost().cpu_ghz)) {
     return InvalidArgument("cannot write trace file: " + path);
   }

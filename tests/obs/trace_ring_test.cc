@@ -66,9 +66,10 @@ TEST(TraceRingTest, ZeroCapacityClampsToOneSlot) {
 }
 
 TEST(TraceRingTest, MemoryIsCapacityTimesSlotSize) {
-  // The O(1)-memory contract: the slot is 32 bytes and the buffer never
-  // grows past construction, no matter how much is pushed.
-  static_assert(sizeof(TraceEvent) == 32);
+  // The O(1)-memory contract: the slot is 48 bytes (32 + the causal-trace
+  // triple) and the buffer never grows past construction, no matter how
+  // much is pushed.
+  static_assert(sizeof(TraceEvent) == 48);
   TraceRing ring(16);
   for (uint64_t i = 0; i < 10000; ++i) {
     ring.Push(Ev(i));

@@ -3,7 +3,8 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold=0.10]
-                        [--require=metric1,metric2,...] [--identical]
+                        [--require=metric1,metric2,...]
+                        [--require-table=substr1,substr2,...] [--identical]
 
 Prints a per-metric / per-table-cell diff and exits nonzero when any *cost*
 series (simulated cycles or time: column or metric names containing "cycles",
@@ -19,7 +20,11 @@ informational. Non-cost series (hit rates, byte gauges, ratios) are printed
 for context but never fail the diff. --require=a,b,c additionally fails the
 diff when any of the named metrics is missing from the candidate -- CI uses
 it to pin the chaos-campaign SLO fields so a refactor cannot silently drop
-them. --identical switches to determinism mode: the two documents must match
+them. --require-table=a,b does the same for tables: the candidate must hold
+a table whose title contains each given substring (case-insensitive) -- CI
+pins the tail-blame table of the serving benches this way, so the p999
+attribution cannot vanish without failing the diff. --identical switches to
+determinism mode: the two documents must match
 exactly -- every config entry, metric, and table cell -- except metrics
 prefixed host_ (wall-clock noise), which replaces byte-for-byte `diff` in
 replay-identity CI checks. Stdlib only, so it runs anywhere CI does.
@@ -128,6 +133,7 @@ def diff_identical(old_doc, new_doc):
 def main(argv):
     threshold = 0.10
     required = []
+    required_tables = []
     identical = False
     paths = []
     for arg in argv[1:]:
@@ -135,6 +141,8 @@ def main(argv):
             threshold = float(arg.split("=", 1)[1])
         elif arg.startswith("--require="):
             required = [m for m in arg.split("=", 1)[1].split(",") if m]
+        elif arg.startswith("--require-table="):
+            required_tables = [t for t in arg.split("=", 1)[1].split(",") if t]
         elif arg == "--identical":
             identical = True
         else:
@@ -211,12 +219,22 @@ def main(argv):
                             as_number(new_row[j]), threshold, regressions, report)
 
     missing = [m for m in required if as_number(new_metrics.get(m)) is None]
+    new_titles = [t.lower() for t in new_tables]
+    missing_tables = [
+        want for want in required_tables
+        if not any(want.lower() in title for title in new_titles)
+    ]
 
     print("\n".join(report))
     if missing:
         print(f"\n{len(missing)} required metric(s) missing from candidate:")
         for name in missing:
             print(f"  {name}")
+        return 1
+    if missing_tables:
+        print(f"\n{len(missing_tables)} required table(s) missing from candidate:")
+        for want in missing_tables:
+            print(f"  (title containing) {want!r}")
         return 1
     if regressions:
         print(f"\n{len(regressions)} cost regression(s) above {threshold:.0%}:")

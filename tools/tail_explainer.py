@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""Per-request tail attribution over a causal trace from the simulator.
+
+Reads the Chrome trace_event JSON written with --trace=<path> by a serving
+bench (app_kv_service) or System::WriteTrace(). The serving stack tags every
+span it records inside a request with (trace id, span id, parent span id),
+and keeps the complete span tree of the slowest requests per (op, size
+class) bucket in a fixed-size exemplar reservoir (O(1) memory, overwrite
+oldest). This tool turns that artifact into an explanation of the tail:
+
+  * per-request critical paths: for the slowest exemplars, the root span
+    and its direct children (admission_wait / retry_wait / service op) in
+    arrival order, each with its share of the end-to-end latency;
+  * the blame table: across every exemplar, where tail time went, as
+    components summing to the measured latency -- admission_wait and
+    retry_wait are further decomposed by overlapping them with concurrent
+    spans in the same trace file (serving other requests, migration,
+    journal commits, ...), so "waiting" gets a cause, not just a duration;
+  * coverage: attributed cycles / measured root cycles. --check-coverage=F
+    exits nonzero when coverage falls below F (CI pins 0.95) or when the
+    trace has no exemplars at all;
+  * a summary of the per-tick service_metrics counters (queue depth,
+    pending retries, brownout level) when present.
+
+Exit codes:
+  0  report printed, coverage check (if requested) passed
+  1  malformed/unreadable trace
+  4  --check-coverage failed (below threshold, or no exemplars to check)
+
+Typical use:
+  bench/app_kv_service --arrival=burst:24x40 --trace=TRACE.json
+  tools/tail_explainer.py TRACE.json --check-coverage=0.95 --json=BLAME.json
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+# Direct children of a request root with these names are wait states; their
+# time is decomposed against concurrent activity rather than charged to the
+# service itself.
+WAIT_KINDS = {"admission_wait", "retry_wait"}
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"tail_explainer: cannot parse {path}: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise SystemExit(f"tail_explainer: {path}: no traceEvents array")
+    return doc
+
+
+def span_events(doc):
+    """All complete ("X") spans: (pid, name, ts, dur, trace, span, parent)."""
+    out = []
+    for e in doc["traceEvents"]:
+        if not isinstance(e, dict) or e.get("ph") != "X":
+            continue
+        args = e.get("args", {})
+        out.append({
+            "pid": e.get("pid", 0),
+            "name": e.get("name", "?"),
+            "ts": float(e.get("ts", 0.0)),
+            "dur": float(e.get("dur", 0.0)),
+            "cycles": int(args.get("cycles", 0)),
+            "trace": args.get("trace"),
+            "span": args.get("span"),
+            "parent": args.get("parent"),
+        })
+    return out
+
+
+def dropped_by_pid(doc):
+    out = {}
+    for e in doc["traceEvents"]:
+        if isinstance(e, dict) and e.get("ph") == "M" and e.get("name") == "trace_dropped":
+            out[e.get("pid", 0)] = int(e.get("args", {}).get("dropped", 0))
+    return out
+
+
+def merge_intervals(intervals):
+    """Sorted, overlapping intervals merged -> disjoint [(start, end)]."""
+    merged = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def overlap_us(window, merged):
+    """Microseconds of `window` covered by the merged interval list."""
+    lo, hi = window
+    total = 0.0
+    for start, end in merged:
+        if end <= lo:
+            continue
+        if start >= hi:
+            break
+        total += min(hi, end) - max(lo, start)
+    return total
+
+
+class WaitDecomposer:
+    """Attributes a wait window to what the machine was doing meanwhile.
+
+    Concurrent spans are bucketed: request-tagged spans belonging to *other*
+    traces count as "serving_others"; untagged global spans keep their op
+    name (migration, journal_commit, shootdown, ...). Whatever no span
+    covers was genuine queue idle time -- the shard simply had not reached
+    this request yet.
+    """
+
+    def __init__(self, events):
+        raw = defaultdict(list)
+        for e in events:
+            if e["dur"] <= 0 or e["name"] in WAIT_KINDS:
+                continue
+            bucket = "serving_others" if e["trace"] else e["name"]
+            raw[(e["pid"], bucket)].append((e["ts"], e["ts"] + e["dur"]))
+        self.merged = {key: merge_intervals(v) for key, v in raw.items()}
+        self.buckets = sorted({b for (_, b) in self.merged})
+
+    def decompose(self, pid, window):
+        """-> {cause: us} covering the window (residual = "queued_idle")."""
+        lo, hi = window
+        length = hi - lo
+        out = {}
+        remaining = length
+        for bucket in self.buckets:
+            merged = self.merged.get((pid, bucket))
+            if not merged:
+                continue
+            us = overlap_us(window, merged)
+            if us > 0:
+                out[bucket] = us
+                remaining -= us
+        # Overlapping causes can double-book the same microsecond (two
+        # concurrent spans); scale down so the decomposition never exceeds
+        # the window it explains.
+        booked = sum(out.values())
+        if booked > length > 0:
+            scale = length / booked
+            out = {k: v * scale for k, v in out.items()}
+            remaining = 0.0
+        if remaining > 1e-9:
+            out["queued_idle"] = remaining
+        return out
+
+
+def exemplar_tree(ex):
+    """-> (root event, direct children sorted by ts) from one exemplar."""
+    root = None
+    children = []
+    for e in ex.get("events", []):
+        args = e.get("args", {})
+        rec = {
+            "name": e.get("name", "?"),
+            "ts": float(e.get("ts", 0.0)),
+            "dur": float(e.get("dur", 0.0)),
+            "cycles": int(args.get("cycles", 0)),
+            "span": args.get("span"),
+            "parent": args.get("parent"),
+        }
+        if rec["span"] == 1:
+            root = rec
+        elif rec["parent"] == 1:
+            children.append(rec)
+    children.sort(key=lambda r: (r["ts"], r["span"] or 0))
+    return root, children
+
+
+def analyze(doc):
+    events = span_events(doc)
+    decomposer = WaitDecomposer(events)
+    exemplars = doc.get("exemplars", [])
+
+    blame = defaultdict(float)  # component -> us
+    total_root_us = 0.0
+    attributed_us = 0.0
+    requests = []
+
+    for ex in exemplars:
+        root, children = exemplar_tree(ex)
+        pid = ex.get("pid", 0)
+        dur_us = float(ex.get("dur_us", root["dur"] if root else 0.0))
+        start_us = float(ex.get("start_us", root["ts"] if root else 0.0))
+        total_root_us += dur_us
+
+        path = []
+        child_sum = 0.0
+        for c in children:
+            child_sum += c["dur"]
+            if c["name"] in WAIT_KINDS and c["dur"] > 0:
+                causes = decomposer.decompose(pid, (c["ts"], c["ts"] + c["dur"]))
+                for cause, us in causes.items():
+                    blame[f"{c['name']}:{cause}"] += us
+                detail = ", ".join(
+                    f"{cause} {us:.1f}us" for cause, us in
+                    sorted(causes.items(), key=lambda kv: -kv[1]))
+            else:
+                blame[c["name"]] += c["dur"]
+                detail = ""
+            path.append({
+                "name": c["name"], "ts": c["ts"], "dur_us": c["dur"],
+                "share": c["dur"] / dur_us if dur_us > 0 else 0.0,
+                "detail": detail,
+            })
+        attributed = min(child_sum, dur_us) if dur_us > 0 else child_sum
+        attributed_us += attributed
+        slack = dur_us - child_sum
+        if slack > 1e-9:
+            blame["unattributed"] += slack
+        requests.append({
+            "trace": ex.get("trace", "?"),
+            "op": ex.get("op", "?"),
+            "size_class": ex.get("size_class", "-"),
+            "pid": pid,
+            "start_us": start_us,
+            "dur_us": dur_us,
+            "coverage": attributed / dur_us if dur_us > 0 else 1.0,
+            "path": path,
+        })
+
+    requests.sort(key=lambda r: -r["dur_us"])
+    coverage = attributed_us / total_root_us if total_root_us > 0 else 0.0
+    return requests, dict(blame), coverage, total_root_us
+
+
+def metrics_summary(doc):
+    """-> {counter: max} across service_metrics samples (or None)."""
+    peak = {}
+    count = 0
+    for e in doc["traceEvents"]:
+        if not isinstance(e, dict) or e.get("ph") != "C":
+            continue
+        if e.get("name") != "service_metrics":
+            continue
+        count += 1
+        for key, val in e.get("args", {}).items():
+            if isinstance(val, (int, float)) and key != "tick":
+                peak[key] = max(peak.get(key, 0), val)
+    return (count, peak) if count else (0, None)
+
+
+def print_report(requests, blame, coverage, total_root_us, top):
+    print(f"tail exemplars: {len(requests)} requests, "
+          f"{total_root_us:.1f} us of tail latency, "
+          f"coverage {coverage:.1%} attributed to causes")
+
+    if blame:
+        print("\nblame table (all exemplars)")
+        rows = [("component", "us", "share")]
+        for comp, us in sorted(blame.items(), key=lambda kv: -kv[1]):
+            share = us / total_root_us if total_root_us > 0 else 0.0
+            rows.append((comp, f"{us:.1f}", f"{share:.1%}"))
+        widths = [max(len(r[i]) for r in rows) for i in range(3)]
+        for r in rows:
+            print("  " + "  ".join(v.ljust(w) for v, w in zip(r, widths)))
+
+    for req in requests[:top]:
+        print(f"\n{req['op']} {req['trace']} ({req['size_class']}, pid {req['pid']}): "
+              f"{req['dur_us']:.1f} us, {req['coverage']:.0%} attributed")
+        for leg in req["path"]:
+            line = (f"  +{leg['ts'] - req['start_us']:8.1f}us  "
+                    f"{leg['name']:<14} {leg['dur_us']:8.1f}us  {leg['share']:5.1%}")
+            if leg["detail"]:
+                line += f"  [{leg['detail']}]"
+            print(line)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("trace", help="Chrome trace_event JSON with exemplars")
+    ap.add_argument("--check-coverage", type=float, metavar="F", default=None,
+                    help="exit 4 unless blame coverage >= F (e.g. 0.95); "
+                         "also fails when the trace holds no exemplars")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write the blame artifact (coverage, components, "
+                         "per-request paths) as JSON")
+    ap.add_argument("--top", type=int, default=5,
+                    help="print critical paths of the N slowest exemplars "
+                         "(default 5)")
+    args = ap.parse_args()
+
+    doc = load(args.trace)
+    requests, blame, coverage, total_root_us = analyze(doc)
+    print_report(requests, blame, coverage, total_root_us, args.top)
+
+    dropped = dropped_by_pid(doc)
+    total_dropped = sum(dropped.values())
+    if total_dropped:
+        print(f"\nnote: ring dropped {total_dropped} events (oldest "
+              f"overwritten); exemplar trees are staged separately and stay "
+              f"complete")
+
+    samples, peak = metrics_summary(doc)
+    if peak is not None:
+        peaks = ", ".join(f"{k}={v:g}" for k, v in sorted(peak.items()))
+        print(f"\nservice_metrics: {samples} samples; peaks: {peaks}")
+
+    if args.json:
+        artifact = {
+            "trace": args.trace,
+            "exemplars": len(requests),
+            "tail_us": total_root_us,
+            "coverage": coverage,
+            "blame": blame,
+            "requests": requests,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(artifact, f, indent=1)
+        print(f"\nblame artifact written to {args.json}")
+
+    if args.check_coverage is not None:
+        if not requests:
+            print(f"FAIL: no exemplars in {args.trace} "
+                  f"(--check-coverage={args.check_coverage:g})", file=sys.stderr)
+            sys.exit(4)
+        if coverage < args.check_coverage:
+            print(f"FAIL: blame coverage {coverage:.1%} below required "
+                  f"{args.check_coverage:.1%}", file=sys.stderr)
+            sys.exit(4)
+        print(f"\ncoverage check passed: {coverage:.1%} >= "
+              f"{args.check_coverage:.1%}")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,8 @@ Exit codes:
   0  report printed, all requested checks passed
   1  malformed/unreadable trace
   2  a --check-o1/--expect-flagged assertion failed
+  3  --strict and the ring dropped events (the percentiles below would be
+     computed over a truncated window)
 
 CI self-check (bench-smoke) runs, over a fig1a_mmap_cost trace:
   trace_report.py TRACE.json --check-o1=fom --expect-flagged=mmap
@@ -48,6 +50,16 @@ def load_events(path):
     if not isinstance(events, list):
         raise SystemExit(f"trace_report: {path}: no traceEvents array")
     return events
+
+
+def dropped_events(events):
+    """Total ring-overwritten events, from the trace_dropped metadata the
+    exporter emits per pid group."""
+    total = 0
+    for e in events:
+        if isinstance(e, dict) and e.get("ph") == "M" and e.get("name") == "trace_dropped":
+            total += int(e.get("args", {}).get("dropped", 0))
+    return total
 
 
 def collect(events):
@@ -130,9 +142,25 @@ def main():
     ap.add_argument("--expect-flagged", metavar="OP", action="append", default=[],
                     help="fail (exit 2) unless op OP is flagged (sanity-checks "
                          "that the verdict has teeth on a known-linear op)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (exit 3) when the trace ring dropped events: "
+                         "the report would cover a truncated window")
     args = ap.parse_args()
 
-    by_op = collect(load_events(args.trace))
+    events = load_events(args.trace)
+    dropped = dropped_events(events)
+    if dropped:
+        print("=" * 64, file=sys.stderr)
+        print(f"WARNING: trace ring dropped {dropped} events (overwrite-"
+              f"oldest).\nEvery statistic below covers only the surviving "
+              f"window;\nraise ObsConfig::ring_capacity to keep the full "
+              f"run.", file=sys.stderr)
+        print("=" * 64, file=sys.stderr)
+        if args.strict:
+            print(f"FAIL: --strict with {dropped} dropped events", file=sys.stderr)
+            sys.exit(3)
+
+    by_op = collect(events)
     if not by_op:
         raise SystemExit(f"trace_report: {args.trace}: no complete spans")
     print_latency_table(by_op)
